@@ -1,0 +1,47 @@
+// Command ifp-dot renders the paper's Fig. 1 information-flow policies (and
+// the per-byte-key lattice of the immobilizer fix) as Graphviz digraphs.
+//
+// Usage:
+//
+//	ifp-dot [ifp1|ifp2|ifp3|perbyte]     # default: all four
+//	ifp-dot ifp3 | dot -Tsvg > ifp3.svg
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vpdift/internal/core"
+)
+
+func main() {
+	lattices := map[string]func() (*core.Lattice, error){
+		"ifp1": func() (*core.Lattice, error) { return core.IFP1(), nil },
+		"ifp2": func() (*core.Lattice, error) { return core.IFP2(), nil },
+		"ifp3": func() (*core.Lattice, error) { return core.IFP3(), nil },
+		"perbyte": func() (*core.Lattice, error) {
+			integ, err := core.PerByteKeyIntegrity(4)
+			if err != nil {
+				return nil, err
+			}
+			return core.Product(core.IFP1(), integ)
+		},
+	}
+	order := []string{"ifp1", "ifp2", "ifp3", "perbyte"}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = order
+	}
+	for _, name := range args {
+		build, ok := lattices[name]
+		if !ok {
+			log.Fatalf("unknown lattice %q (have: %v)", name, order)
+		}
+		l, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(l.DOT(name))
+	}
+}

@@ -1,0 +1,78 @@
+// Command vp-asm assembles RV32IM assembly into a flat binary image and
+// inspects the result.
+//
+// Usage:
+//
+//	vp-asm [-base addr] [-runtime] [-o out.bin] [-syms] [-dis] file.s
+//
+// With -runtime the source is linked against the guest runtime (crt0, UART
+// console routines, the platform equates) and must define main; otherwise
+// it is assembled stand-alone.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/guest"
+	"vpdift/internal/rv32"
+)
+
+func main() {
+	base := flag.Uint("base", 0x80000000, "text base address")
+	withRuntime := flag.Bool("runtime", false, "link against the guest runtime (source defines main)")
+	out := flag.String("o", "", "write the flattened image to this file")
+	syms := flag.Bool("syms", false, "dump the symbol table")
+	dis := flag.Bool("dis", false, "disassemble the text section")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vp-asm [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var img *asm.Image
+	if *withRuntime {
+		img, err = guest.Program(string(src))
+	} else {
+		img, err = asm.Assemble(string(src), asm.Options{Base: uint32(*base)})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(img)
+	if *syms {
+		fmt.Println("\nsymbols:")
+		for _, s := range img.SortedSymbols() {
+			fmt.Println("  " + s)
+		}
+	}
+	if *dis {
+		fmt.Println("\ndisassembly:")
+		for i := 0; i+4 <= len(img.Text); i += 4 {
+			pc := img.Base + uint32(i)
+			w := binary.LittleEndian.Uint32(img.Text[i:])
+			if name, off, ok := img.SymbolAt(pc); ok && off == 0 {
+				fmt.Printf("%s:\n", name)
+			}
+			fmt.Printf("  %08x:  %08x  %s\n", pc, w, rv32.Disassemble(w, pc))
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, img.Flatten(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d bytes to %s\n", img.Size(), *out)
+	}
+}

@@ -1,0 +1,182 @@
+// Command vp-run assembles a guest program and executes it on the virtual
+// prototype, optionally with a DIFT security policy.
+//
+// Usage:
+//
+//	vp-run [flags] file.s
+//
+// The source is linked against the guest runtime and must define main. The
+// canned policies are:
+//
+//	none        baseline VP, no tracking
+//	conf        IFP-1 confidentiality; regions named with -secret become HC,
+//	            the UART TX requires LC
+//	integrity   IFP-2 code-injection policy: program image HI, HI fetch
+//	            clearance, all input LI
+//
+// Console input is supplied with -stdin and classified as the policy's
+// default (untrusted/public) class.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vpdift/internal/core"
+	"vpdift/internal/guest"
+	"vpdift/internal/kernel"
+	"vpdift/internal/rv32"
+	"vpdift/internal/soc"
+)
+
+func main() {
+	policyName := flag.String("policy", "none", "security policy: none, conf or integrity")
+	secret := flag.String("secret", "", "comma-separated symbol[:len] regions classified secret (conf policy)")
+	stdin := flag.String("stdin", "", "bytes injected into the UART before the run")
+	horizonMS := flag.Uint64("horizon", 10000, "simulation horizon in milliseconds")
+	mapFlag := flag.Bool("map", false, "print the platform memory map before running")
+	trace := flag.Uint64("trace", 0, "disassemble the first N executed instructions to stderr")
+	taintMap := flag.Bool("taintmap", false, "print the per-class RAM census and tainted ranges after the run")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vp-run [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	img, err := guest.Program(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var pol *core.Policy
+	switch *policyName {
+	case "none":
+	case "conf":
+		l := core.IFP1()
+		lc, hc := l.MustTag(core.ClassLC), l.MustTag(core.ClassHC)
+		pol = core.NewPolicy(l, lc).WithOutput("uart0.tx", lc)
+		for _, spec := range splitNonEmpty(*secret) {
+			name, length := spec, uint32(4)
+			if i := strings.IndexByte(spec, ':'); i >= 0 {
+				name = spec[:i]
+				fmt.Sscanf(spec[i+1:], "%d", &length)
+			}
+			addr, ok := img.Symbol(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown symbol %q\n", name)
+				os.Exit(2)
+			}
+			pol.WithRegion(core.RegionRule{
+				Name: name, Start: addr, End: addr + length,
+				Classify: true, Class: hc,
+			})
+		}
+	case "integrity":
+		l := core.IFP2()
+		hi, li := l.MustTag(core.ClassHI), l.MustTag(core.ClassLI)
+		pol = core.NewPolicy(l, li).
+			WithFetchClearance(hi).
+			WithRegion(core.RegionRule{
+				Name: "image", Start: img.Base, End: img.End(),
+				Classify: true, Class: hi,
+			}).
+			WithInput("uart0.rx", li)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+
+	pl, err := soc.New(soc.Config{Policy: pol})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer pl.Shutdown()
+	if *mapFlag {
+		fmt.Fprintln(os.Stderr, "memory map:")
+		for _, r := range pl.Bus.Ranges() {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+	}
+	if err := pl.Load(img); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *trace > 0 {
+		remaining := *trace
+		tracer := func(pc, insn uint32) {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			loc := ""
+			if name, off, ok := img.SymbolAt(pc); ok {
+				loc = fmt.Sprintf(" <%s+0x%x>", name, off)
+			}
+			fmt.Fprintf(os.Stderr, "%08x:  %08x  %-32s%s\n", pc, insn, rv32.Disassemble(insn, pc), loc)
+		}
+		if pl.Core != nil {
+			pl.Core.Tracer = tracer
+		} else {
+			pl.TaintCore.Tracer = tracer
+		}
+	}
+	if *stdin != "" {
+		pl.UART.Inject([]byte(*stdin))
+	}
+
+	runErr := pl.Run(kernel.Time(*horizonMS) * kernel.MS)
+	os.Stdout.Write(pl.UART.Output())
+
+	if *taintMap && pl.IsDIFT() {
+		fmt.Fprintln(os.Stderr, "\ntaint census (RAM bytes per class):")
+		for class, n := range pl.TaintSummary() {
+			fmt.Fprintf(os.Stderr, "  %-12s %d\n", class, n)
+		}
+		ranges := pl.TaintedRanges()
+		fmt.Fprintf(os.Stderr, "tainted ranges (%d):\n", len(ranges))
+		const maxShown = 32
+		for i, r := range ranges {
+			if i == maxShown {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(ranges)-maxShown)
+				break
+			}
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+	}
+
+	var v *core.Violation
+	switch {
+	case errors.As(runErr, &v):
+		fmt.Fprintf(os.Stderr, "\nSECURITY VIOLATION: %v\n", v)
+		os.Exit(3)
+	case runErr != nil:
+		fmt.Fprintf(os.Stderr, "\nerror: %v\n", runErr)
+		os.Exit(1)
+	}
+	exited, code := pl.Exited()
+	fmt.Fprintf(os.Stderr, "\n[exited=%v code=%d instret=%d simtime=%v]\n",
+		exited, code, pl.Instret(), pl.Sim.Now())
+	if exited {
+		os.Exit(int(code) & 0x7f)
+	}
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Code-injection: a classic stack smash. The victim copies attacker bytes
+// from the UART past the end of a stack buffer, overwriting its saved
+// return address with the address of a payload function.
+//
+// The example first runs without DIFT — the payload executes and exits with
+// its marker code — then with the Section VI-B code-injection policy
+// (program image High-Integrity, HI instruction-fetch clearance, payload
+// and all external input Low-Integrity), which stops the very first fetched
+// payload instruction.
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+
+	"vpdift"
+)
+
+const victimSrc = `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	call victim
+	li a0, 1               # never reached: the overflow redirects control
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+
+victim:
+	addi sp, sp, -32
+	sw ra, 28(sp)          # 16-byte buffer at 0(sp), saved ra at 28(sp)
+	mv t2, sp
+	li t3, 32              # gets(buffer): reads 32 bytes into 16 bytes
+	li t0, UART_BASE
+1:	lw t1, UART_RX(t0)
+	srli t4, t1, UART_RX_EMPTY_BIT
+	bnez t4, 1b
+	sb t1, 0(t2)
+	addi t2, t2, 1
+	addi t3, t3, -1
+	bnez t3, 1b
+	lw ra, 28(sp)
+	addi sp, sp, 32
+	ret                    # returns into the payload
+
+	.align 4
+payload:
+	li a0, 99              # "shellcode": exit with the attacker's marker
+	j exit
+payload_end:
+`
+
+func run(withDIFT bool) error {
+	img, err := vpdift.BuildProgram(victimSrc)
+	if err != nil {
+		return err
+	}
+	var pol *vpdift.Policy
+	if withDIFT {
+		lat := vpdift.IFP2()
+		hi := lat.MustTag(vpdift.ClassHI)
+		li := lat.MustTag(vpdift.ClassLI)
+		pol = vpdift.NewPolicy(lat, li).
+			WithFetchClearance(hi).
+			WithRegion(vpdift.RegionRule{
+				Name: "payload", Start: img.MustSymbol("payload"), End: img.MustSymbol("payload_end"),
+				Classify: true, Class: li,
+			}).
+			WithRegion(vpdift.RegionRule{
+				Name: "text", Start: img.Base, End: img.Base + uint32(len(img.Text)),
+				Classify: true, Class: hi,
+			}).
+			WithInput("uart0.rx", li)
+	}
+	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	if err != nil {
+		return err
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		return err
+	}
+
+	// The exploit: 28 filler bytes, then the payload address.
+	exploit := make([]byte, 32)
+	for i := 0; i < 28; i++ {
+		exploit[i] = 'A'
+	}
+	binary.LittleEndian.PutUint32(exploit[28:], img.MustSymbol("payload"))
+	pl.UART.Inject(exploit)
+
+	if err := pl.Run(vpdift.S); err != nil {
+		return err
+	}
+	exited, code := pl.Exited()
+	fmt.Printf("  guest exited=%v code=%d\n", exited, code)
+	if code == 99 {
+		fmt.Println("  the injected payload RAN — code injection succeeded")
+	}
+	return nil
+}
+
+func main() {
+	fmt.Println("without DIFT:")
+	if err := run(false); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("with the code-injection policy:")
+	err := run(true)
+	var v *vpdift.Violation
+	if !errors.As(err, &v) || v.Kind != vpdift.KindFetchClearance {
+		log.Fatalf("expected a fetch-clearance violation, got: %v", err)
+	}
+	fmt.Printf("  DETECTED at the payload's first instruction: %v\n", v)
+}

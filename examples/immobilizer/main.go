@@ -1,0 +1,169 @@
+// Immobilizer: a compact version of the paper's case study built entirely
+// on the public API. A guest holds a secret key, encrypts a CAN challenge
+// on the AES peripheral (which declassifies the ciphertext), and answers on
+// the CAN bus. The engine-side code verifies the response, then tries to
+// read the key directly — which the policy stops.
+package main
+
+import (
+	"crypto/aes"
+	"errors"
+	"fmt"
+	"log"
+
+	"vpdift"
+)
+
+const firmware = `
+main:
+	# wait for the challenge frame
+1:	li t0, CAN_BASE
+	lw t1, CAN_STATUS(t0)
+	andi t1, t1, 1
+	beqz t1, 1b
+	# AES_IN <- challenge (8 bytes) || zeros
+	li t1, AES_BASE
+	li t2, 0
+2:	add t3, t0, t2
+	lbu t4, CAN_RX_DATA(t3)
+	add t3, t1, t2
+	sb t4, AES_IN(t3)
+	addi t2, t2, 1
+	li t3, 8
+	blt t2, t3, 2b
+3:	add t3, t1, t2
+	sb x0, AES_IN(t3)
+	addi t2, t2, 1
+	li t3, 16
+	blt t2, t3, 3b
+	# AES_KEY <- secret key
+	la t2, key
+	li t3, 0
+4:	add t4, t2, t3
+	lbu t5, 0(t4)
+	add t4, t1, t3
+	sb t5, AES_KEY(t4)
+	addi t3, t3, 1
+	li t4, 16
+	blt t3, t4, 4b
+	# encrypt
+	li t3, 1
+	sw t3, AES_CTRL(t1)
+	# respond with the first 8 ciphertext bytes
+	li t3, 0x101
+	sw t3, CAN_TX_ID(t0)
+	li t3, 8
+	sw t3, CAN_TX_LEN(t0)
+	li t2, 0
+5:	add t3, t1, t2
+	lbu t4, AES_OUT(t3)
+	add t3, t0, t2
+	sb t4, CAN_TX_DATA(t3)
+	addi t2, t2, 1
+	li t3, 8
+	blt t2, t3, 5b
+	li t3, 1
+	sw t3, CAN_TX_CTRL(t0)
+
+	# now "debug code" leaks the raw key to the CAN bus
+	li t3, 0x1FF
+	sw t3, CAN_TX_ID(t0)
+	li t3, 8
+	sw t3, CAN_TX_LEN(t0)
+	la t2, key
+	li t3, 0
+6:	add t4, t2, t3
+	lbu t5, 0(t4)
+	add t4, t0, t3
+	sb t5, CAN_TX_DATA(t4)
+	addi t3, t3, 1
+	li t4, 8
+	blt t3, t4, 6b
+	li t3, 1
+	sw t3, CAN_TX_CTRL(t0)
+	li a0, 0
+	ret
+
+	.data
+	.align 2
+key:
+	.byte 0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6
+	.byte 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c
+`
+
+func main() {
+	img, err := vpdift.BuildProgram(firmware)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// IFP-3 policy: key is (HC,HI); CAN is a public (LC,LI) interface; the
+	// AES engine admits everything and declassifies to (LC,LI).
+	lat := vpdift.IFP3()
+	lcLI := lat.MustTag("(LC,LI)")
+	hcHI := lat.MustTag("(HC,HI)")
+	top, _ := lat.Top()
+	key := img.MustSymbol("key")
+	pol := vpdift.NewPolicy(lat, lcLI).
+		WithRegion(vpdift.RegionRule{
+			Name: "key", Start: key, End: key + 16,
+			Classify: true, Class: hcHI,
+			CheckStore: true, Clearance: hcHI,
+		}).
+		WithOutput("can0.tx", lcLI).
+		WithOutput("aes0.in", top).
+		WithInput("can0.rx", lcLI).
+		WithInput("aes0.out", lcLI)
+
+	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		log.Fatal(err)
+	}
+
+	challenge := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	pl.CAN.Deliver(0x100, challenge)
+	runErr := pl.Run(vpdift.S)
+
+	// The challenge response made it out before the leak attempt.
+	if len(pl.CAN.TxLog) < 1 {
+		log.Fatal("no response frame")
+	}
+	resp := pl.CAN.TxLog[0]
+	fmt.Printf("challenge % x\n", challenge)
+	fmt.Printf("response  % x (declassified ciphertext)\n", valueBytes(resp))
+
+	// Engine-side verification with the shared key.
+	keyBytes := []byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	blk, _ := aes.NewCipher(keyBytes)
+	var pt, ct [16]byte
+	copy(pt[:8], challenge)
+	blk.Encrypt(ct[:], pt[:])
+	for i, b := range valueBytes(resp) {
+		if b != ct[i] {
+			log.Fatal("engine verification failed")
+		}
+	}
+	fmt.Println("engine verification: OK")
+
+	// The key leak attempt must have been stopped.
+	var v *vpdift.Violation
+	if !errors.As(runErr, &v) || v.Port != "can0.tx" {
+		log.Fatalf("expected a can0.tx violation, got: %v", runErr)
+	}
+	fmt.Printf("raw key leak DETECTED: %v\n", v)
+	if len(pl.CAN.TxLog) != 1 {
+		log.Fatal("leak frame must not have been transmitted")
+	}
+}
+
+func valueBytes(f vpdift.CANFrame) []byte {
+	out := make([]byte, len(f.Data))
+	for i, b := range f.Data {
+		out[i] = b.V
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module vpdift
+
+go 1.22

@@ -1,0 +1,494 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// word extracts instruction i from the text section.
+func word(t *testing.T, img *Image, i int) uint32 {
+	t.Helper()
+	if len(img.Text) < (i+1)*4 {
+		t.Fatalf("text has %d bytes, want instruction %d", len(img.Text), i)
+	}
+	return binary.LittleEndian.Uint32(img.Text[i*4:])
+}
+
+func mustAsm(t *testing.T, src string) *Image {
+	t.Helper()
+	img, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatalf("assemble failed: %v", err)
+	}
+	return img
+}
+
+func TestGoldenEncodings(t *testing.T) {
+	// Golden encodings cross-checked against the RISC-V ISA manual.
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"addi x1, x2, 10", 0x00A10093},
+		{"addi x0, x0, 0", 0x00000013}, // canonical NOP
+		{"add x3, x4, x5", 0x005201B3},
+		{"sub x3, x4, x5", 0x405201B3},
+		{"and a0, a1, a2", 0x00C5F533},
+		{"lui x5, 0x12345", 0x123452B7},
+		{"auipc x5, 0x12345", 0x12345297},
+		{"jal x0, .text_start", 0x0000006F},
+		{"sw x5, 8(x2)", 0x00512423},
+		{"lw x6, -4(x10)", 0xFFC52303},
+		{"lbu x6, 0(x10)", 0x00054303},
+		{"lhu x6, 2(x10)", 0x00255303},
+		{"sb x5, 1(x2)", 0x005100A3},
+		{"sh x5, 2(x2)", 0x00511123},
+		{"mul x1, x2, x3", 0x023100B3},
+		{"divu x1, x2, x3", 0x023150B3},
+		{"remu x1, x2, x3", 0x023170B3},
+		{"srai x1, x1, 4", 0x4040D093},
+		{"slli x1, x1, 4", 0x00409093},
+		{"srli x1, x1, 4", 0x0040D093},
+		{"sltiu x1, x2, 1", 0x00113093},
+		{"xori x1, x2, -1", 0xFFF14093},
+		{"jalr x1, 4(x5)", 0x004280E7},
+		{"csrrw x1, mstatus, x2", 0x300110F3},
+		{"csrrs x1, 0x304, x0", 0x304020F3},
+		{"csrrwi x0, mtvec, 5", 0x3052D073},
+		{"ecall", 0x00000073},
+		{"ebreak", 0x00100073},
+		{"mret", 0x30200073},
+		{"wfi", 0x10500073},
+		{"fence", 0x0FF0000F},
+		{"fence.i", 0x0000100F},
+	}
+	for _, c := range cases {
+		src := ".text_start:\n" + c.src + "\n"
+		img := mustAsm(t, src)
+		if got := word(t, img, 0); got != c.want {
+			t.Errorf("%q = 0x%08X, want 0x%08X", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBranchAndJumpOffsets(t *testing.T) {
+	img := mustAsm(t, `
+start:
+	beq x1, x2, target
+	nop
+target:
+	jal x1, start
+`)
+	// beq at +0 to +8: offset 8.
+	if got := word(t, img, 0); got != 0x00208463 {
+		t.Errorf("beq = 0x%08X, want 0x00208463", got)
+	}
+	// jal at +8 back to 0: offset -8.
+	// imm=-8: [20]=1 [10:1]=0x3FC [11]=1 [19:12]=0xFF
+	want := uint32(1)<<31 | uint32(0x3fc)<<21 | uint32(1)<<20 | uint32(0xff)<<12 | 1<<7 | 0x6F
+	if got := word(t, img, 2); got != want {
+		t.Errorf("jal = 0x%08X, want 0x%08X", got, want)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []uint32
+	}{
+		{"nop", []uint32{0x00000013}},
+		{"mv x1, x2", []uint32{0x00010093}},
+		{"not x1, x2", []uint32{0xFFF14093}},
+		{"neg x1, x2", []uint32{0x402000B3}},
+		{"seqz x1, x2", []uint32{0x00113093}},
+		{"snez x1, x2", []uint32{0x002030B3}},
+		{"ret", []uint32{0x00008067}},
+		{"jr x5", []uint32{0x00028067}},
+		{"li x1, 42", []uint32{0x02A00093}},
+		{"li x1, -1", []uint32{0xFFF00093}},
+		// li 0x12345678: hi = 0x12345 + carry(0x678<0x800 no) = 0x12345, lo = 0x678
+		{"li x1, 0x12345678", []uint32{0x123450B7, 0x67808093}},
+		// li 0x12345FFF: lo = -1 sign-extended, hi = 0x12346
+		{"li x1, 0x12345FFF", []uint32{0x123460B7, 0xFFF08093}},
+		// li with zero low part folds to a single lui.
+		{"li x1, 0x12345000", []uint32{0x123450B7}},
+		{"csrr x1, mstatus", []uint32{0x300020F3}},
+		{"csrw mstatus, x2", []uint32{0x30011073}},
+		{"csrs mie, x2", []uint32{0x30412073}},
+		{"csrci mstatus, 8", []uint32{0x30047073}},
+	}
+	for _, c := range cases {
+		img := mustAsm(t, c.src+"\n")
+		if img.TextWords() != len(c.want) {
+			t.Errorf("%q expands to %d words, want %d", c.src, img.TextWords(), len(c.want))
+			continue
+		}
+		for i, w := range c.want {
+			if got := word(t, img, i); got != w {
+				t.Errorf("%q word %d = 0x%08X, want 0x%08X", c.src, i, got, w)
+			}
+		}
+	}
+}
+
+func TestBranchPseudos(t *testing.T) {
+	img := mustAsm(t, `
+l:	beqz x5, l
+	bnez x5, l
+	blez x5, l
+	bgez x5, l
+	bltz x5, l
+	bgtz x5, l
+	bgt x5, x6, l
+	ble x5, x6, l
+	bgtu x5, x6, l
+	bleu x5, x6, l
+`)
+	if img.TextWords() != 10 {
+		t.Fatalf("words = %d", img.TextWords())
+	}
+	// Check funct3/operand swaps by masking opcode+funct3+regs.
+	type br struct{ f3, rs1, rs2 uint32 }
+	want := []br{
+		{0, 5, 0}, // beq x5, x0
+		{1, 5, 0}, // bne x5, x0
+		{5, 0, 5}, // bge x0, x5
+		{5, 5, 0}, // bge x5, x0
+		{4, 5, 0}, // blt x5, x0
+		{4, 0, 5}, // blt x0, x5
+		{4, 6, 5}, // blt x6, x5
+		{5, 6, 5}, // bge x6, x5
+		{6, 6, 5}, // bltu x6, x5
+		{7, 6, 5}, // bgeu x6, x5
+	}
+	for i, w := range want {
+		g := word(t, img, i)
+		if g&0x7f != 0x63 {
+			t.Errorf("inst %d: not a branch", i)
+		}
+		if (g>>12)&7 != w.f3 || (g>>15)&31 != w.rs1 || (g>>20)&31 != w.rs2 {
+			t.Errorf("inst %d: f3=%d rs1=%d rs2=%d, want %+v", i, (g>>12)&7, (g>>15)&31, (g>>20)&31, w)
+		}
+	}
+}
+
+func TestLaAndSymbols(t *testing.T) {
+	img := mustAsm(t, `
+	la a0, value
+	lw a1, 0(a0)
+	.data
+value:
+	.word 0xCAFEBABE
+`)
+	addr := img.MustSymbol("value")
+	if addr != img.DataAddr {
+		t.Errorf("value at 0x%x, want data base 0x%x", addr, img.DataAddr)
+	}
+	// Verify the lui+addi pair reconstructs the address.
+	lui, addi := word(t, img, 0), word(t, img, 1)
+	hi := lui >> 12
+	lo := int32(addi) >> 20
+	if got := uint32(int64(hi)<<12 + int64(lo)); got != addr {
+		t.Errorf("la reconstructs 0x%x, want 0x%x", got, addr)
+	}
+	if binary.LittleEndian.Uint32(img.Data[0:]) != 0xCAFEBABE {
+		t.Error(".word value wrong")
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	img := mustAsm(t, `
+	nop
+	.data
+bytes:
+	.byte 1, 2, 0xFF, -1
+halfs:
+	.half 0x1234, -2
+str:
+	.ascii "AB"
+strz:
+	.asciz "C"
+sp:
+	.space 3, 0xAA
+	.balign 4
+aligned:
+	.word 7
+`)
+	d := img.Data
+	if d[0] != 1 || d[1] != 2 || d[2] != 0xFF || d[3] != 0xFF {
+		t.Errorf("bytes = %v", d[0:4])
+	}
+	if binary.LittleEndian.Uint16(d[4:]) != 0x1234 || binary.LittleEndian.Uint16(d[6:]) != 0xFFFE {
+		t.Error("halfs wrong")
+	}
+	if string(d[8:10]) != "AB" || string(d[10:12]) != "C\x00" {
+		t.Errorf("strings = %q", d[8:12])
+	}
+	if d[12] != 0xAA || d[14] != 0xAA {
+		t.Error("space fill wrong")
+	}
+	al := img.MustSymbol("aligned")
+	if al%4 != 0 {
+		t.Errorf("aligned at 0x%x", al)
+	}
+	if binary.LittleEndian.Uint32(d[al-img.DataAddr:]) != 7 {
+		t.Error("aligned word wrong")
+	}
+}
+
+func TestBSS(t *testing.T) {
+	img := mustAsm(t, `
+	nop
+	.bss
+buf:
+	.space 64
+buf2:
+	.space 16
+`)
+	if img.BSSSize != 80 {
+		t.Errorf("BSSSize = %d", img.BSSSize)
+	}
+	if img.MustSymbol("buf") != img.BSSAddr || img.MustSymbol("buf2") != img.BSSAddr+64 {
+		t.Error("bss symbols wrong")
+	}
+	if _, err := Assemble(".bss\n.word 5\n", Options{}); err == nil {
+		t.Error("initialized data in .bss must be rejected")
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	img := mustAsm(t, `
+.equ BASE, 0x10000000
+.equ OFF,  BASE + 0x10
+.set SHIFTED, 1 << 8
+	li a0, BASE
+	li a1, OFF
+	li a2, SHIFTED
+	li a3, (2+3)*4 - 10/5
+	li a4, 0xF0 & 0x1F | 2
+	li a5, ~0 ^ -1
+	.data
+	.word OFF - BASE, SHIFTED >> 4, 7 % 3
+`)
+	if binary.LittleEndian.Uint32(img.Data[0:]) != 0x10 {
+		t.Error("OFF-BASE")
+	}
+	if binary.LittleEndian.Uint32(img.Data[4:]) != 16 {
+		t.Error("shift")
+	}
+	if binary.LittleEndian.Uint32(img.Data[8:]) != 1 {
+		t.Error("mod")
+	}
+	// Words: 0 = li a0 (single lui, low part zero), 1-2 = li a1 (lui+addi),
+	// 3 = li a2 (addi), then the constant-expression li's.
+	if got := word(t, img, 4); got != 0x01200693 { // li a3, 18
+		t.Errorf("li a3 = 0x%08X", got)
+	}
+	if got := word(t, img, 5); got != 0x01200713 { // li a4, 0x12
+		t.Errorf("li a4 = 0x%08X", got)
+	}
+	if got := word(t, img, 6); got != 0x00000793 { // li a5, 0
+		t.Errorf("li a5 = 0x%08X", got)
+	}
+}
+
+func TestNumericLocalLabels(t *testing.T) {
+	img := mustAsm(t, `
+	nop
+1:	nop
+	j 1b
+	j 1f
+1:	nop
+	j 1b
+`)
+	// j 1b at word 2 targets word 1 (offset -4).
+	// j 1f at word 3 targets word 4 (offset +4).
+	// j 1b at word 5 targets word 4 (offset -4).
+	offsets := map[int]int32{2: -4, 3: 4, 5: -4}
+	for i, want := range offsets {
+		g := word(t, img, i)
+		if g&0x7f != 0x6F {
+			t.Fatalf("inst %d not jal", i)
+		}
+		// Decode J-immediate.
+		imm := int32(g>>31)<<20 | int32(g>>12&0xff)<<12 | int32(g>>20&1)<<11 | int32(g>>21&0x3ff)<<1
+		imm = imm << 11 >> 11
+		if imm != want {
+			t.Errorf("inst %d: offset %d, want %d", i, imm, want)
+		}
+	}
+}
+
+func TestEntryAndStart(t *testing.T) {
+	img := mustAsm(t, "\tnop\n_start:\n\tnop\n")
+	if img.Entry != img.Base+4 {
+		t.Errorf("entry = 0x%x, want _start", img.Entry)
+	}
+	img2 := mustAsm(t, "\tnop\n")
+	if img2.Entry != img2.Base {
+		t.Errorf("default entry = 0x%x, want base", img2.Entry)
+	}
+}
+
+func TestImageLayoutAndFlatten(t *testing.T) {
+	img, err := Assemble(`
+	nop
+	.data
+	.byte 0x42
+	.bss
+	.space 8
+`, Options{Base: 0x1000, DataAlign: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Base != 0x1000 || img.DataAddr != 0x1010 {
+		t.Errorf("layout: base=0x%x data=0x%x", img.Base, img.DataAddr)
+	}
+	flat := img.Flatten()
+	if uint32(len(flat)) != img.Size() {
+		t.Errorf("flatten size %d != %d", len(flat), img.Size())
+	}
+	if flat[0] != 0x13 {
+		t.Error("text not at start of flat image")
+	}
+	if flat[0x10] != 0x42 {
+		t.Error("data not at DataAddr offset")
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	img := mustAsm(t, `
+_start:
+	nop
+	nop
+fn:
+	nop
+`)
+	name, off, ok := img.SymbolAt(img.Base + 4)
+	if !ok || name != "_start" || off != 4 {
+		t.Errorf("SymbolAt = %q+%d %v", name, off, ok)
+	}
+	name, off, ok = img.SymbolAt(img.Base + 8)
+	if !ok || name != "fn" || off != 0 {
+		t.Errorf("SymbolAt = %q+%d %v", name, off, ok)
+	}
+	if _, _, ok := img.SymbolAt(img.Base - 4); ok {
+		t.Error("SymbolAt below all symbols must fail")
+	}
+}
+
+func TestComments(t *testing.T) {
+	img := mustAsm(t, `
+	nop  # hash comment
+	nop  // slash comment
+	.data
+msg: .asciz "a # not a comment // neither"
+`)
+	if img.TextWords() != 2 {
+		t.Errorf("words = %d", img.TextWords())
+	}
+	if !strings.Contains(string(img.Data), "# not a comment //") {
+		t.Errorf("data = %q", img.Data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown instruction", "frobnicate x1, x2\n", "unknown instruction"},
+		{"unknown directive", ".frobnicate\n", "unknown directive"},
+		{"undefined symbol", "\tj nowhere\n", "undefined symbol"},
+		{"redefined label", "a:\nnop\na:\n", "redefined"},
+		{"redefined equ", ".equ A, 1\n.equ A, 2\n", "redefined"},
+		{"imm range", "addi x1, x2, 5000\n", "out of 12-bit"},
+		{"shift range", "slli x1, x2, 32\n", "out of range"},
+		{"branch range", "start:\n.space 8192\nb: beq x0, x0, start\n", "out of range"},
+		{"data in text operand", "add x1, 5, x2\n", "must be a register"},
+		{"instruction in data", ".data\nnop\n", "outside .text"},
+		{"bad csr", "csrr x1, 0x1000\n", "out of range"},
+		{"bad char", "addi x1, x2, @\n", "unexpected"},
+		{"li too big", "li x1, 0x100000000\n", "32 bits"},
+		{"word range", ".data\n.word 0x100000000\n", "out of range"},
+		{"no forward local", "\tj 1f\n", "no forward definition"},
+		{"no backward local", "\tj 1b\n", "no backward definition"},
+		{"unterminated string", ".data\n.ascii \"abc\n", "unterminated"},
+		{"operand count", "add x1, x2\n", "operands"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, Options{})
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err.Error(), c.want)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus123 x1\n", Options{})
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %v, want line 3", err)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble must panic on error")
+		}
+	}()
+	MustAssemble("bogus\n", Options{})
+}
+
+func TestAlignInText(t *testing.T) {
+	img := mustAsm(t, `
+	nop
+	.align 4
+aligned:
+	nop
+`)
+	a := img.MustSymbol("aligned")
+	if a%16 != 0 {
+		t.Errorf("aligned = 0x%x, want 16-byte alignment", a)
+	}
+	// Padding must be NOPs, not zeros (zeros are illegal instructions).
+	for i := 1; i < int(a-img.Base)/4; i++ {
+		if got := word(t, img, i); got != 0x00000013 {
+			t.Errorf("pad word %d = 0x%08X, want NOP", i, got)
+		}
+	}
+}
+
+func TestSectionDirective(t *testing.T) {
+	img := mustAsm(t, `
+	.section .data
+x:	.word 1
+	.section .text
+	nop
+	.section .bss
+y:	.space 4
+`)
+	if img.TextWords() != 1 || len(img.Data) != 4 || img.BSSSize != 4 {
+		t.Errorf("sections: text=%d data=%d bss=%d", img.TextWords(), len(img.Data), img.BSSSize)
+	}
+}
+
+func TestImageStringAndSortedSymbols(t *testing.T) {
+	img := mustAsm(t, "_start:\n\tnop\nend:\n")
+	if !strings.Contains(img.String(), "entry") {
+		t.Error("String()")
+	}
+	syms := img.SortedSymbols()
+	if len(syms) != 2 || !strings.Contains(syms[0], "_start") {
+		t.Errorf("SortedSymbols = %v", syms)
+	}
+	if _, ok := img.Symbol("missing"); ok {
+		t.Error("Symbol(missing)")
+	}
+}

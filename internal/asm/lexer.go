@@ -1,0 +1,284 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokIdent   tokKind = iota // mnemonic, register, symbol, directive (with leading '.')
+	tokNumber                 // integer literal (value in num)
+	tokString                 // quoted string (value in str)
+	tokPunct                  // single punctuation rune: , ( ) + - * / % & | ^ ~ < > :
+	tokPercent                // %hi / %lo marker (ident in str)
+)
+
+// token is one lexical unit of an assembly line.
+type token struct {
+	kind tokKind
+	str  string // ident text, string contents, punct text ("<<" and ">>" are two-rune puncts)
+	num  int64
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	case tokString:
+		return fmt.Sprintf("%q", t.str)
+	default:
+		return t.str
+	}
+}
+
+// stripComment removes '#' and '//' comments outside string literals.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inStr {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '"':
+			inStr = true
+		case c == '#':
+			return line[:i]
+		case c == '/' && i+1 < len(line) && line[i+1] == '/':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// lexLine tokenizes one source line (comment already stripped).
+func lexLine(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentPart(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, str: line[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i + 1
+			for j < n && isNumPart(line[j]) {
+				j++
+			}
+			text := line[i:j]
+			// Numeric local label refs: 1b / 1f.
+			if (strings.HasSuffix(text, "b") || strings.HasSuffix(text, "f")) && isAllDigits(text[:len(text)-1]) {
+				toks = append(toks, token{kind: tokIdent, str: text})
+				i = j
+				continue
+			}
+			v, err := parseInt(text)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNumber, num: v})
+			i = j
+		case c == '\'':
+			v, adv, err := parseCharLit(line[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNumber, num: v})
+			i += adv
+		case c == '"':
+			s, adv, err := parseStringLit(line[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, str: s})
+			i += adv
+		case c == '%':
+			// %hi(...) / %lo(...) relocation marker when followed by a
+			// name; plain modulo operator otherwise (e.g. "7 % 3", "1%0").
+			if i+1 >= n || !isIdentStart(line[i+1]) {
+				toks = append(toks, token{kind: tokPunct, str: "%"})
+				i++
+				continue
+			}
+			j := i + 1
+			for j < n && isIdentPart(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokPercent, str: line[i+1 : j]})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < n && line[i+1] == c {
+				toks = append(toks, token{kind: tokPunct, str: line[i : i+2]})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("unexpected %q", string(c))
+			}
+		case strings.ContainsRune(",()+-*/%&|^~:=", rune(c)):
+			toks = append(toks, token{kind: tokPunct, str: string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q", string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isNumPart(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ||
+		c == 'x' || c == 'X' || c == 'o' || c == 'O'
+}
+
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseInt parses decimal, 0x hex, 0b binary and 0o/0-prefixed octal.
+func parseInt(text string) (int64, error) {
+	base := 10
+	digits := text
+	switch {
+	case strings.HasPrefix(text, "0x"), strings.HasPrefix(text, "0X"):
+		base, digits = 16, text[2:]
+	case strings.HasPrefix(text, "0b"), strings.HasPrefix(text, "0B"):
+		base, digits = 2, text[2:]
+	case strings.HasPrefix(text, "0o"), strings.HasPrefix(text, "0O"):
+		base, digits = 8, text[2:]
+	}
+	if digits == "" {
+		return 0, fmt.Errorf("malformed number %q", text)
+	}
+	var v uint64
+	for i := 0; i < len(digits); i++ {
+		d := digitVal(digits[i])
+		if d < 0 || d >= base {
+			return 0, fmt.Errorf("malformed number %q", text)
+		}
+		v = v*uint64(base) + uint64(d)
+		if v > 1<<63 {
+			return 0, fmt.Errorf("number %q overflows", text)
+		}
+	}
+	return int64(v), nil
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
+}
+
+// parseCharLit parses 'c' or '\n' etc., returning the value and the number of
+// input bytes consumed.
+func parseCharLit(s string) (int64, int, error) {
+	if len(s) < 3 {
+		return 0, 0, fmt.Errorf("malformed character literal")
+	}
+	i := 1
+	var v int64
+	if s[i] == '\\' {
+		if len(s) < 4 {
+			return 0, 0, fmt.Errorf("malformed character literal")
+		}
+		e, err := unescape(s[i+1])
+		if err != nil {
+			return 0, 0, err
+		}
+		v = int64(e)
+		i += 2
+	} else {
+		v = int64(s[i])
+		i++
+	}
+	if i >= len(s) || s[i] != '\'' {
+		return 0, 0, fmt.Errorf("unterminated character literal")
+	}
+	return v, i + 1, nil
+}
+
+// parseStringLit parses a double-quoted string with C-style escapes,
+// returning the contents and the number of input bytes consumed.
+func parseStringLit(s string) (string, int, error) {
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("unterminated escape in string")
+			}
+			e, err := unescape(s[i+1])
+			if err != nil {
+				return "", 0, err
+			}
+			b.WriteByte(e)
+			i += 2
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated string literal")
+}
+
+func unescape(c byte) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	default:
+		return 0, fmt.Errorf("unknown escape \\%c", c)
+	}
+}

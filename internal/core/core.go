@@ -1,0 +1,35 @@
+// Package core implements the DIFT (Dynamic Information Flow Tracking) engine
+// described in "Dynamic Information Flow Tracking for Embedded Binaries using
+// SystemC-based Virtual Prototypes" (DAC 2020).
+//
+// The engine is built around three concepts, mirroring Section IV of the
+// paper:
+//
+//   - A security class is represented as an integer Tag into a Lattice, the
+//     Information Flow Policy (IFP). The Lattice provides the two fundamental
+//     operations LUB (least upper bound, used when data of different classes
+//     is combined) and AllowedFlow (used for clearance checks at outputs and
+//     at execution-clearance points in the CPU).
+//   - Data carries its tag alongside its value: TByte for a tainted byte (the
+//     unit routed through TLM transactions and stored in memory) and Word for
+//     a tainted 32-bit value (the unit held in CPU registers).
+//   - A Policy bundles classification (which inputs get which tags),
+//     clearance (which tags outputs, memory regions, and the CPU's
+//     execution-clearance points require) and the IFP itself.
+//
+// Violations of the policy are reported as *Violation errors.
+package core
+
+// Tag identifies a security class within a Lattice. Tags are only meaningful
+// relative to the lattice that issued them; combining tags from different
+// lattices is a programming error.
+//
+// The paper represents security classes as integer tags the same way
+// (Section V-A): "We represent security classes in the DIFT engine as
+// (integer) tags by simply mapping each security class of the IFP to a
+// unique tag."
+type Tag uint8
+
+// MaxClasses bounds the number of security classes in a lattice. Tags are
+// 8-bit, matching the paper's `typedef uint8_t Tag`.
+const MaxClasses = 256

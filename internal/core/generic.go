@@ -1,0 +1,104 @@
+package core
+
+// This file mirrors the paper's Fig. 3 as literally as Go allows: where the
+// C++ implementation defines `template <typename T> class Taint`, Go
+// generics give Taint[T]. The simulator's hot paths use the specialized
+// Word/TByte types; Taint[T] is the convenience type for peripheral models
+// and host-side tooling that want typed tainted registers of any width.
+
+// Unsigned enumerates the value widths a Taint register can hold.
+type Unsigned interface {
+	~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+// Taint couples a value with its security class — the paper's Taint<T>.
+type Taint[T Unsigned] struct {
+	Value T
+	Tag   Tag
+}
+
+// NewTaint constructs a tainted value (Fig. 3's two-argument constructor).
+func NewTaint[T Unsigned](value T, tag Tag) Taint[T] {
+	return Taint[T]{Value: value, Tag: tag}
+}
+
+// ToBytes serializes the value into little-endian tainted bytes, each
+// carrying the value's tag — Fig. 3's to_bytes. The buffer must hold
+// Size() bytes.
+func (t Taint[T]) ToBytes(buf []TByte) {
+	n := t.Size()
+	_ = buf[n-1]
+	v := uint64(t.Value)
+	for i := 0; i < n; i++ {
+		buf[i] = TByte{V: byte(v >> (8 * i)), T: t.Tag}
+	}
+}
+
+// TaintFromBytes deserializes a little-endian value from tainted bytes,
+// LUB-folding the byte tags — Fig. 3's from_bytes.
+func TaintFromBytes[T Unsigned](l *Lattice, buf []TByte) Taint[T] {
+	var zero T
+	n := Taint[T]{Value: zero}.Size()
+	_ = buf[n-1]
+	var v uint64
+	tag := buf[0].T
+	for i := 0; i < n; i++ {
+		v |= uint64(buf[i].V) << (8 * i)
+		tag = l.LUB(tag, buf[i].T)
+	}
+	return Taint[T]{Value: T(v), Tag: tag}
+}
+
+// Size returns the value width in bytes.
+func (t Taint[T]) Size() int {
+	switch any(t.Value).(type) {
+	case uint8:
+		return 1
+	case uint16:
+		return 2
+	case uint32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Add applies the paper's overloaded operator+ semantics: value sum, tag
+// join (Fig. 3 lines 33–37).
+func (t Taint[T]) Add(l *Lattice, other Taint[T]) Taint[T] {
+	return Taint[T]{Value: t.Value + other.Value, Tag: l.LUB(t.Tag, other.Tag)}
+}
+
+// Xor applies value XOR with tag join.
+func (t Taint[T]) Xor(l *Lattice, other Taint[T]) Taint[T] {
+	return Taint[T]{Value: t.Value ^ other.Value, Tag: l.LUB(t.Tag, other.Tag)}
+}
+
+// And applies value AND with tag join.
+func (t Taint[T]) And(l *Lattice, other Taint[T]) Taint[T] {
+	return Taint[T]{Value: t.Value & other.Value, Tag: l.LUB(t.Tag, other.Tag)}
+}
+
+// Or applies value OR with tag join.
+func (t Taint[T]) Or(l *Lattice, other Taint[T]) Taint[T] {
+	return Taint[T]{Value: t.Value | other.Value, Tag: l.LUB(t.Tag, other.Tag)}
+}
+
+// CheckClearance is Fig. 3's check_clearance: it returns a *Violation when
+// the value may not flow to a sink with the given clearance.
+func (t Taint[T]) CheckClearance(l *Lattice, required Tag) error {
+	if l.AllowedFlow(t.Tag, required) {
+		return nil
+	}
+	return NewViolation(l, KindOutputClearance, t.Tag, required).WithValue(uint32(t.Value))
+}
+
+// Declassify returns the value relabeled to the given class; callers must
+// hold the platform's Declassifier capability, which is enforced by taking
+// it as a parameter.
+func (t Taint[T]) Declassify(d *Declassifier, to Tag) Taint[T] {
+	if d == nil {
+		return t
+	}
+	return Taint[T]{Value: t.Value, Tag: to}
+}

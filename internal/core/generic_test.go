@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenericTaintSizes(t *testing.T) {
+	if NewTaint[uint8](0, 0).Size() != 1 ||
+		NewTaint[uint16](0, 0).Size() != 2 ||
+		NewTaint[uint32](0, 0).Size() != 4 ||
+		NewTaint[uint64](0, 0).Size() != 8 {
+		t.Error("sizes")
+	}
+}
+
+func TestGenericTaintRoundTrips(t *testing.T) {
+	l := IFP3()
+	f := func(v uint64, raw uint8) bool {
+		tag := clamp(l, raw)
+
+		t8 := NewTaint(uint8(v), tag)
+		var b1 [1]TByte
+		t8.ToBytes(b1[:])
+		if TaintFromBytes[uint8](l, b1[:]) != t8 {
+			return false
+		}
+
+		t16 := NewTaint(uint16(v), tag)
+		var b2 [2]TByte
+		t16.ToBytes(b2[:])
+		if TaintFromBytes[uint16](l, b2[:]) != t16 {
+			return false
+		}
+
+		t32 := NewTaint(uint32(v), tag)
+		var b4 [4]TByte
+		t32.ToBytes(b4[:])
+		if TaintFromBytes[uint32](l, b4[:]) != t32 {
+			return false
+		}
+
+		t64 := NewTaint(v, tag)
+		var b8 [8]TByte
+		t64.ToBytes(b8[:])
+		return TaintFromBytes[uint64](l, b8[:]) == t64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenericTaintFromBytesFoldsTags(t *testing.T) {
+	l := IFP3()
+	lcLI := l.MustTag("(LC,LI)")
+	hcHI := l.MustTag("(HC,HI)")
+	buf := []TByte{{1, lcLI}, {2, hcHI}}
+	got := TaintFromBytes[uint16](l, buf)
+	if got.Value != 0x0201 || got.Tag != l.MustTag("(HC,LI)") {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestGenericTaintOps(t *testing.T) {
+	l := IFP1()
+	lc, hc := l.MustTag(ClassLC), l.MustTag(ClassHC)
+	a := NewTaint[uint32](6, lc)
+	b := NewTaint[uint32](3, hc)
+	if got := a.Add(l, b); got.Value != 9 || got.Tag != hc {
+		t.Errorf("Add = %+v", got)
+	}
+	if got := a.Xor(l, b); got.Value != 5 || got.Tag != hc {
+		t.Errorf("Xor = %+v", got)
+	}
+	if got := a.And(l, b); got.Value != 2 || got.Tag != hc {
+		t.Errorf("And = %+v", got)
+	}
+	if got := a.Or(l, b); got.Value != 7 || got.Tag != hc {
+		t.Errorf("Or = %+v", got)
+	}
+}
+
+func TestGenericTaintClearanceAndDeclassify(t *testing.T) {
+	l := IFP1()
+	lc, hc := l.MustTag(ClassLC), l.MustTag(ClassHC)
+	secret := NewTaint[uint16](0xBEEF, hc)
+	err := secret.CheckClearance(l, lc)
+	var v *Violation
+	if !errors.As(err, &v) || v.Value != 0xBEEF {
+		t.Fatalf("err = %v", err)
+	}
+	if err := secret.CheckClearance(l, hc); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeclassifier(l)
+	pub := secret.Declassify(d, lc)
+	if pub.Tag != lc || pub.Value != 0xBEEF {
+		t.Errorf("declassified = %+v", pub)
+	}
+	if got := secret.Declassify(nil, lc); got != secret {
+		t.Error("nil declassifier must be a no-op")
+	}
+}
+
+func TestLatticeDOT(t *testing.T) {
+	dot := IFP1().DOT("IFP-1")
+	for _, want := range []string{`digraph "IFP-1"`, `"LC" -> "HC"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// IFP-3's DOT must contain only covering edges: the diagonal
+	// (LC,HI) -> (HC,LI) is implied via intermediates and must be absent.
+	dot3 := IFP3().DOT("IFP-3")
+	if strings.Contains(dot3, `"(LC,HI)" -> "(HC,LI)"`) {
+		t.Error("DOT must show the transitive reduction only")
+	}
+	for _, want := range []string{
+		`"(LC,HI)" -> "(HC,HI)"`,
+		`"(LC,HI)" -> "(LC,LI)"`,
+		`"(HC,HI)" -> "(HC,LI)"`,
+		`"(LC,LI)" -> "(HC,LI)"`,
+	} {
+		if !strings.Contains(dot3, want) {
+			t.Errorf("DOT missing covering edge %q", want)
+		}
+	}
+}

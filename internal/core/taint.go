@@ -1,0 +1,156 @@
+package core
+
+import "fmt"
+
+// TByte is a tainted byte: the paper's Taint<uint8_t>. It is the unit stored
+// in memory and routed through TLM transactions (the payload data of
+// internal/tlm is a []TByte, reproducing the paper's trick of casting the
+// Taint<uint8_t> array into the generic payload's data pointer).
+type TByte struct {
+	V byte
+	T Tag
+}
+
+// Word is a tainted 32-bit value: the paper's Taint<int32_t>/Taint<uint32_t>
+// used for CPU and peripheral registers. Go has no operator overloading, so
+// instruction execution combines values explicitly and joins tags with
+// Lattice.LUB — the semantics of the paper's overloaded operators
+// (value op, tag = LUB(tag_a, tag_b)) are preserved exactly.
+type Word struct {
+	V uint32
+	T Tag
+}
+
+// W constructs a tainted word.
+func W(v uint32, t Tag) Word { return Word{V: v, T: t} }
+
+// B constructs a tainted byte.
+func B(v byte, t Tag) TByte { return TByte{V: v, T: t} }
+
+// Bytes serializes the word into buf as four tainted bytes (little-endian),
+// each carrying the word's tag — the paper's to_bytes (Fig. 3, line 12).
+// It panics if buf is shorter than 4 bytes.
+func (w Word) Bytes(buf []TByte) {
+	_ = buf[3]
+	buf[0] = TByte{byte(w.V), w.T}
+	buf[1] = TByte{byte(w.V >> 8), w.T}
+	buf[2] = TByte{byte(w.V >> 16), w.T}
+	buf[3] = TByte{byte(w.V >> 24), w.T}
+}
+
+// WordFromBytes deserializes a little-endian word from four tainted bytes,
+// folding the byte tags with LUB — the paper's from_bytes (Fig. 3, line 18).
+// It panics if buf is shorter than 4 bytes.
+func WordFromBytes(l *Lattice, buf []TByte) Word {
+	_ = buf[3]
+	t := buf[0].T
+	t = l.LUB(t, buf[1].T)
+	t = l.LUB(t, buf[2].T)
+	t = l.LUB(t, buf[3].T)
+	v := uint32(buf[0].V) | uint32(buf[1].V)<<8 | uint32(buf[2].V)<<16 | uint32(buf[3].V)<<24
+	return Word{V: v, T: t}
+}
+
+// HalfFromBytes deserializes a little-endian 16-bit value from two tainted
+// bytes, folding the tags. It panics if buf is shorter than 2 bytes.
+func HalfFromBytes(l *Lattice, buf []TByte) Word {
+	_ = buf[1]
+	return Word{
+		V: uint32(buf[0].V) | uint32(buf[1].V)<<8,
+		T: l.LUB(buf[0].T, buf[1].T),
+	}
+}
+
+// HalfBytes serializes the low 16 bits of the word into two tainted bytes.
+func (w Word) HalfBytes(buf []TByte) {
+	_ = buf[1]
+	buf[0] = TByte{byte(w.V), w.T}
+	buf[1] = TByte{byte(w.V >> 8), w.T}
+}
+
+// Byte returns the low 8 bits of the word as a tainted byte.
+func (w Word) Byte() TByte { return TByte{V: byte(w.V), T: w.T} }
+
+// CheckClearance verifies that the word may flow to a sink with the given
+// clearance — the paper's check_clearance (Fig. 3, line 26). On failure it
+// returns a *Violation of kind KindOutputClearance with empty Port; callers
+// with more context (the CPU, peripherals) build their own Violation values.
+func (w Word) CheckClearance(l *Lattice, required Tag) error {
+	if l.AllowedFlow(w.T, required) {
+		return nil
+	}
+	return &Violation{
+		Kind:     KindOutputClearance,
+		Have:     w.T,
+		Required: required,
+		Value:    w.V,
+		lattice:  l,
+	}
+}
+
+// JoinBytes folds the tags of a tainted byte slice with LUB, starting from
+// the lattice's tag zero-value semantics: the fold of an empty slice is the
+// provided seed tag.
+func JoinBytes(l *Lattice, seed Tag, data []TByte) Tag {
+	t := seed
+	for _, b := range data {
+		t = l.LUB(t, b.T)
+	}
+	return t
+}
+
+// CopyValues copies only the values of src into a plain byte slice.
+func CopyValues(dst []byte, src []TByte) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[i].V
+	}
+}
+
+// TagAll returns a tainted copy of data with every byte carrying tag t.
+func TagAll(data []byte, t Tag) []TByte {
+	out := make([]TByte, len(data))
+	for i, v := range data {
+		out[i] = TByte{V: v, T: t}
+	}
+	return out
+}
+
+// Values extracts the plain bytes of a tainted slice.
+func Values(data []TByte) []byte {
+	out := make([]byte, len(data))
+	for i, b := range data {
+		out[i] = b.V
+	}
+	return out
+}
+
+// Declassifier is the capability to lower the security class of data outside
+// the flows permitted by the IFP. Following the paper's threat model
+// (Section IV-B), only trusted hardware peripherals may declassify; the
+// platform builder (internal/soc) hands a Declassifier to such peripherals
+// (e.g. the AES engine, which declassifies ciphertext so it can leave on the
+// public CAN bus) and to nothing else.
+type Declassifier struct {
+	l *Lattice
+}
+
+// NewDeclassifier creates a declassification capability for the lattice.
+// It lives in internal/, so only platform-construction code can mint one.
+func NewDeclassifier(l *Lattice) *Declassifier { return &Declassifier{l: l} }
+
+// Word relabels a tainted word to class `to`, ignoring the IFP.
+func (d *Declassifier) Word(w Word, to Tag) Word { return Word{V: w.V, T: to} }
+
+// Bytes relabels all bytes in-place to class `to`, ignoring the IFP.
+func (d *Declassifier) Bytes(data []TByte, to Tag) {
+	for i := range data {
+		data[i].T = to
+	}
+}
+
+// String renders a tainted word for traces, e.g. "0x0000002a#HC".
+func (w Word) String() string { return fmt.Sprintf("0x%08x#%d", w.V, w.T) }

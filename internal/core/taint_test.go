@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordBytesRoundTrip(t *testing.T) {
+	l := IFP1()
+	hc := l.MustTag(ClassHC)
+	w := W(0xdeadbeef, hc)
+	var buf [4]TByte
+	w.Bytes(buf[:])
+	for i, b := range buf {
+		if b.T != hc {
+			t.Errorf("byte %d tag = %d, want HC (to_bytes uses the same tag for each byte)", i, b.T)
+		}
+	}
+	got := WordFromBytes(l, buf[:])
+	if got != w {
+		t.Errorf("round trip = %v, want %v", got, w)
+	}
+}
+
+func TestWordFromBytesJoinsTags(t *testing.T) {
+	// from_bytes must LUB-combine all byte tags (Fig. 3, line 21).
+	l := IFP3()
+	lcLI := l.MustTag("(LC,LI)")
+	hcHI := l.MustTag("(HC,HI)")
+	lcHI := l.MustTag("(LC,HI)")
+	buf := []TByte{{1, lcHI}, {2, lcLI}, {3, hcHI}, {4, lcHI}}
+	w := WordFromBytes(l, buf)
+	if w.V != 0x04030201 {
+		t.Errorf("value = 0x%08x, want 0x04030201 (little endian)", w.V)
+	}
+	if want := l.MustTag("(HC,LI)"); w.T != want {
+		t.Errorf("tag = %s, want (HC,LI)", l.Name(w.T))
+	}
+}
+
+func TestHalfBytesRoundTrip(t *testing.T) {
+	l := IFP2()
+	li := l.MustTag(ClassLI)
+	w := W(0x1234cafe, li)
+	var buf [2]TByte
+	w.HalfBytes(buf[:])
+	h := HalfFromBytes(l, buf[:])
+	if h.V != 0xcafe || h.T != li {
+		t.Errorf("half round trip = %v", h)
+	}
+}
+
+func TestWordByte(t *testing.T) {
+	l := IFP1()
+	b := W(0xa1b2c3d4, l.MustTag(ClassHC)).Byte()
+	if b.V != 0xd4 || b.T != l.MustTag(ClassHC) {
+		t.Errorf("Byte() = %+v", b)
+	}
+}
+
+func TestCheckClearance(t *testing.T) {
+	l := IFP1()
+	lc, hc := l.MustTag(ClassLC), l.MustTag(ClassHC)
+	if err := W(1, lc).CheckClearance(l, hc); err != nil {
+		t.Errorf("LC data at HC sink must pass: %v", err)
+	}
+	if err := W(1, lc).CheckClearance(l, lc); err != nil {
+		t.Errorf("LC data at LC sink must pass: %v", err)
+	}
+	err := W(0x42, hc).CheckClearance(l, lc)
+	if err == nil {
+		t.Fatal("HC data at LC sink must be rejected")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error type = %T, want *Violation", err)
+	}
+	if v.Kind != KindOutputClearance || v.Have != hc || v.Required != lc || v.Value != 0x42 {
+		t.Errorf("violation fields = %+v", v)
+	}
+	if v.HaveClass() != ClassHC || v.RequiredClass() != ClassLC {
+		t.Errorf("violation classes = %s -> %s", v.HaveClass(), v.RequiredClass())
+	}
+}
+
+func TestJoinBytes(t *testing.T) {
+	l := IFP2()
+	hi, li := l.MustTag(ClassHI), l.MustTag(ClassLI)
+	if got := JoinBytes(l, hi, nil); got != hi {
+		t.Errorf("empty fold = %s, want seed", l.Name(got))
+	}
+	data := []TByte{{0, hi}, {0, hi}, {0, li}}
+	if got := JoinBytes(l, hi, data); got != li {
+		t.Errorf("fold = %s, want LI", l.Name(got))
+	}
+}
+
+func TestTagAllValuesCopyValues(t *testing.T) {
+	l := IFP1()
+	hc := l.MustTag(ClassHC)
+	src := []byte{1, 2, 3}
+	tb := TagAll(src, hc)
+	for i, b := range tb {
+		if b.V != src[i] || b.T != hc {
+			t.Errorf("TagAll[%d] = %+v", i, b)
+		}
+	}
+	if got := Values(tb); string(got) != string(src) {
+		t.Errorf("Values = %v", got)
+	}
+	dst := make([]byte, 2)
+	CopyValues(dst, tb)
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Errorf("CopyValues = %v", dst)
+	}
+	big := make([]byte, 5)
+	CopyValues(big, tb) // must not panic on short src
+	if big[2] != 3 || big[3] != 0 {
+		t.Errorf("CopyValues short-src = %v", big)
+	}
+}
+
+func TestDeclassifier(t *testing.T) {
+	l := IFP1()
+	lc, hc := l.MustTag(ClassLC), l.MustTag(ClassHC)
+	d := NewDeclassifier(l)
+	w := d.Word(W(7, hc), lc)
+	if w.T != lc || w.V != 7 {
+		t.Errorf("declassified word = %v", w)
+	}
+	data := []TByte{{1, hc}, {2, hc}}
+	d.Bytes(data, lc)
+	for i, b := range data {
+		if b.T != lc {
+			t.Errorf("declassified byte %d tag = %d", i, b.T)
+		}
+	}
+}
+
+func TestWordString(t *testing.T) {
+	if got := W(0x2a, 1).String(); got != "0x0000002a#1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPropertyBytesRoundTrip(t *testing.T) {
+	l := IFP3()
+	f := func(v uint32, rawTag uint8) bool {
+		tag := clamp(l, rawTag)
+		var buf [4]TByte
+		w := W(v, tag)
+		w.Bytes(buf[:])
+		return WordFromBytes(l, buf[:]) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFromBytesTagIsFoldOfByteTags(t *testing.T) {
+	l := IFP3()
+	f := func(vals [4]byte, raw [4]uint8) bool {
+		var buf [4]TByte
+		want := clamp(l, raw[0])
+		for i := range buf {
+			buf[i] = TByte{vals[i], clamp(l, raw[i])}
+			want = l.LUB(want, clamp(l, raw[i]))
+		}
+		return WordFromBytes(l, buf[:]).T == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

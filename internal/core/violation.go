@@ -1,0 +1,112 @@
+package core
+
+import "fmt"
+
+// ViolationKind classifies where in the platform a security-policy violation
+// was detected.
+type ViolationKind int
+
+const (
+	// KindOutputClearance: data reached an output interface (UART TX, CAN TX,
+	// ...) whose clearance it does not satisfy — the confidentiality check of
+	// the paper's clearance concept.
+	KindOutputClearance ViolationKind = iota
+	// KindFetchClearance: the CPU fetched an instruction word whose class may
+	// not flow to the fetch unit's clearance (paper Section V-B2b). With an
+	// HI fetch clearance this is the code-injection detector of Table I.
+	KindFetchClearance
+	// KindBranchClearance: a branch (or trap-vector) condition carries a class
+	// that may not flow to the branch unit's clearance (implicit information
+	// flow, paper Section V-B2a).
+	KindBranchClearance
+	// KindMemAddrClearance: a load/store address carries a class that may not
+	// flow to the memory-access clearance (address side channel, paper
+	// Section V-B2c).
+	KindMemAddrClearance
+	// KindStoreClearance: a store targets a protected memory region (e.g. the
+	// immobilizer PIN) with data whose class may not flow to the region's
+	// clearance — the integrity check of the case study.
+	KindStoreClearance
+)
+
+// String returns a short identifier for the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case KindOutputClearance:
+		return "output-clearance"
+	case KindFetchClearance:
+		return "fetch-clearance"
+	case KindBranchClearance:
+		return "branch-clearance"
+	case KindMemAddrClearance:
+		return "mem-addr-clearance"
+	case KindStoreClearance:
+		return "store-clearance"
+	default:
+		return fmt.Sprintf("violation-kind(%d)", int(k))
+	}
+}
+
+// Violation is the runtime error raised by the DIFT engine when the security
+// policy is violated. It corresponds to the paper's ClearanceException
+// (Fig. 3, line 28). The simulation stops at the raising instruction.
+type Violation struct {
+	Kind     ViolationKind
+	Have     Tag    // security class of the offending data
+	Required Tag    // clearance of the sink
+	PC       uint32 // program counter of the violating instruction (0 if n/a)
+	Addr     uint32 // memory/bus address involved (0 if n/a)
+	Value    uint32 // offending data value (diagnostic)
+	Port     string // output port name for KindOutputClearance
+	lattice  *Lattice
+}
+
+// NewViolation builds a violation bound to a lattice so that Error can print
+// class names rather than raw tags.
+func NewViolation(l *Lattice, kind ViolationKind, have, required Tag) *Violation {
+	return &Violation{Kind: kind, Have: have, Required: required, lattice: l}
+}
+
+// WithPC returns v with the program counter set.
+func (v *Violation) WithPC(pc uint32) *Violation { v.PC = pc; return v }
+
+// WithAddr returns v with the bus address set.
+func (v *Violation) WithAddr(addr uint32) *Violation { v.Addr = addr; return v }
+
+// WithValue returns v with the offending value set.
+func (v *Violation) WithValue(val uint32) *Violation { v.Value = val; return v }
+
+// WithPort returns v with the output port name set.
+func (v *Violation) WithPort(port string) *Violation { v.Port = port; return v }
+
+// HaveClass returns the class name of the offending data.
+func (v *Violation) HaveClass() string {
+	if v.lattice == nil {
+		return fmt.Sprintf("tag %d", v.Have)
+	}
+	return v.lattice.Name(v.Have)
+}
+
+// RequiredClass returns the class name of the sink's clearance.
+func (v *Violation) RequiredClass() string {
+	if v.lattice == nil {
+		return fmt.Sprintf("tag %d", v.Required)
+	}
+	return v.lattice.Name(v.Required)
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	msg := fmt.Sprintf("security violation (%s): flow %s -> %s not allowed",
+		v.Kind, v.HaveClass(), v.RequiredClass())
+	if v.Port != "" {
+		msg += fmt.Sprintf(" at port %q", v.Port)
+	}
+	if v.PC != 0 {
+		msg += fmt.Sprintf(" at pc=0x%08x", v.PC)
+	}
+	if v.Addr != 0 {
+		msg += fmt.Sprintf(" addr=0x%08x", v.Addr)
+	}
+	return msg
+}

@@ -1,0 +1,143 @@
+package guest_test
+
+import (
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/guest"
+	"vpdift/internal/kernel"
+	"vpdift/internal/soc"
+)
+
+// runBench executes a benchmark on the given platform flavour and verifies
+// its self-check and expected output.
+func runBench(t *testing.T, b guest.Benchmark, dift bool) uint64 {
+	t.Helper()
+	var pol *core.Policy
+	if dift {
+		l := core.IFP2()
+		pol = core.NewPolicy(l, l.MustTag(core.ClassLI))
+	}
+	pl := soc.MustNew(soc.Config{Policy: pol})
+	defer pl.Shutdown()
+	if err := pl.Load(b.Image); err != nil {
+		t.Fatal(err)
+	}
+	horizon := kernel.Forever
+	if b.MinSimTimeMS > 0 {
+		horizon = kernel.Time(b.MinSimTimeMS*4) * kernel.MS
+	}
+	if err := pl.Run(horizon); err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	exited, code := pl.Exited()
+	if !exited {
+		t.Fatalf("%s: did not exit (instret=%d)", b.Name, pl.Instret())
+	}
+	if code != 0 {
+		t.Fatalf("%s: self-check failed with exit code %d", b.Name, code)
+	}
+	if b.ExpectUART != "" {
+		if got := string(pl.UART.Output()); got != b.ExpectUART {
+			t.Fatalf("%s: uart = %q, want %q", b.Name, got, b.ExpectUART)
+		}
+	}
+	return pl.Instret()
+}
+
+func TestQSortBenchmark(t *testing.T) {
+	n := runBench(t, guest.QSort(512), false)
+	if n < 512*10 {
+		t.Errorf("suspiciously few instructions: %d", n)
+	}
+	runBench(t, guest.QSort(512), true)
+}
+
+func TestQSortSorted(t *testing.T) {
+	// Tiny instance sanity: 2 elements.
+	runBench(t, guest.QSort(2), false)
+}
+
+func TestPrimesBenchmark(t *testing.T) {
+	runBench(t, guest.Primes(1000), false)
+	runBench(t, guest.Primes(1000), true)
+}
+
+func TestDhrystoneBenchmark(t *testing.T) {
+	runBench(t, guest.Dhrystone(500), false)
+	runBench(t, guest.Dhrystone(500), true)
+}
+
+func TestSHA256Benchmark(t *testing.T) {
+	runBench(t, guest.SHA256(1000), false)
+	runBench(t, guest.SHA256(1000), true)
+}
+
+func TestSHA256MultiBlockBoundary(t *testing.T) {
+	// Lengths around the padding boundary (55/56 flip the extra block).
+	for _, n := range []int{0, 1, 55, 56, 64, 119, 120, 128} {
+		runBench(t, guest.SHA256(n), false)
+	}
+}
+
+func TestSimpleSensorBenchmark(t *testing.T) {
+	b := guest.SimpleSensor(3)
+	var pol *core.Policy
+	pl := soc.MustNew(soc.Config{Policy: pol})
+	defer pl.Shutdown()
+	if err := pl.Load(b.Image); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(kernel.Time(b.MinSimTimeMS*4) * kernel.MS); err != nil {
+		t.Fatal(err)
+	}
+	exited, code := pl.Exited()
+	if !exited || code != 0 {
+		t.Fatalf("exited=%v code=%d", exited, code)
+	}
+	if got := len(pl.UART.Output()); got != 3*64 {
+		t.Errorf("uart bytes = %d, want 192", got)
+	}
+}
+
+func TestSHA512Benchmark(t *testing.T) {
+	runBench(t, guest.SHA512(500), false)
+	runBench(t, guest.SHA512(500), true)
+}
+
+func TestSHA512BlockBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 111, 112, 128, 200, 256} {
+		runBench(t, guest.SHA512(n), false)
+	}
+}
+
+func TestRTOSTasksBenchmark(t *testing.T) {
+	b := guest.RTOSTasks(150)
+	pl := soc.MustNew(soc.Config{})
+	defer pl.Shutdown()
+	if err := pl.Load(b.Image); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(kernel.S); err != nil {
+		t.Fatal(err)
+	}
+	exited, code := pl.Exited()
+	if !exited || code != 0 {
+		t.Fatalf("exited=%v code=%d instret=%d", exited, code, pl.Instret())
+	}
+	// Both counters and the switch count live in guest memory.
+	c0, _ := pl.ReadRAM(b.Image.MustSymbol("rtos_count0"), 4)
+	c1, _ := pl.ReadRAM(b.Image.MustSymbol("rtos_count1"), 4)
+	sw, _ := pl.ReadRAM(b.Image.MustSymbol("rtos_switches"), 4)
+	n0 := uint32(c0[0]) | uint32(c0[1])<<8 | uint32(c0[2])<<16 | uint32(c0[3])<<24
+	n1 := uint32(c1[0]) | uint32(c1[1])<<8 | uint32(c1[2])<<16 | uint32(c1[3])<<24
+	ns := uint32(sw[0]) | uint32(sw[1])<<8 | uint32(sw[2])<<16 | uint32(sw[3])<<24
+	if n0 < 150 || n1 < 150 {
+		t.Errorf("counters = %d, %d, want both >= 150 (preemption must interleave)", n0, n1)
+	}
+	if ns < 5 {
+		t.Errorf("only %d context switches", ns)
+	}
+	// Run again on the DIFT platform.
+	runBench(t, guest.RTOSTasks(150), true)
+}

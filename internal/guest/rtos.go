@@ -1,0 +1,216 @@
+package guest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// genContextSave emits the trap-entry register save: x1 and x3..x31 pushed
+// onto the current stack plus mepc, a 128-byte frame. x2 (sp) is implicit.
+func genContextSave() string {
+	var b strings.Builder
+	b.WriteString("\taddi sp, sp, -128\n")
+	b.WriteString("\tsw x1, 0(sp)\n")
+	off := 4
+	for r := 3; r <= 31; r++ {
+		fmt.Fprintf(&b, "\tsw x%d, %d(sp)\n", r, off)
+		off += 4
+	}
+	b.WriteString("\tcsrr t0, mepc\n")
+	b.WriteString("\tsw t0, 120(sp)\n")
+	return b.String()
+}
+
+// genContextRestore emits the mirror restore ending in mret.
+func genContextRestore() string {
+	var b strings.Builder
+	b.WriteString("\tlw t0, 120(sp)\n")
+	b.WriteString("\tcsrw mepc, t0\n")
+	b.WriteString("\tlw x1, 0(sp)\n")
+	off := 4
+	for r := 3; r <= 31; r++ {
+		fmt.Fprintf(&b, "\tlw x%d, %d(sp)\n", r, off)
+		off += 4
+	}
+	b.WriteString("\taddi sp, sp, 128\n")
+	b.WriteString("\tmret\n")
+	return b.String()
+}
+
+// RTOSTasks builds the freertos-tasks analog of Table II: a mini-RTOS with
+// a machine-timer-preemptive round-robin scheduler interleaving two
+// never-yielding tasks, each performing busy arithmetic and bumping a
+// counter. The program exits successfully once both counters reach the
+// target — which can only happen if preemptive context switching works.
+func RTOSTasks(target int) Benchmark {
+	src := fmt.Sprintf("\t.equ RTOS_TARGET, %d\n\t.equ RTOS_TICK_US, 50\n", target) + `
+main:
+	la t0, rtos_tick
+	csrw mtvec, t0
+
+	# Build the initial context frame of each task: zeroed registers with
+	# mepc pointing at the task entry.
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, rtos_stack0_top - 128
+	li a1, 0
+	li a2, 128
+	call memset
+	la t0, rtos_stack0_top - 128
+	la t1, rtos_task0
+	sw t1, 120(t0)
+	la t2, rtos_tcb
+	sw t0, 0(t2)
+
+	la a0, rtos_stack1_top - 128
+	li a1, 0
+	li a2, 128
+	call memset
+	la t0, rtos_stack1_top - 128
+	la t1, rtos_task1
+	sw t1, 120(t0)
+	la t2, rtos_tcb
+	sw t0, 4(t2)
+
+	# Arm the first tick.
+	li t0, CLINT_BASE + CLINT_MTIME
+	lw t1, 0(t0)
+	addi t1, t1, RTOS_TICK_US
+	li t0, CLINT_BASE + CLINT_MTIMECMP
+	sw t1, 0(t0)
+	sw x0, 4(t0)
+	li t1, 0x80            # MTIE
+	csrw mie, t1
+	li t1, 0x80            # mstatus.MPIE: mret below enables interrupts
+	csrw mstatus, t1
+
+	# Start task 0 by restoring its initial frame.
+	la t0, rtos_cur
+	sw x0, 0(t0)
+	la t0, rtos_tcb
+	lw sp, 0(t0)
+` + genContextRestore() + `
+
+# Timer tick: save full context, switch tasks, re-arm, restore.
+rtos_tick:
+` + genContextSave() + `
+	# tcb[cur] = sp
+	la t0, rtos_cur
+	lw t1, 0(t0)
+	la t2, rtos_tcb
+	slli t3, t1, 2
+	add t3, t3, t2
+	sw sp, 0(t3)
+	# cur ^= 1; sp = tcb[cur]
+	xori t1, t1, 1
+	sw t1, 0(t0)
+	slli t3, t1, 2
+	add t3, t3, t2
+	lw sp, 0(t3)
+	# context-switch accounting
+	la t0, rtos_switches
+	lw t1, 0(t0)
+	addi t1, t1, 1
+	sw t1, 0(t0)
+	# re-arm the next tick
+	li t0, CLINT_BASE + CLINT_MTIME
+	lw t1, 0(t0)
+	addi t1, t1, RTOS_TICK_US
+	li t0, CLINT_BASE + CLINT_MTIMECMP
+	sw t1, 0(t0)
+	sw x0, 4(t0)
+` + genContextRestore() + `
+
+# Task 0: producer — fill a message buffer and copy it into the shared
+# queue area (memory-heavy, like FreeRTOS queue traffic), bump counter 0.
+rtos_task0:
+	la s0, rtos_count0
+	la s1, rtos_count1
+	la s2, rtos_msg0
+	la s3, rtos_queue
+1:	li t0, 0
+	li t1, 64
+2:	add t2, s2, t0         # msg[i] = i ^ count
+	lw t4, 0(s0)
+	xor t4, t4, t0
+	sb t4, 0(t2)
+	addi t0, t0, 1
+	blt t0, t1, 2b
+	li t0, 0
+3:	add t2, s2, t0         # queue <- msg, word-wise
+	lw t4, 0(t2)
+	add t2, s3, t0
+	sw t4, 0(t2)
+	addi t0, t0, 4
+	blt t0, t1, 3b
+	lw t0, 0(s0)
+	addi t0, t0, 1
+	sw t0, 0(s0)
+	li t1, RTOS_TARGET
+	blt t0, t1, 1b
+	lw t2, 0(s1)
+	blt t2, t1, 1b
+	li a0, 0
+	j exit
+
+# Task 1: consumer — checksum the queue contents into its own buffer, bump
+# counter 1.
+rtos_task1:
+	la s0, rtos_count0
+	la s1, rtos_count1
+	la s2, rtos_queue
+	la s3, rtos_msg1
+1:	li t0, 0
+	li t1, 64
+	li t3, 0
+2:	add t2, s2, t0         # sum += queue[i]; msg1[i] = queue[i]
+	lw t4, 0(t2)
+	add t3, t3, t4
+	add t2, s3, t0
+	sw t4, 0(t2)
+	addi t0, t0, 4
+	blt t0, t1, 2b
+	la t2, rtos_sum
+	sw t3, 0(t2)
+	lw t0, 0(s1)
+	addi t0, t0, 1
+	sw t0, 0(s1)
+	li t1, RTOS_TARGET
+	blt t0, t1, 1b
+	lw t2, 0(s0)
+	blt t2, t1, 1b
+	li a0, 0
+	j exit
+
+	.data
+	.align 2
+rtos_cur:
+	.word 0
+rtos_tcb:
+	.word 0, 0
+rtos_count0:
+	.word 0
+rtos_count1:
+	.word 0
+rtos_switches:
+	.word 0
+rtos_sum:
+	.word 0
+	.bss
+	.align 4
+rtos_msg0:
+	.space 64
+rtos_msg1:
+	.space 64
+rtos_queue:
+	.space 64
+	.align 4
+rtos_stack0:
+	.space 4096
+rtos_stack0_top:
+rtos_stack1:
+	.space 4096
+rtos_stack1_top:
+`
+	return Benchmark{Name: "freertos-tasks", Image: MustProgram(src), MinSimTimeMS: 1}
+}

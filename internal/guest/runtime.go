@@ -1,0 +1,333 @@
+// Package guest contains the embedded software that runs on the virtual
+// prototype: a small assembly runtime (crt0, UART console I/O, setjmp/
+// longjmp, a PRNG) and the guest programs of the paper's evaluation — the
+// seven Table II benchmarks, the code-injection suite's victim scaffolding,
+// and the immobilizer firmware live in sibling files and packages.
+//
+// Everything is RV32 assembly assembled in-process by internal/asm; there is
+// no external toolchain.
+package guest
+
+import "vpdift/internal/asm"
+
+// Equates shared by all guest programs: the platform memory map (must match
+// internal/soc) and peripheral register offsets (must match internal/periph).
+const Equates = `
+	.equ CLINT_BASE,   0x02000000
+	.equ INTC_BASE,    0x0C000000
+	.equ UART_BASE,    0x10000000
+	.equ SYSCTRL_BASE, 0x11000000
+	.equ CAN_BASE,     0x40000000
+	.equ SENSOR_BASE,  0x50000000
+	.equ AES_BASE,     0x60000000
+	.equ DMA_BASE,     0x70000000
+	.equ RAM_BASE,     0x80000000
+
+	.equ UART_TX,     0x00
+	.equ UART_RX,     0x04
+	.equ UART_STATUS, 0x08
+	.equ UART_RX_EMPTY_BIT, 31
+
+	.equ CLINT_MSIP,     0x0000
+	.equ CLINT_MTIMECMP, 0x4000
+	.equ CLINT_MTIME,    0xBFF8
+
+	.equ INTC_PENDING, 0x00
+	.equ INTC_ENABLE,  0x04
+	.equ INTC_CLAIM,   0x08
+
+	.equ CAN_TX_ID,   0x00
+	.equ CAN_TX_LEN,  0x04
+	.equ CAN_TX_DATA, 0x08
+	.equ CAN_TX_CTRL, 0x10
+	.equ CAN_RX_ID,   0x14
+	.equ CAN_RX_LEN,  0x18
+	.equ CAN_RX_DATA, 0x1C
+	.equ CAN_RX_CTRL, 0x24
+	.equ CAN_STATUS,  0x28
+
+	.equ SENSOR_FRAME,    0x00
+	.equ SENSOR_DATA_TAG, 0x40
+
+	.equ AES_KEY,  0x00
+	.equ AES_IN,   0x10
+	.equ AES_OUT,  0x20
+	.equ AES_CTRL, 0x30
+
+	.equ DMA_SRC,  0x00
+	.equ DMA_DST,  0x04
+	.equ DMA_LEN,  0x08
+	.equ DMA_CTRL, 0x0C
+
+	.equ IRQ_UART,   1
+	.equ IRQ_SENSOR, 2
+	.equ IRQ_CAN,    3
+	.equ IRQ_DMA,    4
+`
+
+// Crt0 is the program entry: set up the stack, call main, power off with
+// main's return value as exit code.
+const Crt0 = `
+	.text
+_start:
+	la sp, __stack_top
+	call main
+exit:                          # exit(a0)
+	li t0, SYSCTRL_BASE
+	sw a0, 0(t0)
+1:	j 1b
+`
+
+// Lib is the runtime library: console I/O, memory helpers, setjmp/longjmp,
+// and a 32-bit LCG. Registers follow the RISC-V calling convention
+// (arguments and results in a0..a7, t-registers caller-saved).
+const Lib = `
+	.text
+# uart_putc(a0: byte)
+uart_putc:
+	li t0, UART_BASE
+	sw a0, UART_TX(t0)
+	ret
+
+# uart_puts(a0: pointer to NUL-terminated string)
+uart_puts:
+	li t0, UART_BASE
+1:	lbu t1, 0(a0)
+	beqz t1, 2f
+	sw t1, UART_TX(t0)
+	addi a0, a0, 1
+	j 1b
+2:	ret
+
+# uart_getc() -> a0 (blocks until a byte arrives)
+uart_getc:
+	li t0, UART_BASE
+1:	lw a0, UART_RX(t0)
+	srli t1, a0, UART_RX_EMPTY_BIT
+	bnez t1, 1b
+	andi a0, a0, 0xFF
+	ret
+
+# uart_puthex(a0: word) - prints 8 hex digits
+uart_puthex:
+	li t0, UART_BASE
+	li t2, 8              # digit count
+1:	srli t3, a0, 28       # top nibble
+	slli a0, a0, 4
+	li t4, 10
+	blt t3, t4, 2f
+	addi t3, t3, 'a' - 10
+	j 3f
+2:	addi t3, t3, '0'
+3:	sw t3, UART_TX(t0)
+	addi t2, t2, -1
+	bnez t2, 1b
+	ret
+
+# uart_putdec(a0: unsigned word) - prints decimal
+uart_putdec:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li t0, 10
+	bltu a0, t0, 2f
+	divu t1, a0, t0       # quotient
+	remu a0, a0, t0       # remainder stays for the tail call below
+	mv t2, a0
+	mv a0, t1
+	sw t2, 8(sp)
+	call uart_putdec
+	lw a0, 8(sp)
+2:	addi a0, a0, '0'
+	li t0, UART_BASE
+	sw a0, UART_TX(t0)
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+
+# memcpy(a0: dst, a1: src, a2: n) -> a0
+memcpy:
+	mv t0, a0
+	beqz a2, 2f
+1:	lbu t1, 0(a1)
+	sb t1, 0(t0)
+	addi a1, a1, 1
+	addi t0, t0, 1
+	addi a2, a2, -1
+	bnez a2, 1b
+2:	ret
+
+# memset(a0: dst, a1: byte, a2: n) -> a0
+memset:
+	mv t0, a0
+	beqz a2, 2f
+1:	sb a1, 0(t0)
+	addi t0, t0, 1
+	addi a2, a2, -1
+	bnez a2, 1b
+2:	ret
+
+# strcmp(a0, a1) -> a0 (<0, 0, >0)
+strcmp:
+1:	lbu t0, 0(a0)
+	lbu t1, 0(a1)
+	bne t0, t1, 2f
+	beqz t0, 3f
+	addi a0, a0, 1
+	addi a1, a1, 1
+	j 1b
+2:	sub a0, t0, t1
+	ret
+3:	li a0, 0
+	ret
+
+# setjmp(a0: jmp_buf of 16 words) -> 0 on direct call
+setjmp:
+	sw ra,  0(a0)
+	sw sp,  4(a0)
+	sw s0,  8(a0)
+	sw s1, 12(a0)
+	sw s2, 16(a0)
+	sw s3, 20(a0)
+	sw s4, 24(a0)
+	sw s5, 28(a0)
+	sw s6, 32(a0)
+	sw s7, 36(a0)
+	sw s8, 40(a0)
+	sw s9, 44(a0)
+	sw s10, 48(a0)
+	sw s11, 52(a0)
+	li a0, 0
+	ret
+
+# longjmp(a0: jmp_buf, a1: val) - returns val (or 1) from the setjmp site
+longjmp:
+	lw ra,  0(a0)
+	lw sp,  4(a0)
+	lw s0,  8(a0)
+	lw s1, 12(a0)
+	lw s2, 16(a0)
+	lw s3, 20(a0)
+	lw s4, 24(a0)
+	lw s5, 28(a0)
+	lw s6, 32(a0)
+	lw s7, 36(a0)
+	lw s8, 40(a0)
+	lw s9, 44(a0)
+	lw s10, 48(a0)
+	lw s11, 52(a0)
+	mv a0, a1
+	bnez a0, 1f
+	li a0, 1
+1:	ret
+
+# printf(a0: format, a1..a3: values) - minimal formatter for guest
+# diagnostics. Verbs: %d (unsigned decimal), %x (8-digit hex), %c (char),
+# %s (NUL-terminated string), %% (literal). At most three values.
+printf:
+	addi sp, sp, -32
+	sw ra, 28(sp)
+	sw s0, 24(sp)
+	sw s1, 20(sp)
+	sw s2, 16(sp)
+	mv s0, a0             # cursor
+	sw a1, 0(sp)          # argument array
+	sw a2, 4(sp)
+	sw a3, 8(sp)
+	li s1, 0              # argument index
+1:	lbu t0, 0(s0)
+	beqz t0, 9f
+	addi s0, s0, 1
+	li t1, '%'
+	bne t0, t1, 7f
+	lbu t0, 0(s0)         # verb
+	beqz t0, 9f
+	addi s0, s0, 1
+	li t1, '%'
+	beq t0, t1, 7f
+	# fetch next argument into s2
+	slli t2, s1, 2
+	add t2, t2, sp
+	lw s2, 0(t2)
+	addi s1, s1, 1
+	li t1, 'd'
+	beq t0, t1, 2f
+	li t1, 'x'
+	beq t0, t1, 3f
+	li t1, 'c'
+	beq t0, t1, 4f
+	li t1, 's'
+	beq t0, t1, 5f
+	# unknown verb: print it literally, argument consumed
+	mv a0, t0
+	call uart_putc
+	j 1b
+2:	mv a0, s2
+	call uart_putdec
+	j 1b
+3:	mv a0, s2
+	call uart_puthex
+	j 1b
+4:	mv a0, s2
+	call uart_putc
+	j 1b
+5:	mv a0, s2
+	call uart_puts
+	j 1b
+7:	mv a0, t0             # ordinary character
+	call uart_putc
+	j 1b
+9:	lw s2, 16(sp)
+	lw s1, 20(sp)
+	lw s0, 24(sp)
+	lw ra, 28(sp)
+	addi sp, sp, 32
+	ret
+
+# rand() -> a0: 32-bit LCG (Numerical Recipes constants)
+rand:
+	la t0, __rand_state
+	lw t1, 0(t0)
+	li t2, 1664525
+	mul t1, t1, t2
+	li t2, 1013904223
+	add t1, t1, t2
+	sw t1, 0(t0)
+	mv a0, t1
+	ret
+
+# srand(a0: seed)
+srand:
+	la t0, __rand_state
+	sw a0, 0(t0)
+	ret
+
+	.data
+	.align 2
+__rand_state:
+	.word 0x12345678
+`
+
+// Stack reserves the guest stack in BSS.
+const Stack = `
+	.bss
+	.align 4
+__stack:
+	.space 65536
+__stack_top:
+`
+
+// Program assembles a complete guest program: equates, crt0, the given body
+// (which must define main), the runtime library, and the stack.
+func Program(body string) (*asm.Image, error) {
+	return asm.Assemble(Equates+Crt0+body+Lib+Stack, asm.Options{})
+}
+
+// MustProgram is Program that panics on assembly errors; guest sources in
+// this repository are static.
+func MustProgram(body string) *asm.Image {
+	img, err := Program(body)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}

@@ -1,0 +1,318 @@
+package guest_test
+
+import (
+	"testing"
+
+	"vpdift/internal/guest"
+	"vpdift/internal/kernel"
+	"vpdift/internal/soc"
+)
+
+// runGuest executes a guest body on the baseline platform and returns the
+// console output and exit code.
+func runGuest(t *testing.T, body string, input []byte) (string, uint32) {
+	t.Helper()
+	img, err := guest.Program(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := soc.MustNew(soc.Config{})
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if input != nil {
+		pl.UART.Inject(input)
+	}
+	if err := pl.Run(10 * kernel.S); err != nil {
+		t.Fatal(err)
+	}
+	exited, code := pl.Exited()
+	if !exited {
+		t.Fatal("guest did not exit")
+	}
+	return string(pl.UART.Output()), code
+}
+
+func TestLibPutdec(t *testing.T) {
+	out, code := runGuest(t, `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li a0, 0
+	call uart_putdec
+	li a0, ' '
+	call uart_putc
+	li a0, 7
+	call uart_putdec
+	li a0, ' '
+	call uart_putc
+	li a0, 1234567890
+	call uart_putdec
+	li a0, ' '
+	call uart_putc
+	li a0, -1            # prints as unsigned
+	call uart_putdec
+	li a0, 0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`, nil)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if out != "0 7 1234567890 4294967295" {
+		t.Errorf("putdec output = %q", out)
+	}
+}
+
+func TestLibPuthex(t *testing.T) {
+	out, _ := runGuest(t, `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li a0, 0xDEADBEEF
+	call uart_puthex
+	li a0, 0
+	call uart_puthex
+	li a0, 0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`, nil)
+	if out != "deadbeef00000000" {
+		t.Errorf("puthex output = %q", out)
+	}
+}
+
+func TestLibStrcmp(t *testing.T) {
+	_, code := runGuest(t, `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, s_abc
+	la a1, s_abc2
+	call strcmp
+	bnez a0, fail        # equal strings -> 0
+	la a0, s_abc
+	la a1, s_abd
+	call strcmp
+	bgez a0, fail        # "abc" < "abd" -> negative
+	la a0, s_abd
+	la a1, s_abc
+	call strcmp
+	blez a0, fail        # "abd" > "abc" -> positive
+	la a0, s_abc
+	la a1, s_ab
+	call strcmp
+	blez a0, fail        # "abc" > "ab"
+	li a0, 0
+	j done
+fail:
+	li a0, 1
+done:
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+	.data
+s_abc:	.asciz "abc"
+s_abc2:	.asciz "abc"
+s_abd:	.asciz "abd"
+s_ab:	.asciz "ab"
+`, nil)
+	if code != 0 {
+		t.Errorf("strcmp self-test failed (exit %d)", code)
+	}
+}
+
+func TestLibMemsetMemcpy(t *testing.T) {
+	_, code := runGuest(t, `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, buf
+	li a1, 0xAB
+	li a2, 8
+	call memset
+	# verify
+	la t0, buf
+	lbu t1, 0(t0)
+	li t2, 0xAB
+	bne t1, t2, fail
+	lbu t1, 7(t0)
+	bne t1, t2, fail
+	lbu t1, 8(t0)
+	bnez t1, fail        # past end untouched
+	# copy
+	la a0, buf2
+	la a1, buf
+	li a2, 8
+	call memcpy
+	la t0, buf2
+	lbu t1, 3(t0)
+	li t2, 0xAB
+	bne t1, t2, fail
+	# zero-length operations are no-ops
+	la a0, buf2
+	li a1, 0xFF
+	li a2, 0
+	call memset
+	la t0, buf2
+	lbu t1, 0(t0)
+	li t2, 0xAB
+	bne t1, t2, fail
+	li a0, 0
+	j done
+fail:
+	li a0, 1
+done:
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+	.bss
+buf:	.space 16
+buf2:	.space 16
+`, nil)
+	if code != 0 {
+		t.Errorf("memset/memcpy self-test failed (exit %d)", code)
+	}
+}
+
+func TestLibSetjmpLongjmp(t *testing.T) {
+	_, code := runGuest(t, `
+main:
+	addi sp, sp, -80
+	sw ra, 76(sp)
+	li s0, 5             # live value captured by setjmp
+	mv a0, sp            # jmp_buf on the stack
+	call setjmp
+	bnez a0, second
+	li s0, 1             # clobber after setjmp; longjmp must restore 5
+	mv a0, sp
+	li a1, 42
+	call longjmp
+	li a0, 9             # unreachable
+	j done
+second:
+	li t0, 42
+	bne a0, t0, fail     # longjmp value delivered
+	li t0, 5
+	bne s0, t0, fail     # callee-saved register restored to setjmp-time value
+	li a0, 0
+	j done
+fail:
+	li a0, 1
+done:
+	lw ra, 76(sp)
+	addi sp, sp, 80
+	ret
+`, nil)
+	if code != 0 {
+		t.Errorf("setjmp/longjmp self-test failed (exit %d)", code)
+	}
+}
+
+func TestLibLongjmpZeroBecomesOne(t *testing.T) {
+	_, code := runGuest(t, `
+main:
+	addi sp, sp, -80
+	sw ra, 76(sp)
+	mv a0, sp
+	call setjmp
+	bnez a0, second
+	mv a0, sp
+	li a1, 0             # longjmp(buf, 0) must deliver 1
+	call longjmp
+second:
+	li t0, 1
+	bne a0, t0, fail
+	li a0, 0
+	j done
+fail:
+	li a0, 1
+done:
+	lw ra, 76(sp)
+	addi sp, sp, 80
+	ret
+`, nil)
+	if code != 0 {
+		t.Errorf("longjmp(0) self-test failed (exit %d)", code)
+	}
+}
+
+func TestLibRandDeterministic(t *testing.T) {
+	out1, _ := runGuest(t, randProg, nil)
+	out2, _ := runGuest(t, randProg, nil)
+	if out1 != out2 {
+		t.Error("rand must be deterministic across runs")
+	}
+	if len(out1) != 16 {
+		t.Errorf("output = %q", out1)
+	}
+}
+
+const randProg = `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li a0, 777
+	call srand
+	call rand
+	call uart_puthex
+	call rand
+	call uart_puthex
+	li a0, 0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`
+
+func TestLibGetcBlocksUntilInput(t *testing.T) {
+	out, code := runGuest(t, `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	call uart_getc
+	call uart_putc
+	call uart_getc
+	call uart_putc
+	li a0, 0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`, []byte("xy"))
+	if code != 0 || out != "xy" {
+		t.Errorf("echo = %q code=%d", out, code)
+	}
+}
+
+func TestLibPrintf(t *testing.T) {
+	out, code := runGuest(t, `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, fmt1
+	li a1, 42
+	li a2, 0xBEEF
+	la a3, name
+	call printf
+	la a0, fmt2
+	li a1, '!'
+	call printf
+	li a0, 0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+	.data
+fmt1:	.asciz "n=%d hex=%x who=%s\n"
+fmt2:	.asciz "100%% done%c%q\n"
+name:	.asciz "vp"
+`, nil)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	want := "n=42 hex=0000beef who=vp\n100% done!q\n"
+	if out != want {
+		t.Errorf("printf output = %q, want %q", out, want)
+	}
+}

@@ -1,0 +1,357 @@
+package guest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sha256K returns the 64 round constants (fractional parts of the cube
+// roots of the first 64 primes), computed rather than pasted.
+func sha256K() [64]uint32 {
+	var k [64]uint32
+	primes := firstPrimes(64)
+	for i, p := range primes {
+		frac := math.Cbrt(float64(p))
+		frac -= math.Floor(frac)
+		k[i] = uint32(frac * (1 << 32))
+	}
+	return k
+}
+
+// sha256H0 returns the initial state (fractional parts of the square roots
+// of the first 8 primes).
+func sha256H0() [8]uint32 {
+	var h [8]uint32
+	for i, p := range firstPrimes(8) {
+		frac := math.Sqrt(float64(p))
+		frac -= math.Floor(frac)
+		h[i] = uint32(frac * (1 << 32))
+	}
+	return h
+}
+
+func firstPrimes(n int) []int {
+	var out []int
+	for c := 2; len(out) < n; c++ {
+		prime := true
+		for d := 2; d*d <= c; d++ {
+			if c%d == 0 {
+				prime = false
+				break
+			}
+		}
+		if prime {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func wordsDirective(ws []uint32) string {
+	var b strings.Builder
+	for i, w := range ws {
+		if i%8 == 0 {
+			b.WriteString("\n\t.word ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "0x%08x", w)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// lcgBytes mirrors the guest runtime's rand(): each message byte is
+// (rand() >> 16) & 0xFF.
+func lcgBytes(seed uint32, n int) []byte {
+	out := make([]byte, n)
+	s := seed
+	for i := range out {
+		s = s*1664525 + 1013904223
+		out[i] = byte(s >> 16)
+	}
+	return out
+}
+
+const shaSeed = 0x5ADBEEF
+
+// SHA256 builds the sha256 benchmark: hash msgLen bytes of LCG data with a
+// full from-scratch SHA-256 in RV32 assembly and print the digest as hex;
+// the host compares against crypto/sha256 over the same bytes.
+func SHA256(msgLen int) Benchmark {
+	padLen := ((msgLen+8)/64 + 1) * 64
+	k := sha256K()
+	h0 := sha256H0()
+
+	src := fmt.Sprintf(`
+	.equ SHA_SEED,   0x%08x
+	.equ SHA_MSGLEN, %d
+	.equ SHA_PADLEN, %d
+`, shaSeed, msgLen, padLen) + `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	sw s0, 8(sp)
+	sw s1, 4(sp)
+	sw s2, 0(sp)
+	li a0, SHA_SEED
+	call srand
+	# fill message with LCG bytes
+	la s0, sha_msg
+	li s1, 0
+	li s2, SHA_MSGLEN
+1:	call rand
+	srli a0, a0, 16
+	add t0, s0, s1
+	sb a0, 0(t0)
+	addi s1, s1, 1
+	blt s1, s2, 1b
+	# padding: 0x80 marker (the rest of the buffer is BSS zero), then the
+	# big-endian bit length in the last four bytes
+	li t1, 0x80
+	add t0, s0, s2
+	sb t1, 0(t0)
+	li t1, SHA_MSGLEN * 8
+	li t2, SHA_PADLEN - 4
+	add t0, s0, t2
+	srli t3, t1, 24
+	sb t3, 0(t0)
+	srli t3, t1, 16
+	sb t3, 1(t0)
+	srli t3, t1, 8
+	sb t3, 2(t0)
+	sb t1, 3(t0)
+	# state = H0
+	la a0, sha_state
+	la a1, sha_h0
+	li a2, 32
+	call memcpy
+	# compress all blocks
+	li s1, 0
+2:	la a0, sha_msg
+	add a0, a0, s1
+	call sha256_compress
+	addi s1, s1, 64
+	li t0, SHA_PADLEN
+	blt s1, t0, 2b
+	# print digest
+	la s0, sha_state
+	li s1, 0
+3:	slli t0, s1, 2
+	add t0, t0, s0
+	lw a0, 0(t0)
+	call uart_puthex
+	addi s1, s1, 1
+	li t0, 8
+	blt s1, t0, 3b
+	li a0, 0
+	lw s2, 0(sp)
+	lw s1, 4(sp)
+	lw s0, 8(sp)
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+
+# sha256_compress(a0: 64-byte block) - updates sha_state
+sha256_compress:
+	addi sp, sp, -48
+	sw s1, 44(sp)
+	sw s2, 40(sp)
+	sw s3, 36(sp)
+	sw s4, 32(sp)
+	sw s5, 28(sp)
+	sw s6, 24(sp)
+	sw s7, 20(sp)
+	sw s8, 16(sp)
+	sw s9, 12(sp)
+	sw s10, 8(sp)
+	sw s11, 4(sp)
+
+	# W[0..15]: big-endian message words
+	la t0, sha_w
+	li t1, 0
+1:	slli t2, t1, 2
+	add t3, a0, t2
+	lbu t4, 0(t3)
+	slli t4, t4, 8
+	lbu t5, 1(t3)
+	or t4, t4, t5
+	slli t4, t4, 8
+	lbu t5, 2(t3)
+	or t4, t4, t5
+	slli t4, t4, 8
+	lbu t5, 3(t3)
+	or t4, t4, t5
+	add t3, t0, t2
+	sw t4, 0(t3)
+	addi t1, t1, 1
+	li t2, 16
+	blt t1, t2, 1b
+
+	# W[16..63]: W[t] = sigma1(W[t-2]) + W[t-7] + sigma0(W[t-15]) + W[t-16]
+	li t1, 16
+2:	slli t2, t1, 2
+	add t3, t0, t2
+	lw t4, -8(t3)
+	srli t5, t4, 17       # sigma1: ror17 ^ ror19 ^ shr10
+	slli t6, t4, 15
+	or t5, t5, t6
+	srli t6, t4, 19
+	xor t5, t5, t6
+	slli t6, t4, 13
+	xor t5, t5, t6
+	srli t6, t4, 10
+	xor t5, t5, t6
+	lw t6, -28(t3)
+	add t5, t5, t6
+	lw t4, -60(t3)
+	srli a3, t4, 7        # sigma0: ror7 ^ ror18 ^ shr3
+	slli a4, t4, 25
+	or a3, a3, a4
+	srli a4, t4, 18
+	xor a3, a3, a4
+	slli a4, t4, 14
+	xor a3, a3, a4
+	srli a4, t4, 3
+	xor a3, a3, a4
+	add t5, t5, a3
+	lw a3, -64(t3)
+	add t5, t5, a3
+	sw t5, 0(t3)
+	addi t1, t1, 1
+	li t2, 64
+	blt t1, t2, 2b
+
+	# working variables a..h in s1..s8
+	la t0, sha_state
+	lw s1, 0(t0)
+	lw s2, 4(t0)
+	lw s3, 8(t0)
+	lw s4, 12(t0)
+	lw s5, 16(t0)
+	lw s6, 20(t0)
+	lw s7, 24(t0)
+	lw s8, 28(t0)
+	la s10, sha_w
+	la s11, sha_k
+	li s9, 0
+3:	# T1 = h + Sigma1(e) + Ch(e,f,g) + K[t] + W[t]
+	srli t1, s5, 6        # Sigma1: ror6 ^ ror11 ^ ror25
+	slli t2, s5, 26
+	or t1, t1, t2
+	srli t2, s5, 11
+	xor t1, t1, t2
+	slli t2, s5, 21
+	xor t1, t1, t2
+	srli t2, s5, 25
+	xor t1, t1, t2
+	slli t2, s5, 7
+	xor t1, t1, t2
+	and t2, s5, s6        # Ch = (e&f) ^ (~e&g)
+	not t3, s5
+	and t3, t3, s7
+	xor t2, t2, t3
+	add t1, t1, t2
+	add t1, t1, s8
+	slli t2, s9, 2
+	add t3, s11, t2
+	lw t4, 0(t3)
+	add t1, t1, t4
+	add t3, s10, t2
+	lw t4, 0(t3)
+	add t1, t1, t4
+	# T2 = Sigma0(a) + Maj(a,b,c)
+	srli t2, s1, 2        # Sigma0: ror2 ^ ror13 ^ ror22
+	slli t3, s1, 30
+	or t2, t2, t3
+	srli t3, s1, 13
+	xor t2, t2, t3
+	slli t3, s1, 19
+	xor t2, t2, t3
+	srli t3, s1, 22
+	xor t2, t2, t3
+	slli t3, s1, 10
+	xor t2, t2, t3
+	and t3, s1, s2        # Maj
+	and t4, s1, s3
+	xor t3, t3, t4
+	and t4, s2, s3
+	xor t3, t3, t4
+	add t2, t2, t3
+	# rotate working variables
+	mv s8, s7
+	mv s7, s6
+	mv s6, s5
+	add s5, s4, t1
+	mv s4, s3
+	mv s3, s2
+	mv s2, s1
+	add s1, t1, t2
+	addi s9, s9, 1
+	li t2, 64
+	blt s9, t2, 3b
+
+	# state += working variables
+	la t0, sha_state
+	lw t1, 0(t0)
+	add t1, t1, s1
+	sw t1, 0(t0)
+	lw t1, 4(t0)
+	add t1, t1, s2
+	sw t1, 4(t0)
+	lw t1, 8(t0)
+	add t1, t1, s3
+	sw t1, 8(t0)
+	lw t1, 12(t0)
+	add t1, t1, s4
+	sw t1, 12(t0)
+	lw t1, 16(t0)
+	add t1, t1, s5
+	sw t1, 16(t0)
+	lw t1, 20(t0)
+	add t1, t1, s6
+	sw t1, 20(t0)
+	lw t1, 24(t0)
+	add t1, t1, s7
+	sw t1, 24(t0)
+	lw t1, 28(t0)
+	add t1, t1, s8
+	sw t1, 28(t0)
+
+	lw s11, 4(sp)
+	lw s10, 8(sp)
+	lw s9, 12(sp)
+	lw s8, 16(sp)
+	lw s7, 20(sp)
+	lw s6, 24(sp)
+	lw s5, 28(sp)
+	lw s4, 32(sp)
+	lw s3, 36(sp)
+	lw s2, 40(sp)
+	lw s1, 44(sp)
+	addi sp, sp, 48
+	ret
+
+	.data
+	.align 2
+sha_h0:` + wordsDirective(h0[:]) + `
+sha_k:` + wordsDirective(k[:]) + `
+	.bss
+	.align 4
+sha_state:
+	.space 32
+sha_w:
+	.space 256
+sha_msg:
+	.space SHA_PADLEN
+`
+	digest := sha256.Sum256(lcgBytes(shaSeed, msgLen))
+	return Benchmark{
+		Name:       "sha256",
+		Image:      MustProgram(src),
+		ExpectUART: hex.EncodeToString(digest[:]),
+	}
+}

@@ -1,0 +1,32 @@
+package guest
+
+import "testing"
+
+func TestSHA512Constants(t *testing.T) {
+	k := sha512K()
+	// Spot-check against FIPS-180-4.
+	if k[0] != 0x428a2f98d728ae22 {
+		t.Errorf("K[0] = 0x%016x", k[0])
+	}
+	if k[79] != 0x6c44198c4a475817 {
+		t.Errorf("K[79] = 0x%016x", k[79])
+	}
+	h := sha512H0()
+	if h[0] != 0x6a09e667f3bcc908 {
+		t.Errorf("H0[0] = 0x%016x", h[0])
+	}
+	if h[7] != 0x5be0cd19137e2179 {
+		t.Errorf("H0[7] = 0x%016x", h[7])
+	}
+}
+
+func TestSHA256Constants(t *testing.T) {
+	k := sha256K()
+	if k[0] != 0x428a2f98 || k[63] != 0xc67178f2 {
+		t.Errorf("K = 0x%08x .. 0x%08x", k[0], k[63])
+	}
+	h := sha256H0()
+	if h[0] != 0x6a09e667 || h[7] != 0x5be0cd19 {
+		t.Errorf("H0 = 0x%08x .. 0x%08x", h[0], h[7])
+	}
+}

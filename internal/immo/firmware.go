@@ -1,0 +1,423 @@
+// Package immo reproduces the paper's Section VI-A case study: the
+// electronic control unit (ECU) of a car engine immobilizer.
+//
+// The immobilizer holds a secret 4-byte PIN. The engine ECU (modeled on the
+// host side) authenticates it with a challenge-response protocol over the
+// CAN bus: the engine sends a random challenge, the immobilizer answers
+// with the challenge encrypted by the PIN-derived key on its AES
+// peripheral, and the engine verifies against its own copy of the PIN. The
+// PIN never crosses the CAN bus in plaintext.
+//
+// The firmware also has a UART debug console, whose memory-dump command is
+// the vulnerability the paper's policy validation finds: the dump includes
+// the PIN region. VariantFixed excludes it.
+//
+// The paper's attack scenarios are modeled as debug commands that trigger
+// the corresponding buggy code paths:
+//
+//	'a' — write the PIN directly to the UART (direct leak)
+//	'b' — copy the PIN through an intermediate buffer, then send the
+//	      buffer on the CAN bus (indirect leak)
+//	'c' — branch on a PIN bit and emit a result (implicit flow)
+//	'o' — overwrite a PIN byte with external (UART) data (integrity)
+//	'e' — overwrite PIN bytes 1..3 with byte 0 (the HI-overwrite
+//	      entropy-reduction attack)
+//	'd' — debug memory dump
+//	'q' — quit (power off)
+package immo
+
+import (
+	"fmt"
+	"strings"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/guest"
+)
+
+// PIN is the immobilizer's secret. The AES-128 key is the PIN repeated four
+// times.
+var PIN = [4]byte{0x13, 0x57, 0x9B, 0xDF}
+
+// Variant selects the firmware build.
+type Variant int
+
+// Firmware variants.
+const (
+	// VariantVulnerable dumps the whole data segment, PIN included — the
+	// vulnerability the security policy finds.
+	VariantVulnerable Variant = iota
+	// VariantFixed excludes the PIN region from the dump ("we fixed this
+	// security vulnerability by correcting the debug function to exclude
+	// the memory region of the key").
+	VariantFixed
+	// VariantFixedIRQ is the fixed firmware restructured to be fully
+	// interrupt-driven: the CPU sleeps in WFI and the CAN and UART raise
+	// external interrupts — the fine-grained HW/SW interaction style the
+	// paper emphasizes. Functionally identical to VariantFixed.
+	VariantFixedIRQ
+)
+
+// dump routine for the vulnerable build: everything from immo_data_start to
+// immo_data_end.
+const dumpVulnerable = `
+	.text
+immo_dump:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, immo_data_start
+	la a1, immo_data_end
+	call immo_dump_range
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`
+
+// dump routine for the fixed build: the two ranges around the PIN.
+const dumpFixed = `
+	.text
+immo_dump:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, immo_data_start
+	la a1, immo_pin
+	call immo_dump_range
+	la a0, immo_pin + 4
+	la a1, immo_data_end
+	call immo_dump_range
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+`
+
+// mainPolling is the polled main loop of the paper's firmware.
+const mainPolling = `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, banner
+	call uart_puts
+immo_loop:
+	# challenge waiting on the CAN bus?
+	li t0, CAN_BASE
+	lw t1, CAN_STATUS(t0)
+	andi t1, t1, 1
+	beqz t1, 1f
+	call immo_handle_challenge
+1:	# debug command waiting on the UART?
+	li t0, UART_BASE
+	lw t1, UART_STATUS(t0)
+	andi t1, t1, 1
+	beqz t1, immo_loop
+	lw a0, UART_RX(t0)
+	andi a0, a0, 0xFF
+	call immo_handle_cmd
+	j immo_loop
+`
+
+// mainIRQ is the interrupt-driven main loop: sleep in WFI; the trap handler
+// claims CAN and UART interrupts from the controller and dispatches to the
+// same service routines.
+const mainIRQ = `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	la a0, banner
+	call uart_puts
+	la t0, immo_irq_trap
+	csrw mtvec, t0
+	li t0, INTC_BASE
+	li t1, (1 << IRQ_CAN) | (1 << IRQ_UART)
+	sw t1, INTC_ENABLE(t0)
+	li t1, 0x800          # MEIE
+	csrw mie, t1
+	csrsi mstatus, 8      # MIE
+immo_idle:
+	wfi
+	j immo_idle
+
+immo_irq_trap:
+	addi sp, sp, -48
+	sw ra, 44(sp)
+	sw a0, 40(sp)
+	sw a1, 36(sp)
+	sw a2, 32(sp)
+	sw t0, 28(sp)
+	sw t1, 24(sp)
+	sw t2, 20(sp)
+	sw t3, 16(sp)
+	sw t4, 12(sp)
+	sw t5, 8(sp)
+	sw t6, 4(sp)
+1:	# claim until the controller runs dry
+	li t0, INTC_BASE
+	lw t1, INTC_CLAIM(t0)
+	beqz t1, 5f
+	li t2, IRQ_CAN
+	bne t1, t2, 2f
+	call immo_handle_challenge
+	li t0, INTC_BASE
+	li t1, IRQ_CAN
+	sw t1, INTC_CLAIM(t0)     # complete: re-pend if more frames wait
+	j 1b
+2:	li t2, IRQ_UART
+	bne t1, t2, 1b
+3:	# drain every available console byte
+	li t0, UART_BASE
+	lw a0, UART_RX(t0)
+	srli t1, a0, UART_RX_EMPTY_BIT
+	bnez t1, 4f
+	andi a0, a0, 0xFF
+	call immo_handle_cmd
+	j 3b
+4:	li t0, INTC_BASE
+	li t1, IRQ_UART
+	sw t1, INTC_CLAIM(t0)
+	j 1b
+5:	lw t6, 4(sp)
+	lw t5, 8(sp)
+	lw t4, 12(sp)
+	lw t3, 16(sp)
+	lw t2, 20(sp)
+	lw t1, 24(sp)
+	lw t0, 28(sp)
+	lw a2, 32(sp)
+	lw a1, 36(sp)
+	lw a0, 40(sp)
+	lw ra, 44(sp)
+	addi sp, sp, 48
+	mret
+`
+
+const firmwareBody = `
+
+# immo_load_key: AES key = PIN repeated four times.
+immo_load_key:
+	li t0, AES_BASE
+	la t1, immo_pin
+	li t2, 0
+1:	andi t3, t2, 3
+	add t3, t3, t1
+	lbu t4, 0(t3)
+	add t3, t0, t2
+	sb t4, AES_KEY(t3)
+	addi t2, t2, 1
+	li t3, 16
+	blt t2, t3, 1b
+	ret
+
+# immo_handle_challenge: encrypt the 8-byte CAN challenge (zero padded to a
+# block) and answer with the first 8 ciphertext bytes.
+immo_handle_challenge:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li t0, CAN_BASE
+	li t1, AES_BASE
+	li t2, 0
+1:	add t3, t0, t2
+	lbu t4, CAN_RX_DATA(t3)
+	add t3, t1, t2
+	sb t4, AES_IN(t3)
+	addi t2, t2, 1
+	li t3, 8
+	blt t2, t3, 1b
+2:	add t3, t1, t2
+	sb x0, AES_IN(t3)
+	addi t2, t2, 1
+	li t3, 16
+	blt t2, t3, 2b
+	li t3, 1
+	sw t3, CAN_RX_CTRL(t0)
+	call immo_load_key
+	li t0, CAN_BASE
+	li t1, AES_BASE
+	li t3, 1
+	sw t3, AES_CTRL(t1)
+3:	lw t3, AES_CTRL(t1)
+	andi t3, t3, 1
+	beqz t3, 3b
+	li t3, 0x101
+	sw t3, CAN_TX_ID(t0)
+	li t3, 8
+	sw t3, CAN_TX_LEN(t0)
+	li t2, 0
+4:	add t3, t1, t2
+	lbu t4, AES_OUT(t3)
+	add t3, t0, t2
+	sb t4, CAN_TX_DATA(t3)
+	addi t2, t2, 1
+	li t3, 8
+	blt t2, t3, 4b
+	li t3, 1
+	sw t3, CAN_TX_CTRL(t0)
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+
+# immo_handle_cmd(a0: command byte)
+immo_handle_cmd:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li t0, 'q'
+	beq a0, t0, cmd_quit
+	li t0, 'd'
+	beq a0, t0, cmd_dump
+	li t0, 'a'
+	beq a0, t0, cmd_leak_direct
+	li t0, 'b'
+	beq a0, t0, cmd_leak_indirect
+	li t0, 'c'
+	beq a0, t0, cmd_leak_branch
+	li t0, 'o'
+	beq a0, t0, cmd_overwrite
+	li t0, 'f'
+	beq a0, t0, cmd_leak_overflow
+	li t0, 'e'
+	beq a0, t0, cmd_entropy
+	# unknown command: ignore
+cmd_done:
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+
+cmd_quit:
+	li a0, 0
+	j exit
+
+cmd_dump:
+	call immo_dump
+	j cmd_done
+
+# Attack scenario 1a (paper: "directly ... write the PIN to an output
+# interface").
+cmd_leak_direct:
+	la t1, immo_pin
+	li t2, 0
+1:	add t3, t1, t2
+	lbu a0, 0(t3)
+	li t0, UART_BASE
+	sw a0, UART_TX(t0)
+	addi t2, t2, 1
+	li t3, 4
+	blt t2, t3, 1b
+	j cmd_done
+
+# Attack scenario 1b: indirectly through an intermediate buffer, out on the
+# CAN bus.
+cmd_leak_indirect:
+	la a0, immo_buf
+	la a1, immo_pin
+	li a2, 4
+	call memcpy
+	li t0, CAN_BASE
+	li t3, 0x1FF
+	sw t3, CAN_TX_ID(t0)
+	li t3, 4
+	sw t3, CAN_TX_LEN(t0)
+	la t1, immo_buf
+	li t2, 0
+1:	add t3, t1, t2
+	lbu t4, 0(t3)
+	add t3, t0, t2
+	sb t4, CAN_TX_DATA(t3)
+	addi t2, t2, 1
+	li t3, 4
+	blt t2, t3, 1b
+	li t3, 1
+	sw t3, CAN_TX_CTRL(t0)
+	j cmd_done
+
+# Attack scenario 1c: a buffer-overflow read — print the serial string with
+# a length that runs past its buffer into the adjacent PIN (the classic
+# out-of-bounds read leak).
+cmd_leak_overflow:
+	la t1, serial
+	li t2, 0
+1:	add t3, t1, t2
+	lbu t4, 0(t3)
+	li t0, UART_BASE
+	sw t4, UART_TX(t0)
+	addi t2, t2, 1
+	li t3, 16            # serial is 9 bytes; the read crosses into the PIN
+	blt t2, t3, 1b
+	j cmd_done
+
+# Attack scenario 2: control flow depending on the PIN.
+cmd_leak_branch:
+	la t1, immo_pin
+	lbu t2, 0(t1)
+	andi t2, t2, 1
+	beqz t2, 1f          # branch condition carries the PIN class
+	li a0, '1'
+	j 2f
+1:	li a0, '0'
+2:	li t0, UART_BASE
+	sw a0, UART_TX(t0)
+	j cmd_done
+
+# Attack scenario 3: override the PIN with external data (the next UART
+# byte).
+cmd_overwrite:
+	li t0, UART_BASE
+1:	lw t1, UART_RX(t0)
+	srli t2, t1, UART_RX_EMPTY_BIT
+	bnez t2, 1b
+	andi t1, t1, 0xFF
+	la t2, immo_pin
+	sb t1, 0(t2)
+	j cmd_done
+
+# The HI-overwrite entropy attack: PIN[1..3] = PIN[0]. Every store moves
+# (HC,HI) data into the (HC,HI) region — allowed by the base policy.
+cmd_entropy:
+	la t1, immo_pin
+	lbu t2, 0(t1)
+	sb t2, 1(t1)
+	sb t2, 2(t1)
+	sb t2, 3(t1)
+	j cmd_done
+
+# immo_dump_range(a0: start, a1: end): raw bytes to the UART.
+immo_dump_range:
+	li t0, UART_BASE
+1:	bgeu a0, a1, 2f
+	lbu t1, 0(a0)
+	sw t1, UART_TX(t0)
+	addi a0, a0, 1
+	j 1b
+2:	ret
+
+	.data
+immo_data_start:
+banner:
+	.asciz "immo v1\n"
+serial:
+	.asciz "ECU-4711"
+	.align 2
+immo_pin:
+	.byte {PIN0}, {PIN1}, {PIN2}, {PIN3}
+config_word:
+	.word 0x00010203
+immo_buf:
+	.space 16
+immo_data_end:
+	.byte 0
+`
+
+// Firmware assembles the immobilizer firmware.
+func Firmware(v Variant) *asm.Image {
+	var body string
+	if v == VariantFixedIRQ {
+		body = mainIRQ + firmwareBody
+	} else {
+		body = mainPolling + firmwareBody
+	}
+	for i, b := range PIN {
+		body = strings.ReplaceAll(body, fmt.Sprintf("{PIN%d}", i), fmt.Sprintf("0x%02x", b))
+	}
+	if v == VariantVulnerable {
+		body += dumpVulnerable
+	} else {
+		body += dumpFixed
+	}
+	return guest.MustProgram(body)
+}

@@ -1,0 +1,316 @@
+package immo
+
+import (
+	"errors"
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+)
+
+// mustECU builds an ECU or fails the test.
+func mustECU(t *testing.T, v Variant, kind PolicyKind) *ECU {
+	t.Helper()
+	e, err := NewECU(v, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// wantViolation asserts err is a policy violation of the given kind.
+func wantViolation(t *testing.T, err error, kind core.ViolationKind) *core.Violation {
+	t.Helper()
+	var v *core.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("err = %v, want a violation", err)
+	}
+	if v.Kind != kind {
+		t.Fatalf("violation = %v, want kind %v", v, kind)
+	}
+	return v
+}
+
+func TestChallengeResponseAuthentication(t *testing.T) {
+	// The legitimate protocol must work under the base policy: the AES
+	// declassification lets the response leave on the CAN bus even though
+	// it depends on the secret PIN.
+	for _, kind := range []PolicyKind{PolicyNone, PolicyBase, PolicyPerByte} {
+		e := mustECU(t, VariantFixed, kind)
+		challenge := [8]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04}
+		resp, err := e.Authenticate(challenge)
+		if err != nil {
+			t.Fatalf("policy %d: %v", kind, err)
+		}
+		if want := Expected(challenge); resp != want {
+			t.Errorf("policy %d: response % x, want % x", kind, resp, want)
+		}
+		// A second round with a different challenge.
+		challenge2 := [8]byte{9, 8, 7, 6, 5, 4, 3, 2}
+		resp2, err := e.Authenticate(challenge2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Expected(challenge2); resp2 != want {
+			t.Errorf("second response % x, want % x", resp2, want)
+		}
+	}
+}
+
+func TestDebugDumpLeaksPIN(t *testing.T) {
+	// Without DIFT, the vulnerable dump silently leaks the PIN — this is
+	// the baseline behaviour the policy validation is for.
+	e := mustECU(t, VariantVulnerable, PolicyNone)
+	dump, err := e.DebugDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ContainsPIN(dump) {
+		t.Fatal("vulnerable dump must contain the PIN (that's the bug)")
+	}
+}
+
+func TestDebugDumpViolationDetected(t *testing.T) {
+	// Under the base policy the dump hits the UART clearance as soon as a
+	// PIN byte is transmitted — the vulnerability found in the paper.
+	e := mustECU(t, VariantVulnerable, PolicyBase)
+	_, err := e.DebugDump()
+	v := wantViolation(t, err, core.KindOutputClearance)
+	if v.Port != "uart0.tx" {
+		t.Errorf("violation at %q, want uart0.tx", v.Port)
+	}
+}
+
+func TestFixedDumpPasses(t *testing.T) {
+	// The fixed firmware dumps around the PIN: no violation, and the PIN
+	// does not appear in the output.
+	e := mustECU(t, VariantFixed, PolicyBase)
+	dump, err := e.DebugDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) == 0 {
+		t.Fatal("fixed dump produced no output")
+	}
+	if ContainsPIN(dump) {
+		t.Fatal("fixed dump must not contain the PIN")
+	}
+}
+
+func TestAttackScenario1DirectLeak(t *testing.T) {
+	e := mustECU(t, VariantFixed, PolicyBase)
+	err := e.Command('a')
+	v := wantViolation(t, err, core.KindOutputClearance)
+	if v.Port != "uart0.tx" {
+		t.Errorf("violation at %q", v.Port)
+	}
+}
+
+func TestAttackScenario1IndirectLeak(t *testing.T) {
+	// PIN -> intermediate buffer -> CAN: the tag follows the copy.
+	e := mustECU(t, VariantFixed, PolicyBase)
+	err := e.Command('b')
+	v := wantViolation(t, err, core.KindOutputClearance)
+	if v.Port != "can0.tx" {
+		t.Errorf("violation at %q, want can0.tx", v.Port)
+	}
+}
+
+func TestAttackScenario2BranchOnPIN(t *testing.T) {
+	e := mustECU(t, VariantFixed, PolicyBase)
+	err := e.Command('c')
+	wantViolation(t, err, core.KindBranchClearance)
+}
+
+func TestAttackScenario3OverwritePIN(t *testing.T) {
+	// External (LI) data into the (HC,HI) PIN region.
+	e := mustECU(t, VariantFixed, PolicyBase)
+	err := e.Command('o', 0x42)
+	wantViolation(t, err, core.KindStoreClearance)
+}
+
+func TestEntropyAttackUndetectedByBasePolicy(t *testing.T) {
+	// The paper's key observation: the base policy permits overwriting PIN
+	// bytes with *other PIN bytes* (HI data into an HI region), collapsing
+	// the key to 8 bits of entropy; the attacker then brute-forces the
+	// byte from one observed challenge/response pair.
+	e := mustECU(t, VariantFixed, PolicyBase)
+	if err := e.Command('e'); err != nil {
+		t.Fatalf("entropy attack must NOT be detected by the base policy, got %v", err)
+	}
+	challenge := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	resp, err := e.Authenticate(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, ok := BruteForcePIN0(challenge, resp)
+	if !ok {
+		t.Fatal("brute force must succeed against the collapsed key")
+	}
+	if recovered != PIN[0] {
+		t.Errorf("recovered 0x%02x, want PIN[0] = 0x%02x", recovered, PIN[0])
+	}
+}
+
+func TestEntropyAttackDetectedByPerBytePolicy(t *testing.T) {
+	// The fix: per-byte PIN classes make PIN[0] -> PIN[1] an illegal flow.
+	e := mustECU(t, VariantFixed, PolicyPerByte)
+	err := e.Command('e')
+	v := wantViolation(t, err, core.KindStoreClearance)
+	if v.HaveClass() != "(HC,K0)" {
+		t.Errorf("offending class = %s, want (HC,K0)", v.HaveClass())
+	}
+}
+
+func TestBruteForceFailsAgainstFullEntropyKey(t *testing.T) {
+	// Sanity: without the entropy attack, the 256-candidate brute force
+	// cannot find the full 32-bit-entropy key.
+	challenge := [8]byte{1, 2, 3, 4, 5, 6, 7, 8}
+	resp := Expected(challenge)
+	if _, ok := BruteForcePIN0(challenge, resp); ok {
+		t.Fatal("brute force must fail against the full key")
+	}
+}
+
+func TestQuitCommand(t *testing.T) {
+	e := mustECU(t, VariantFixed, PolicyBase)
+	if err := e.Command('q'); err != nil {
+		t.Fatal(err)
+	}
+	exited, code := e.Platform.Exited()
+	if !exited || code != 0 {
+		t.Errorf("exited=%v code=%d", exited, code)
+	}
+}
+
+func TestUnknownCommandIgnored(t *testing.T) {
+	e := mustECU(t, VariantFixed, PolicyBase)
+	if err := e.Command('z'); err != nil {
+		t.Fatal(err)
+	}
+	// Still alive and responsive.
+	challenge := [8]byte{5, 5, 5, 5, 5, 5, 5, 5}
+	if _, err := e.Authenticate(challenge); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyDerivation(t *testing.T) {
+	k := Key()
+	for i, b := range k {
+		if b != PIN[i%4] {
+			t.Fatalf("key[%d] = 0x%02x", i, b)
+		}
+	}
+}
+
+func TestIRQDrivenFirmware(t *testing.T) {
+	// The interrupt-driven firmware must behave identically: authenticate,
+	// dump safely, and all attacks must still be caught mid-handler.
+	e := mustECU(t, VariantFixedIRQ, PolicyBase)
+	challenge := [8]byte{0xAA, 0xBB, 1, 2, 3, 4, 5, 6}
+	resp, err := e.Authenticate(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != Expected(challenge) {
+		t.Errorf("response % x", resp)
+	}
+	dump, err := e.DebugDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) == 0 || ContainsPIN(dump) {
+		t.Errorf("dump len=%d containsPIN=%v", len(dump), ContainsPIN(dump))
+	}
+	// Direct leak: the violation now fires inside the interrupt handler.
+	err = e.Command('a')
+	wantViolation(t, err, core.KindOutputClearance)
+}
+
+func TestIRQDrivenFirmwareSleeps(t *testing.T) {
+	// WFI idling: with nothing to do, the IRQ firmware must execute far
+	// fewer instructions per simulated second than the polling build.
+	irq := mustECU(t, VariantFixedIRQ, PolicyNone)
+	poll := mustECU(t, VariantFixed, PolicyNone)
+	for _, e := range []*ECU{irq, poll} {
+		if err := e.step(100 * kernel.MS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ni, np := irq.Platform.Instret(), poll.Platform.Instret()
+	if ni*10 > np {
+		t.Errorf("IRQ build executed %d instructions vs polling %d; expected >10x saving", ni, np)
+	}
+}
+
+func TestIRQFirmwareEntropyAttack(t *testing.T) {
+	e := mustECU(t, VariantFixedIRQ, PolicyPerByte)
+	err := e.Command('e')
+	wantViolation(t, err, core.KindStoreClearance)
+}
+
+func TestNewECUErrors(t *testing.T) {
+	if _, err := NewECU(VariantFixed, PolicyKind(99)); err == nil {
+		t.Error("unknown policy kind must fail")
+	}
+}
+
+func TestPerBytePolicyShape(t *testing.T) {
+	img := Firmware(VariantFixed)
+	p, err := PerBytePolicy(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.L.Size(); got != 12 {
+		t.Errorf("per-byte lattice size = %d, want 12 (2 conf x 6 integ)", got)
+	}
+	if len(p.Regions) != 4 {
+		t.Errorf("regions = %d, want one per PIN byte", len(p.Regions))
+	}
+}
+
+func TestAuthenticateTimesOutWithoutFirmwareResponse(t *testing.T) {
+	// An ECU that has already quit cannot answer: Authenticate reports it.
+	e := mustECU(t, VariantFixed, PolicyBase)
+	if err := e.Command('q'); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Authenticate([8]byte{1}); err == nil {
+		t.Error("authenticate against a dead ECU must fail")
+	}
+}
+
+func TestAttackScenario1OverflowRead(t *testing.T) {
+	// The paper's scenario 1 "through ... buffer overflow": an out-of-bounds
+	// read walks off the serial-number string into the PIN.
+	e := mustECU(t, VariantFixed, PolicyBase)
+	err := e.Command('f')
+	v := wantViolation(t, err, core.KindOutputClearance)
+	if v.Port != "uart0.tx" {
+		t.Errorf("violation at %q", v.Port)
+	}
+	// Without DIFT the same overflow silently leaks PIN bytes.
+	plain := mustECU(t, VariantFixed, PolicyNone)
+	plain.Platform.UART.ClearOutput()
+	if err := plain.Command('f'); err != nil {
+		t.Fatal(err)
+	}
+	out := plain.Platform.UART.Output()
+	if !bytesContainByte(out, PIN[0]) {
+		t.Errorf("plain overflow read did not leak PIN[0]; output % x", out)
+	}
+}
+
+func bytesContainByte(hay []byte, b byte) bool {
+	for _, x := range hay {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

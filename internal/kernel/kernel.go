@@ -1,0 +1,349 @@
+// Package kernel provides a deterministic discrete-event simulation kernel,
+// the Go substitute for the SystemC simulation kernel used by the paper's
+// virtual prototype.
+//
+// The execution model mirrors SystemC's: a set of cooperative processes
+// advance a shared simulated clock. Thread processes (the analog of
+// SC_THREAD) are goroutines that run exclusively — exactly one process or the
+// scheduler itself executes at any instant — and yield by calling Wait or
+// WaitEvent. Timed callbacks (the analog of SC_METHOD sensitivity) can be
+// scheduled with After/At. Events support delayed notification like
+// sc_event::notify(delay).
+//
+// Determinism: all runnable work is ordered by (timestamp, schedule sequence
+// number), so repeated simulations of the same model produce identical
+// traces. There is no real concurrency; goroutines are used purely as
+// coroutines.
+package kernel
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time uint64
+
+// Convenience units for simulated durations.
+const (
+	NS Time = 1
+	US Time = 1000 * NS
+	MS Time = 1000 * US
+	S  Time = 1000 * MS
+)
+
+// Forever is a run horizon that is never reached in practice.
+const Forever Time = 1<<64 - 1
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= S:
+		return fmt.Sprintf("%d.%03ds", t/S, (t%S)/MS)
+	case t >= MS:
+		return fmt.Sprintf("%d.%03dms", t/MS, (t%MS)/US)
+	case t >= US:
+		return fmt.Sprintf("%d.%03dus", t/US, (t%US)/NS)
+	default:
+		return fmt.Sprintf("%dns", t)
+	}
+}
+
+// workItem is a scheduled unit of execution: either a thread wake-up or a
+// plain callback.
+type workItem struct {
+	at     Time
+	seq    uint64
+	thread *Thread
+	fn     func()
+}
+
+type workQueue []*workItem
+
+func (q workQueue) Len() int { return len(q) }
+func (q workQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q workQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *workQueue) Push(x any)   { *q = append(*q, x.(*workItem)) }
+func (q *workQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Simulator owns the simulated clock and the work queue.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   workQueue
+	threads []*Thread
+	stopped bool
+	err     error
+	running bool
+}
+
+// New creates an empty simulator at time 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Err returns the fatal error that stopped the simulation, if any.
+func (s *Simulator) Err() error { return s.err }
+
+// Stopped reports whether Stop or Fatal has been called.
+func (s *Simulator) Stopped() bool { return s.stopped }
+
+// Stop ends the simulation gracefully: Run returns after the currently
+// executing process yields.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Fatal stops the simulation with an error; Run returns it. The first fatal
+// error wins.
+func (s *Simulator) Fatal(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.stopped = true
+}
+
+func (s *Simulator) push(it *workItem) {
+	it.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, it)
+}
+
+// At schedules fn to run at absolute simulated time t (not before the current
+// time).
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.push(&workItem{at: t, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes scheduled work until the horizon is passed, the queue drains,
+// or the simulation is stopped. It returns the fatal error, if any. The clock
+// never advances past `until`; work scheduled later stays queued for a
+// subsequent Run call.
+func (s *Simulator) Run(until Time) error {
+	if s.running {
+		panic("kernel: Run called from inside a process")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for !s.stopped && len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		if next.thread != nil {
+			next.thread.dispatch()
+		} else {
+			next.fn()
+		}
+	}
+	if !s.stopped && s.now < until && until != Forever {
+		// Idle until the horizon, like sc_start with no pending activity.
+		s.now = until
+	}
+	return s.err
+}
+
+// Pending reports whether any work is queued.
+func (s *Simulator) Pending() bool { return len(s.queue) > 0 }
+
+// Shutdown terminates all thread goroutines. It must be called when a
+// simulator is abandoned (tests create many); afterwards the simulator must
+// not be used.
+func (s *Simulator) Shutdown() {
+	s.stopped = true
+	for _, t := range s.threads {
+		t.kill()
+	}
+	s.threads = nil
+	s.queue = nil
+}
+
+// Event is the analog of sc_event: processes block on it with
+// Proc.WaitEvent, and it is fired with Notify.
+type Event struct {
+	s       *Simulator
+	name    string
+	waiters []*Thread
+}
+
+// NewEvent creates a named event.
+func (s *Simulator) NewEvent(name string) *Event { return &Event{s: s, name: name} }
+
+// Name returns the event's name.
+func (e *Event) Name() string { return e.name }
+
+// Notify wakes all processes currently waiting on the event after the given
+// delay. Like sc_event::notify, processes that start waiting after the call
+// are not woken by it. Notify(0) wakes waiters at the current timestamp,
+// after the currently running process yields.
+func (e *Event) Notify(delay Time) {
+	waiters := e.waiters
+	e.waiters = nil
+	for _, t := range waiters {
+		t.scheduleWake(e.s.now + delay)
+	}
+}
+
+// kernelKilled is the panic payload used to unwind killed thread goroutines.
+type kernelKilled struct{}
+
+// Thread is a cooperative process, the analog of SC_THREAD. Its body runs in
+// a dedicated goroutine but executes strictly exclusively with the scheduler
+// and all other threads.
+type Thread struct {
+	s      *Simulator
+	name   string
+	resume chan bool // true = run, false = kill
+	yield  chan struct{}
+	done   bool
+	queued bool
+	proc   *Proc
+}
+
+// Proc is the handle a thread body uses to interact with the kernel.
+type Proc struct {
+	t *Thread
+}
+
+// Spawn creates a thread and schedules its first execution at the current
+// time. The body runs until it returns; a body that wants to live for the
+// whole simulation loops around Wait calls, exactly like an SC_THREAD.
+func (s *Simulator) Spawn(name string, body func(p *Proc)) *Thread {
+	t := &Thread{
+		s:      s,
+		name:   name,
+		resume: make(chan bool),
+		yield:  make(chan struct{}),
+	}
+	t.proc = &Proc{t: t}
+	s.threads = append(s.threads, t)
+	go func() {
+		if !<-t.resume {
+			t.done = true
+			t.yield <- struct{}{}
+			return
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, killed := r.(kernelKilled); !killed {
+						panic(r)
+					}
+				}
+			}()
+			body(t.proc)
+		}()
+		t.done = true
+		t.yield <- struct{}{}
+	}()
+	t.scheduleWake(s.now)
+	return t
+}
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.name }
+
+// Done reports whether the thread body has returned.
+func (t *Thread) Done() bool { return t.done }
+
+func (t *Thread) scheduleWake(at Time) {
+	if t.done || t.queued {
+		return
+	}
+	t.queued = true
+	t.s.push(&workItem{at: at, thread: t})
+}
+
+// dispatch resumes the thread and blocks until it yields or finishes.
+func (t *Thread) dispatch() {
+	if t.done {
+		return
+	}
+	t.queued = false
+	t.resume <- true
+	<-t.yield
+}
+
+// kill unwinds the thread goroutine if it is still alive.
+func (t *Thread) kill() {
+	if t.done {
+		return
+	}
+	t.resume <- false // the goroutine either panics out of its pause or exits before starting
+	<-t.yield
+	t.done = true
+}
+
+// pause returns control to the scheduler and blocks until resumed. When the
+// simulator is shutting down it unwinds the goroutine.
+func (p *Proc) pause() {
+	t := p.t
+	t.yield <- struct{}{}
+	if !<-t.resume {
+		t.done = true
+		panic(kernelKilled{})
+	}
+}
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.t.s.Now() }
+
+// Simulator returns the owning simulator.
+func (p *Proc) Simulator() *Simulator { return p.t.s }
+
+// Wait suspends the thread for d of simulated time — sc_core::wait(d).
+func (p *Proc) Wait(d Time) {
+	p.t.scheduleWake(p.t.s.now + d)
+	p.pause()
+}
+
+// WaitEvent suspends the thread until the event is notified —
+// sc_core::wait(event).
+func (p *Proc) WaitEvent(e *Event) {
+	e.waiters = append(e.waiters, p.t)
+	p.pause()
+}
+
+// Yield suspends the thread and reschedules it at the current timestamp,
+// letting other runnable processes execute first.
+func (p *Proc) Yield() { p.Wait(0) }
+
+// Stop gracefully stops the simulation (and suspends the calling thread
+// permanently).
+func (p *Proc) Stop() {
+	p.t.s.Stop()
+	p.parkForever()
+}
+
+// Fatal stops the simulation with an error (and suspends the calling thread
+// permanently).
+func (p *Proc) Fatal(err error) {
+	p.t.s.Fatal(err)
+	p.parkForever()
+}
+
+// parkForever yields without rescheduling; the thread only wakes again to be
+// killed at Shutdown.
+func (p *Proc) parkForever() {
+	p.pause()
+}

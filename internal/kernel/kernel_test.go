@@ -1,0 +1,371 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1 * US, "1.000us"},
+		{1500 * NS, "1.500us"},
+		{25 * MS, "25.000ms"},
+		{2*S + 250*MS, "2.250s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", uint64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestCallbackOrdering(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.At(10, func() { order = append(order, 11) }) // same time: FIFO by seq
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", s.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	ran := false
+	s.At(100, func() { ran = true })
+	if err := s.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("work beyond the horizon must not run")
+	}
+	if s.Now() != 50 {
+		t.Errorf("clock must idle forward to the horizon, Now() = %v", s.Now())
+	}
+	if !s.Pending() {
+		t.Error("work must remain queued")
+	}
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || s.Now() != 200 {
+		t.Errorf("second Run: ran=%v Now()=%v, want ran at 100 and clock idled to 200", ran, s.Now())
+	}
+}
+
+func TestThreadWait(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	var stamps []Time
+	s.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			stamps = append(stamps, p.Now())
+			p.Wait(25 * MS)
+		}
+	})
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{0, 25 * MS, 50 * MS}
+	for i, w := range want {
+		if stamps[i] != w {
+			t.Errorf("stamp %d = %v, want %v", i, stamps[i], w)
+		}
+	}
+	if s.Now() != 75*MS {
+		t.Errorf("final time = %v, want 75ms (last wait completes)", s.Now())
+	}
+}
+
+func TestThreadsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := New()
+		defer s.Shutdown()
+		var log []string
+		s.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "a")
+				p.Wait(10)
+			}
+		})
+		s.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "b")
+				p.Wait(10)
+			}
+		})
+		if err := s.Run(Forever); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: length %d != %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: nondeterministic interleaving %v vs %v", i, again, first)
+			}
+		}
+	}
+	// Spawn order breaks the tie at equal timestamps.
+	if first[0] != "a" || first[1] != "b" {
+		t.Errorf("interleaving = %v, want a before b at each step", first)
+	}
+}
+
+func TestEventNotify(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	ev := s.NewEvent("irq")
+	if ev.Name() != "irq" {
+		t.Errorf("Name() = %q", ev.Name())
+	}
+	var woke Time
+	s.Spawn("waiter", func(p *Proc) {
+		p.WaitEvent(ev)
+		woke = p.Now()
+	})
+	s.Spawn("notifier", func(p *Proc) {
+		p.Wait(40)
+		ev.Notify(5)
+	})
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 45 {
+		t.Errorf("waiter woke at %v, want 45", woke)
+	}
+}
+
+func TestEventNotifyWakesOnlyCurrentWaiters(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	ev := s.NewEvent("e")
+	count := 0
+	s.Spawn("late", func(p *Proc) {
+		p.Wait(10) // starts waiting after the notify below has fired
+		p.WaitEvent(ev)
+		count++
+	})
+	s.At(5, func() { ev.Notify(0) })
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Error("a process that waits after Notify must not be woken by it")
+	}
+}
+
+func TestEventNotifyMultipleWaiters(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	ev := s.NewEvent("e")
+	woke := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", func(p *Proc) {
+			p.WaitEvent(ev)
+			woke++
+		})
+	}
+	s.At(10, func() { ev.Notify(0) })
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Errorf("woke = %d, want 3", woke)
+	}
+}
+
+func TestYield(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	var log []string
+	s.Spawn("a", func(p *Proc) {
+		log = append(log, "a1")
+		p.Yield()
+		log = append(log, "a2")
+	})
+	s.Spawn("b", func(p *Proc) {
+		log = append(log, "b1")
+	})
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestStopFromThread(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	reached := false
+	s.Spawn("stopper", func(p *Proc) {
+		p.Wait(10)
+		p.Stop()
+		reached = true // must never run
+	})
+	s.Spawn("other", func(p *Proc) {
+		for {
+			p.Wait(1)
+		}
+	})
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Error("Stop must park the calling thread")
+	}
+	if !s.Stopped() || s.Now() != 10 {
+		t.Errorf("Stopped=%v Now=%v", s.Stopped(), s.Now())
+	}
+}
+
+func TestFatalFromThread(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	boom := errors.New("boom")
+	s.Spawn("failer", func(p *Proc) {
+		p.Wait(3)
+		p.Fatal(boom)
+	})
+	err := s.Run(Forever)
+	if !errors.Is(err, boom) {
+		t.Errorf("Run error = %v, want boom", err)
+	}
+	if s.Err() != boom {
+		t.Errorf("Err() = %v", s.Err())
+	}
+	// First fatal wins.
+	s2 := New()
+	defer s2.Shutdown()
+	first, second := errors.New("first"), errors.New("second")
+	s2.Fatal(first)
+	s2.Fatal(second)
+	if s2.Err() != first {
+		t.Errorf("Err() = %v, want first", s2.Err())
+	}
+}
+
+func TestShutdownKillsBlockedThreads(t *testing.T) {
+	s := New()
+	ev := s.NewEvent("never")
+	cleanedUp := false
+	s.Spawn("waiter", func(p *Proc) {
+		defer func() { cleanedUp = true }()
+		p.WaitEvent(ev)
+	})
+	s.Spawn("sleeper", func(p *Proc) {
+		for {
+			p.Wait(1000)
+		}
+	})
+	if err := s.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	if !cleanedUp {
+		t.Error("Shutdown must unwind blocked goroutines (running their defers)")
+	}
+}
+
+func TestShutdownBeforeFirstDispatch(t *testing.T) {
+	s := New()
+	s.Spawn("neverran", func(p *Proc) {
+		t.Error("body must not run")
+	})
+	s.Shutdown() // must not hang or run the body
+}
+
+func TestThreadDoneAndName(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	th := s.Spawn("worker", func(p *Proc) { p.Wait(5) })
+	if th.Name() != "worker" {
+		t.Errorf("Name() = %q", th.Name())
+	}
+	if th.Done() {
+		t.Error("thread must not be done before running")
+	}
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if !th.Done() {
+		t.Error("thread must be done after body returns")
+	}
+}
+
+func TestAtClampsToPast(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	var at Time = 999
+	s.At(50, func() {
+		s.At(10, func() { at = s.Now() }) // in the past: clamp to now
+	})
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+	if at != 50 {
+		t.Errorf("past-scheduled callback ran at %v, want 50", at)
+	}
+}
+
+func TestNestedRunPanics(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	s.At(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested Run must panic")
+			}
+		}()
+		s.Run(Forever)
+	})
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	s := New()
+	defer s.Shutdown()
+	s.Spawn("x", func(p *Proc) {
+		if p.Simulator() != s {
+			t.Error("Simulator() mismatch")
+		}
+		if p.Now() != 0 {
+			t.Errorf("Now() = %v", p.Now())
+		}
+	})
+	if err := s.Run(Forever); err != nil {
+		t.Fatal(err)
+	}
+}

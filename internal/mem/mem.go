@@ -1,0 +1,138 @@
+// Package mem provides the virtual prototype's memories.
+//
+// Memory is the tainted RAM used by the DIFT-enabled platform (VP+): every
+// byte carries a security tag (core.TByte), exactly like the paper's memory
+// model. PlainMemory is the tag-free RAM used by the baseline platform (VP):
+// the Table II overhead comparison requires a baseline that does not pay for
+// tag storage or propagation.
+//
+// Both memories are TLM targets, and both additionally expose a direct
+// access interface (the analog of TLM DMI) used by the CPU's hot load/store
+// and fetch paths; only MMIO traffic goes through bus transactions, matching
+// the original riscv-vp design.
+package mem
+
+import (
+	"fmt"
+
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/tlm"
+)
+
+// Memory is byte-addressable tainted RAM.
+type Memory struct {
+	data []core.TByte
+}
+
+// New allocates a tainted memory of the given size with all bytes zero and
+// tagged with defaultTag.
+func New(size uint32, defaultTag core.Tag) *Memory {
+	m := &Memory{data: make([]core.TByte, size)}
+	if defaultTag != 0 {
+		for i := range m.data {
+			m.data[i].T = defaultTag
+		}
+	}
+	return m
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// Data exposes the backing store for the CPU's direct (DMI-like) access
+// path. Index i corresponds to local offset i.
+func (m *Memory) Data() []core.TByte { return m.data }
+
+// Transport implements tlm.Target: reads copy tainted bytes out, writes copy
+// tainted bytes in, tags included — this is how taint flows through DMA and
+// any other bus initiator.
+func (m *Memory) Transport(p *tlm.Payload, delay *kernel.Time) {
+	if uint64(p.Addr)+uint64(len(p.Data)) > uint64(len(m.data)) {
+		p.Resp = tlm.AddressError
+		return
+	}
+	switch p.Cmd {
+	case tlm.Read:
+		copy(p.Data, m.data[p.Addr:])
+	case tlm.Write:
+		copy(m.data[p.Addr:], p.Data)
+	default:
+		p.Resp = tlm.CommandError
+		return
+	}
+	p.Resp = tlm.OK
+}
+
+// Classify assigns tag t to all bytes in [start, end) without touching
+// values; used to apply load-time classification rules (e.g. marking the
+// program image HI or a key region HC).
+func (m *Memory) Classify(start, end uint32, t core.Tag) error {
+	if end < start || uint64(end) > uint64(len(m.data)) {
+		return fmt.Errorf("mem: classify range [0x%x, 0x%x) outside memory of size 0x%x", start, end, len(m.data))
+	}
+	for i := start; i < end; i++ {
+		m.data[i].T = t
+	}
+	return nil
+}
+
+// Load copies a program segment into memory at offset, tagging every written
+// byte with t.
+func (m *Memory) Load(offset uint32, bytes []byte, t core.Tag) error {
+	if uint64(offset)+uint64(len(bytes)) > uint64(len(m.data)) {
+		return fmt.Errorf("mem: load of %d bytes at 0x%x exceeds memory of size 0x%x", len(bytes), offset, len(m.data))
+	}
+	for i, b := range bytes {
+		m.data[offset+uint32(i)] = core.TByte{V: b, T: t}
+	}
+	return nil
+}
+
+// PlainMemory is byte-addressable RAM without tags, for the baseline VP.
+type PlainMemory struct {
+	data []byte
+}
+
+// NewPlain allocates a plain memory of the given size.
+func NewPlain(size uint32) *PlainMemory {
+	return &PlainMemory{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *PlainMemory) Size() uint32 { return uint32(len(m.data)) }
+
+// Data exposes the backing store for the CPU's direct access path.
+func (m *PlainMemory) Data() []byte { return m.data }
+
+// Transport implements tlm.Target. Tags on writes are dropped and reads
+// return the bus's zero tag: the baseline platform does not track taint.
+func (m *PlainMemory) Transport(p *tlm.Payload, delay *kernel.Time) {
+	if uint64(p.Addr)+uint64(len(p.Data)) > uint64(len(m.data)) {
+		p.Resp = tlm.AddressError
+		return
+	}
+	switch p.Cmd {
+	case tlm.Read:
+		for i := range p.Data {
+			p.Data[i] = core.TByte{V: m.data[p.Addr+uint32(i)]}
+		}
+	case tlm.Write:
+		for i := range p.Data {
+			m.data[p.Addr+uint32(i)] = p.Data[i].V
+		}
+	default:
+		p.Resp = tlm.CommandError
+		return
+	}
+	p.Resp = tlm.OK
+}
+
+// Load copies a program segment into memory at offset.
+func (m *PlainMemory) Load(offset uint32, bytes []byte) error {
+	if uint64(offset)+uint64(len(bytes)) > uint64(len(m.data)) {
+		return fmt.Errorf("mem: load of %d bytes at 0x%x exceeds memory of size 0x%x", len(bytes), offset, len(m.data))
+	}
+	copy(m.data[offset:], bytes)
+	return nil
+}

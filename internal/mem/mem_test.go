@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/tlm"
+)
+
+func TestMemoryDefaultTag(t *testing.T) {
+	l := core.IFP2()
+	li := l.MustTag(core.ClassLI)
+	m := New(16, li)
+	if m.Size() != 16 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	for i, b := range m.Data() {
+		if b.T != li || b.V != 0 {
+			t.Fatalf("byte %d = %+v, want zero value with default tag", i, b)
+		}
+	}
+	// Tag 0 default skips the init loop but must still be correct.
+	m0 := New(4, 0)
+	if m0.Data()[0].T != 0 {
+		t.Error("zero-tag memory")
+	}
+}
+
+func TestMemoryTransport(t *testing.T) {
+	l := core.IFP1()
+	hc := l.MustTag(core.ClassHC)
+	m := New(32, 0)
+	var delay kernel.Time
+
+	p := &tlm.Payload{Cmd: tlm.Write, Addr: 4, Data: core.TagAll([]byte{9, 8, 7}, hc)}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.OK {
+		t.Fatalf("write resp = %v", p.Resp)
+	}
+	got := make([]core.TByte, 3)
+	p = &tlm.Payload{Cmd: tlm.Read, Addr: 4, Data: got}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.OK {
+		t.Fatalf("read resp = %v", p.Resp)
+	}
+	for i, want := range []byte{9, 8, 7} {
+		if got[i].V != want || got[i].T != hc {
+			t.Errorf("byte %d = %+v (tags must survive memory round trips)", i, got[i])
+		}
+	}
+
+	p = &tlm.Payload{Cmd: tlm.Read, Addr: 30, Data: make([]core.TByte, 4)}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.AddressError {
+		t.Errorf("out-of-bounds resp = %v", p.Resp)
+	}
+	p = &tlm.Payload{Cmd: tlm.Command(9), Addr: 0, Data: make([]core.TByte, 1)}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.CommandError {
+		t.Errorf("bad command resp = %v", p.Resp)
+	}
+}
+
+func TestMemoryClassify(t *testing.T) {
+	l := core.IFP1()
+	hc := l.MustTag(core.ClassHC)
+	m := New(16, 0)
+	m.Data()[5].V = 0x42
+	if err := m.Classify(4, 8, hc); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data()[3].T != 0 || m.Data()[4].T != hc || m.Data()[7].T != hc || m.Data()[8].T != 0 {
+		t.Error("classify bounds wrong")
+	}
+	if m.Data()[5].V != 0x42 {
+		t.Error("classify must not touch values")
+	}
+	if err := m.Classify(8, 4, hc); err == nil {
+		t.Error("inverted range must be rejected")
+	}
+	if err := m.Classify(0, 17, hc); err == nil {
+		t.Error("out-of-bounds range must be rejected")
+	}
+}
+
+func TestMemoryLoad(t *testing.T) {
+	l := core.IFP2()
+	hi := l.MustTag(core.ClassHI)
+	m := New(8, 0)
+	if err := m.Load(2, []byte{1, 2, 3}, hi); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Data()
+	if d[2] != core.B(1, hi) || d[4] != core.B(3, hi) {
+		t.Errorf("loaded bytes = %+v", d[2:5])
+	}
+	if err := m.Load(6, []byte{1, 2, 3}, hi); err == nil {
+		t.Error("overflowing load must be rejected")
+	}
+}
+
+func TestPlainMemory(t *testing.T) {
+	m := NewPlain(16)
+	if m.Size() != 16 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	if err := m.Load(1, []byte{0xaa, 0xbb}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data()[1] != 0xaa || m.Data()[2] != 0xbb {
+		t.Error("load failed")
+	}
+	if err := m.Load(15, []byte{1, 2}); err == nil {
+		t.Error("overflowing load must be rejected")
+	}
+
+	var delay kernel.Time
+	l := core.IFP1()
+	hc := l.MustTag(core.ClassHC)
+	p := &tlm.Payload{Cmd: tlm.Write, Addr: 0, Data: core.TagAll([]byte{7}, hc)}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.OK || m.Data()[0] != 7 {
+		t.Fatalf("write: resp=%v", p.Resp)
+	}
+	rd := make([]core.TByte, 1)
+	p = &tlm.Payload{Cmd: tlm.Read, Addr: 0, Data: rd}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.OK || rd[0].V != 7 {
+		t.Fatalf("read: %+v resp=%v", rd[0], p.Resp)
+	}
+	if rd[0].T != 0 {
+		t.Error("plain memory must not produce tags")
+	}
+	p = &tlm.Payload{Cmd: tlm.Read, Addr: 16, Data: rd}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.AddressError {
+		t.Errorf("oob resp = %v", p.Resp)
+	}
+	p = &tlm.Payload{Cmd: tlm.Command(5), Addr: 0, Data: rd}
+	m.Transport(p, &delay)
+	if p.Resp != tlm.CommandError {
+		t.Errorf("bad cmd resp = %v", p.Resp)
+	}
+}

@@ -1,0 +1,292 @@
+// Package perf regenerates Table II of the paper: the performance overhead
+// of the DIFT engine, comparing the baseline platform (VP) against the
+// DIFT-enabled platform (VP+) over the seven benchmark workloads.
+//
+// Absolute MIPS depend on the host machine; the reproduced quantity is the
+// per-workload overhead factor (paper: 1.2x–2.9x, average 2.0x).
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/core"
+	"vpdift/internal/guest"
+	"vpdift/internal/immo"
+	"vpdift/internal/kernel"
+	"vpdift/internal/soc"
+)
+
+// Scale selects workload sizes. ScaleSmall keeps the full table under a few
+// seconds (tests, benches); ScaleLarge approaches the paper's instruction
+// counts (minutes of host time).
+type Scale int
+
+// Available scales.
+const (
+	ScaleSmall Scale = iota
+	ScaleMedium
+	ScaleLarge
+)
+
+// ParseScale maps a flag string to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "large":
+		return ScaleLarge, nil
+	default:
+		return 0, fmt.Errorf("perf: unknown scale %q (small|medium|large)", s)
+	}
+}
+
+// Workload is one Table II row: how to build the guest and how to drive the
+// platform to completion.
+type Workload struct {
+	Name string
+	// Build produces the guest image (fresh per run).
+	Build func() *asm.Image
+	// Policy produces the VP+ security policy for the image. Nil selects
+	// the standard code-injection policy (IFP-2, text HI, fetch clearance).
+	Policy func(img *asm.Image) *core.Policy
+	// Horizon bounds simulated time; 0 means run to guest exit.
+	Horizon kernel.Time
+	// Drive optionally interacts with the platform while it runs (the
+	// immobilizer workload feeds challenges). It is invoked instead of the
+	// default single Run call.
+	Drive func(pl *soc.Platform, horizon kernel.Time) error
+}
+
+// codeInjectionPolicy is the default VP+ policy for the perf rows: it
+// exercises tag propagation everywhere plus the per-fetch clearance check.
+func codeInjectionPolicy(img *asm.Image) *core.Policy {
+	l := core.IFP2()
+	hi, li := l.MustTag(core.ClassHI), l.MustTag(core.ClassLI)
+	return core.NewPolicy(l, li).
+		WithFetchClearance(hi).
+		WithRegion(core.RegionRule{
+			Name: "image", Start: img.Base, End: img.End(),
+			Classify: true, Class: hi,
+		})
+}
+
+// Workloads returns the seven Table II rows at the given scale.
+func Workloads(scale Scale) []Workload {
+	qsortN := []int{20000, 100000, 400000}[scale]
+	dhryN := []int{30000, 200000, 1000000}[scale]
+	primesN := []int{30000, 150000, 700000}[scale]
+	sha512N := []int{96 << 10, 768 << 10, 4 << 20}[scale]
+	frames := []int{20, 100, 400}[scale]
+	rtosN := []int{400, 3000, 15000}[scale]
+	immoRounds := []int{10, 60, 300}[scale]
+
+	return []Workload{
+		{Name: "qsort", Build: func() *asm.Image { return guest.QSort(qsortN).Image }},
+		{Name: "dhrystone", Build: func() *asm.Image { return guest.Dhrystone(dhryN).Image }},
+		{Name: "primes", Build: func() *asm.Image { return guest.Primes(primesN).Image }},
+		{Name: "sha512", Build: func() *asm.Image { return guest.SHA512(sha512N).Image }},
+		{
+			Name:    "simple-sensor",
+			Build:   func() *asm.Image { return guest.SimpleSensor(frames).Image },
+			Horizon: kernel.Time(frames+10) * 25 * kernel.MS,
+		},
+		{Name: "freertos-tasks", Build: func() *asm.Image { return guest.RTOSTasks(rtosN).Image }},
+		{
+			Name:   "immo-fixed",
+			Build:  func() *asm.Image { return immo.Firmware(immo.VariantFixed) },
+			Policy: immo.BasePolicy,
+			Drive:  immoDriver(immoRounds),
+		},
+	}
+}
+
+// immoDriver feeds the immobilizer challenge/response rounds and debug
+// dumps, then quits it.
+func immoDriver(rounds int) func(pl *soc.Platform, _ kernel.Time) error {
+	return func(pl *soc.Platform, _ kernel.Time) error {
+		challenge := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		for r := 0; r < rounds; r++ {
+			challenge[0] = byte(r)
+			before := len(pl.CAN.TxLog)
+			pl.CAN.Deliver(0x100, challenge)
+			deadline := pl.Sim.Now() + kernel.S
+			for len(pl.CAN.TxLog) == before {
+				if pl.Sim.Now() >= deadline {
+					return fmt.Errorf("perf: immo did not answer round %d", r)
+				}
+				if err := pl.Run(pl.Sim.Now() + kernel.MS); err != nil {
+					return err
+				}
+			}
+			if r%8 == 0 {
+				pl.UART.Inject([]byte{'d'})
+			}
+		}
+		pl.UART.Inject([]byte{'q'})
+		for {
+			if exited, _ := pl.Exited(); exited {
+				return nil
+			}
+			if err := pl.Run(pl.Sim.Now() + kernel.MS); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Measurement is the outcome of one platform run: executed instructions and
+// host wall-clock time.
+type Measurement struct {
+	Instr uint64
+	Wall  time.Duration
+}
+
+// MIPS returns million instructions per host second.
+func (m Measurement) MIPS() float64 {
+	if m.Wall <= 0 {
+		return 0
+	}
+	return float64(m.Instr) / 1e6 / m.Wall.Seconds()
+}
+
+// RunOnce executes the workload on one platform flavour (dift selects VP+)
+// and measures it.
+func RunOnce(w Workload, dift bool) (Measurement, error) {
+	return RunOnceCfg(w, dift, false)
+}
+
+// RunOnceCfg is RunOnce with the VP+ memory-interface choice exposed:
+// tlmMem routes every VP+ data access through full TLM transactions (the
+// paper's memory-interface organization) instead of the direct path.
+func RunOnceCfg(w Workload, dift, tlmMem bool) (Measurement, error) {
+	img := w.Build()
+	var pol *core.Policy
+	if dift {
+		if w.Policy != nil {
+			pol = w.Policy(img)
+		} else {
+			pol = codeInjectionPolicy(img)
+		}
+	}
+	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: tlmMem})
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		return Measurement{}, err
+	}
+	horizon := w.Horizon
+	if horizon == 0 {
+		horizon = kernel.Forever
+	}
+	start := time.Now()
+	if w.Drive != nil {
+		err = w.Drive(pl, horizon)
+	} else {
+		err = pl.Run(horizon)
+	}
+	wall := time.Since(start)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("perf: %s (dift=%v): %w", w.Name, dift, err)
+	}
+	if exited, code := pl.Exited(); !exited {
+		return Measurement{}, fmt.Errorf("perf: %s did not exit", w.Name)
+	} else if code != 0 {
+		return Measurement{}, fmt.Errorf("perf: %s failed its self-check (exit %d)", w.Name, code)
+	}
+	return Measurement{Instr: pl.Instret(), Wall: wall}, nil
+}
+
+// Row is one completed Table II row.
+type Row struct {
+	Name   string
+	Instr  uint64
+	LoCASM int
+	VP     Measurement
+	VPPlus Measurement
+}
+
+// Overhead is the VP+ / VP slowdown factor.
+func (r Row) Overhead() float64 {
+	if r.VP.Wall <= 0 {
+		return 0
+	}
+	return r.VPPlus.Wall.Seconds() / r.VP.Wall.Seconds()
+}
+
+// RunRow measures both flavours of one workload.
+func RunRow(w Workload) (Row, error) {
+	return RunRowCfg(w, false)
+}
+
+// RunRowCfg measures both flavours, optionally with the VP+ routed through
+// TLM memory transactions.
+func RunRowCfg(w Workload, tlmMem bool) (Row, error) {
+	vp, err := RunOnce(w, false)
+	if err != nil {
+		return Row{}, err
+	}
+	vpp, err := RunOnceCfg(w, true, tlmMem)
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{
+		Name:   w.Name,
+		Instr:  vp.Instr,
+		LoCASM: w.Build().TextWords(),
+		VP:     vp,
+		VPPlus: vpp,
+	}, nil
+}
+
+// group3 formats an integer with thousands separators, as in the paper.
+func group3(v uint64) string {
+	s := fmt.Sprintf("%d", v)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return strings.Join(parts, ",")
+}
+
+// Table renders rows in the paper's Table II layout plus the average line.
+func Table(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %16s %8s %9s %9s %7s %7s %6s\n",
+		"Benchmark", "#instr. exec.", "LoC ASM", "VP [s]", "VP+ [s]", "VP", "VP+", "Ov.")
+	fmt.Fprintf(&b, "%-16s %16s %8s %9s %9s %7s %7s %6s\n",
+		"", "", "", "(sim time)", "", "(MIPS)", "", "")
+	var sumInstr, n uint64
+	var sumLoC int
+	var sumVP, sumVPP float64
+	var sumMipsVP, sumMipsVPP, sumOv float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %16s %8d %9.2f %9.2f %7.1f %7.1f %5.1fx\n",
+			r.Name, group3(r.Instr), r.LoCASM,
+			r.VP.Wall.Seconds(), r.VPPlus.Wall.Seconds(),
+			r.VP.MIPS(), r.VPPlus.MIPS(), r.Overhead())
+		sumInstr += r.Instr
+		sumLoC += r.LoCASM
+		sumVP += r.VP.Wall.Seconds()
+		sumVPP += r.VPPlus.Wall.Seconds()
+		sumMipsVP += r.VP.MIPS()
+		sumMipsVPP += r.VPPlus.MIPS()
+		sumOv += r.Overhead()
+		n++
+	}
+	if n > 0 {
+		f := float64(n)
+		fmt.Fprintf(&b, "%-16s %16s %8d %9.2f %9.2f %7.1f %7.1f %5.1fx\n",
+			"- average -", group3(sumInstr/n), sumLoC/int(n),
+			sumVP/f, sumVPP/f, sumMipsVP/f, sumMipsVPP/f, sumOv/f)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package periph
+
+// AES-128 block cipher, implemented from first principles (FIPS-197). The
+// immobilizer case study's AES peripheral encrypts the challenge with the
+// secret PIN-derived key; the implementation is validated against the Go
+// standard library's crypto/aes in the tests.
+
+// aesSbox is the AES S-box, generated at init from the GF(2^8) inverse and
+// the affine transform rather than pasted as a table.
+var aesSbox [256]byte
+
+// aesRcon holds the round constants for key expansion.
+var aesRcon [11]byte
+
+func init() {
+	// Multiplicative inverses via exhaustive search are fine at init time.
+	inv := func(x byte) byte {
+		if x == 0 {
+			return 0
+		}
+		for y := 1; y < 256; y++ {
+			if gmul(x, byte(y)) == 1 {
+				return byte(y)
+			}
+		}
+		panic("unreachable")
+	}
+	for i := 0; i < 256; i++ {
+		b := inv(byte(i))
+		// Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+		s := b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+		aesSbox[i] = s
+	}
+	rc := byte(1)
+	for i := 1; i <= 10; i++ {
+		aesRcon[i] = rc
+		rc = gmul(rc, 2)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// gmul multiplies in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// aesExpandKey expands a 16-byte key into 11 round keys (176 bytes).
+func aesExpandKey(key [16]byte) [176]byte {
+	var w [176]byte
+	copy(w[:16], key[:])
+	for i := 16; i < 176; i += 4 {
+		var t [4]byte
+		copy(t[:], w[i-4:i])
+		if i%16 == 0 {
+			t[0], t[1], t[2], t[3] = aesSbox[t[1]]^aesRcon[i/16], aesSbox[t[2]], aesSbox[t[3]], aesSbox[t[0]]
+		}
+		for j := 0; j < 4; j++ {
+			w[i+j] = w[i-16+j] ^ t[j]
+		}
+	}
+	return w
+}
+
+// aesEncryptBlock encrypts one 16-byte block with AES-128.
+func aesEncryptBlock(key, in [16]byte) [16]byte {
+	w := aesExpandKey(key)
+	var s [16]byte
+	copy(s[:], in[:])
+	addRoundKey(&s, w[0:16])
+	for round := 1; round <= 9; round++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, w[16*round:16*round+16])
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	addRoundKey(&s, w[160:176])
+	return s
+}
+
+func addRoundKey(s *[16]byte, k []byte) {
+	for i := range s {
+		s[i] ^= k[i]
+	}
+}
+
+func subBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = aesSbox[s[i]]
+	}
+}
+
+// shiftRows operates on the column-major state layout of FIPS-197: byte i
+// is row i%4, column i/4.
+func shiftRows(s *[16]byte) {
+	var t [16]byte
+	copy(t[:], s[:])
+	for r := 1; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r+4*c] = t[r+4*((c+r)%4)]
+		}
+	}
+}
+
+func mixColumns(s *[16]byte) {
+	for c := 0; c < 4; c++ {
+		col := s[4*c : 4*c+4]
+		a0, a1, a2, a3 := col[0], col[1], col[2], col[3]
+		col[0] = gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3
+		col[1] = a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3
+		col[2] = a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)
+		col[3] = gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)
+	}
+}

@@ -1,0 +1,101 @@
+package periph
+
+import (
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/tlm"
+)
+
+// CLINT register map (byte offsets), following the standard RISC-V layout.
+const (
+	CLINTMsip     = 0x0000 // software interrupt (bit 0)
+	CLINTMtimecmp = 0x4000 // 64-bit timer compare
+	CLINTMtime    = 0xBFF8 // 64-bit timer, read-only
+	CLINTSize     = 0xC000
+)
+
+// CLINTTickNS is the mtime resolution: 1 µs per tick (1 MHz timebase, the
+// conventional riscv-vp/SiFive rate).
+const CLINTTickNS = 1000
+
+// CLINT is the core-local interruptor: the machine timer and software
+// interrupt source. mtime is derived from simulated time; writing mtimecmp
+// schedules the MTIP line through the simulation kernel.
+type CLINT struct {
+	env      *Env
+	mtimecmp uint64
+	msip     uint32
+	setMTIP  func(bool)
+	setMSIP  func(bool)
+}
+
+// NewCLINT creates the CLINT. setMTIP/setMSIP drive the core's interrupt
+// lines.
+func NewCLINT(env *Env, setMTIP, setMSIP func(bool)) *CLINT {
+	return &CLINT{env: env, mtimecmp: ^uint64(0), setMTIP: setMTIP, setMSIP: setMSIP}
+}
+
+// MTime returns the current timer value.
+func (c *CLINT) MTime() uint64 { return uint64(c.env.Sim.Now()) / CLINTTickNS }
+
+// update recomputes the MTIP level and, when the compare lies in the future,
+// schedules a callback at the exact expiry time.
+func (c *CLINT) update() {
+	now := c.MTime()
+	if now >= c.mtimecmp {
+		c.setMTIP(true)
+		return
+	}
+	c.setMTIP(false)
+	cmp := c.mtimecmp
+	delta := kernel.Time((cmp - now) * CLINTTickNS)
+	c.env.Sim.After(delta, func() {
+		// Only fire if the compare value is still the one we armed for.
+		if c.mtimecmp == cmp && c.MTime() >= c.mtimecmp {
+			c.setMTIP(true)
+		}
+	})
+}
+
+// Transport implements tlm.Target.
+func (c *CLINT) Transport(p *tlm.Payload, delay *kernel.Time) {
+	transport(c, p, 10*kernel.NS, delay)
+}
+
+func (c *CLINT) readByte(off uint32) (core.TByte, bool) {
+	switch {
+	case off < CLINTMsip+4:
+		return regRead(c.msip, c.env.Default, off-CLINTMsip), true
+	case off >= CLINTMtimecmp && off < CLINTMtimecmp+8:
+		j := off - CLINTMtimecmp
+		return core.TByte{V: byte(c.mtimecmp >> (8 * j)), T: c.env.Default}, true
+	case off >= CLINTMtime && off < CLINTMtime+8:
+		j := off - CLINTMtime
+		return core.TByte{V: byte(c.MTime() >> (8 * j)), T: c.env.Default}, true
+	default:
+		return core.TByte{}, false
+	}
+}
+
+func (c *CLINT) writeByte(off uint32, b core.TByte) bool {
+	switch {
+	case off < CLINTMsip+4:
+		c.msip = regWrite(c.msip, off-CLINTMsip, b.V)
+		if c.setMSIP != nil {
+			c.setMSIP(c.msip&1 != 0)
+		}
+		return true
+	case off >= CLINTMtimecmp && off < CLINTMtimecmp+8:
+		j := off - CLINTMtimecmp
+		shift := 8 * j
+		c.mtimecmp = c.mtimecmp&^(0xff<<shift) | uint64(b.V)<<shift
+		// Re-arm after the last byte of the usual two-word write sequence;
+		// re-arming on every byte is also correct, just busier.
+		c.update()
+		return true
+	case off >= CLINTMtime && off < CLINTMtime+8:
+		return true // read-only: ignore
+	default:
+		return false
+	}
+}

@@ -1,0 +1,121 @@
+package periph
+
+import (
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/tlm"
+)
+
+// IntC register map (byte offsets).
+const (
+	IntCPending = 0x00 // read-only: pending source bits
+	IntCEnable  = 0x04 // read/write: enabled source bits
+	IntCClaim   = 0x08 // read: highest-priority pending+enabled source number
+	//         (claims it, clearing the pending bit); 0 = none.
+	// write: re-raise a level source that is still asserted (complete).
+	IntCSize = 0x0C
+)
+
+// IntC is a compact external-interrupt controller (the platform's PLIC
+// substitute). Sources are numbered 1..31; lower numbers have higher
+// priority. Level semantics: a source raised while another is claimed stays
+// pending until claimed itself. The MEIP line to the core is
+// (pending & enable) != 0.
+type IntC struct {
+	env       *Env
+	pending   uint32
+	enable    uint32
+	levels    uint32 // raw line levels, for level-triggered re-arm on complete
+	lastClaim uint32 // latched claim so multi-byte reads see one word
+	setMEIP   func(bool)
+}
+
+// NewIntC creates the controller; setMEIP drives the core's external
+// interrupt line.
+func NewIntC(env *Env, setMEIP func(bool)) *IntC {
+	return &IntC{env: env, setMEIP: setMEIP}
+}
+
+// SetSource drives interrupt source line n (1..31). Raising a line sets its
+// pending bit; lowering only clears the level (the pending bit stays until
+// claimed, as in a real interrupt controller latch).
+func (ic *IntC) SetSource(n int, level bool) {
+	if n < 1 || n > 31 {
+		return
+	}
+	bit := uint32(1) << uint(n)
+	if level {
+		ic.levels |= bit
+		ic.pending |= bit
+	} else {
+		ic.levels &^= bit
+	}
+	ic.updateMEIP()
+}
+
+// Source returns a closure driving line n; handy when wiring peripherals.
+func (ic *IntC) Source(n int) func(bool) {
+	return func(level bool) { ic.SetSource(n, level) }
+}
+
+func (ic *IntC) updateMEIP() {
+	if ic.setMEIP != nil {
+		ic.setMEIP(ic.pending&ic.enable != 0)
+	}
+}
+
+// Transport implements tlm.Target.
+func (ic *IntC) Transport(p *tlm.Payload, delay *kernel.Time) {
+	transport(ic, p, 10*kernel.NS, delay)
+}
+
+func (ic *IntC) readByte(off uint32) (core.TByte, bool) {
+	switch {
+	case off < IntCPending+4:
+		return regRead(ic.pending, ic.env.Default, off-IntCPending), true
+	case off < IntCEnable+4:
+		return regRead(ic.enable, ic.env.Default, off-IntCEnable), true
+	case off < IntCClaim+4:
+		j := off - IntCClaim
+		var claimed uint32
+		if j == 0 {
+			active := ic.pending & ic.enable
+			for n := uint(1); n <= 31; n++ {
+				if active&(1<<n) != 0 {
+					claimed = uint32(n)
+					ic.pending &^= 1 << n
+					ic.updateMEIP()
+					break
+				}
+			}
+			// Stash for the remaining bytes of this word read.
+			ic.lastClaim = claimed
+		}
+		return regRead(ic.lastClaim, ic.env.Default, j), true
+	default:
+		return core.TByte{}, false
+	}
+}
+
+func (ic *IntC) writeByte(off uint32, b core.TByte) bool {
+	switch {
+	case off < IntCPending+4:
+		return true // read-only
+	case off < IntCEnable+4:
+		ic.enable = regWrite(ic.enable, off-IntCEnable, b.V)
+		ic.updateMEIP()
+		return true
+	case off < IntCClaim+4:
+		// Complete: sources whose level is still high become pending again.
+		if off == IntCClaim {
+			n := uint(b.V)
+			if n >= 1 && n <= 31 && ic.levels&(1<<n) != 0 {
+				ic.pending |= 1 << n
+			}
+			ic.updateMEIP()
+		}
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,77 @@
+package periph
+
+import (
+	"vpdift/internal/kernel"
+	"vpdift/internal/tlm"
+)
+
+// SysCtrl register map (byte offsets).
+const (
+	SysCtrlExit = 0x00 // write: power off with this exit code
+	SysCtrlTime = 0x04 // read: simulated time in microseconds (32 bits)
+	SysCtrlSize = 0x08
+)
+
+// SysCtrl is the platform controller: the guest writes its exit code here to
+// power off (the equivalent of the riscv-vp "sys" exit device).
+type SysCtrl struct {
+	env *Env
+	// OnExit is invoked once with the guest's exit code.
+	OnExit   func(code uint32)
+	exitCode uint32
+	exited   bool
+}
+
+// NewSysCtrl creates the controller.
+func NewSysCtrl(env *Env, onExit func(code uint32)) *SysCtrl {
+	return &SysCtrl{env: env, OnExit: onExit}
+}
+
+// Exited reports whether the guest powered off, and with which code.
+func (s *SysCtrl) Exited() (bool, uint32) { return s.exited, s.exitCode }
+
+// Transport implements tlm.Target. SysCtrl handles whole transactions
+// itself so that a word-sized exit write delivers its complete value before
+// the power-off triggers.
+func (s *SysCtrl) Transport(p *tlm.Payload, delay *kernel.Time) {
+	*delay += 10 * kernel.NS
+	end := uint64(p.Addr) + uint64(len(p.Data))
+	if end > SysCtrlSize {
+		p.Resp = tlm.AddressError
+		return
+	}
+	switch p.Cmd {
+	case tlm.Read:
+		us := uint32(uint64(s.env.Sim.Now()) / uint64(kernel.US))
+		for i := range p.Data {
+			off := p.Addr + uint32(i)
+			switch {
+			case off < SysCtrlExit+4:
+				p.Data[i] = regRead(s.exitCode, s.env.Default, off-SysCtrlExit)
+			default:
+				p.Data[i] = regRead(us, s.env.Default, off-SysCtrlTime)
+			}
+		}
+	case tlm.Write:
+		code := s.exitCode
+		touchedExit := false
+		for i := range p.Data {
+			off := p.Addr + uint32(i)
+			if off < SysCtrlExit+4 {
+				code = regWrite(code, off-SysCtrlExit, p.Data[i].V)
+				touchedExit = true
+			}
+		}
+		if touchedExit && !s.exited {
+			s.exited = true
+			s.exitCode = code
+			if s.OnExit != nil {
+				s.OnExit(code)
+			}
+		}
+	default:
+		p.Resp = tlm.CommandError
+		return
+	}
+	p.Resp = tlm.OK
+}

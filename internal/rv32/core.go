@@ -1,0 +1,507 @@
+package rv32
+
+import (
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/mem"
+	"vpdift/internal/tlm"
+)
+
+// Core is the plain (baseline, "VP") RV32IM instruction-set simulator.
+// Accesses inside the RAM window use the direct memory slice (the DMI-like
+// fast path); everything else is routed over the TLM bus.
+type Core struct {
+	Regs    [32]uint32
+	PC      uint32
+	Instret uint64
+
+	// Halted is set by the platform (SysCtrl write) to stop execution.
+	Halted bool
+
+	// Tracer, when non-nil, is invoked before each instruction executes.
+	Tracer func(pc, insn uint32)
+
+	ram     []byte
+	ramBase uint32
+	ramSize uint32
+	bus     *tlm.Bus
+
+	mstatus  uint32
+	mie      uint32
+	mip      uint32
+	mtvec    uint32
+	mepc     uint32
+	mcause   uint32
+	mtval    uint32
+	mscratch uint32
+
+	mmioBuf [4]core.TByte
+}
+
+// NewCore builds a baseline core over plain RAM and a bus for MMIO.
+func NewCore(ram *mem.PlainMemory, ramBase uint32, bus *tlm.Bus) *Core {
+	return &Core{
+		ram:     ram.Data(),
+		ramBase: ramBase,
+		ramSize: ram.Size(),
+		bus:     bus,
+	}
+}
+
+// SetIRQ drives the machine interrupt-pending lines (mask of IntMTI /
+// IntMEI / IntMSI).
+func (c *Core) SetIRQ(line uint32, level bool) {
+	if level {
+		c.mip |= line
+	} else {
+		c.mip &^= line
+	}
+}
+
+// PendingIRQ reports whether any enabled interrupt is pending (regardless of
+// the global MIE bit) — the WFI wake-up condition.
+func (c *Core) PendingIRQ() bool { return c.mie&c.mip != 0 }
+
+// Run executes up to max instructions. It returns early on WFI with no
+// pending interrupt, on halt, or on an error (bus error, unhandled trap).
+// Timing annotations of MMIO transactions accumulate into delay.
+func (c *Core) Run(max uint64, delay *kernel.Time) (n uint64, st RunStatus, err error) {
+	for n < max {
+		if c.Halted {
+			return n, RunHalt, nil
+		}
+		st, err = c.step(delay)
+		if err != nil {
+			return n, st, err
+		}
+		n++
+		c.Instret++
+		if st != RunOK {
+			return n, st, nil
+		}
+	}
+	return n, RunOK, nil
+}
+
+// takeIRQ enters the highest-priority pending enabled interrupt, if the
+// global enable allows.
+func (c *Core) takeIRQ() (bool, error) {
+	if c.mstatus&MstatusMIE == 0 {
+		return false, nil
+	}
+	pending := c.mie & c.mip
+	if pending == 0 {
+		return false, nil
+	}
+	var cause uint32
+	switch {
+	case pending&IntMEI != 0:
+		cause = CauseMExtInt
+	case pending&IntMSI != 0:
+		cause = causeInterruptBit | 3
+	default:
+		cause = CauseMTimerInt
+	}
+	return true, c.trap(cause, 0, c.PC)
+}
+
+// trap enters the machine trap handler.
+func (c *Core) trap(cause, tval, epc uint32) error {
+	if c.mtvec == 0 {
+		return &TrapError{Cause: cause, Tval: tval, PC: epc}
+	}
+	c.mepc = epc
+	c.mcause = cause
+	c.mtval = tval
+	// MPIE <- MIE; MIE <- 0; MPP <- M.
+	if c.mstatus&MstatusMIE != 0 {
+		c.mstatus |= MstatusMPIE
+	} else {
+		c.mstatus &^= MstatusMPIE
+	}
+	c.mstatus &^= MstatusMIE
+	c.mstatus |= MstatusMPP
+	c.PC = c.mtvec &^ 3
+	return nil
+}
+
+func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
+	if taken, err := c.takeIRQ(); err != nil {
+		return RunOK, err
+	} else if taken {
+		return RunOK, nil
+	}
+
+	pc := c.PC
+	off := pc - c.ramBase
+	if off >= c.ramSize || off+4 > c.ramSize {
+		return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
+	}
+	w := uint32(c.ram[off]) | uint32(c.ram[off+1])<<8 | uint32(c.ram[off+2])<<16 | uint32(c.ram[off+3])<<24
+	if c.Tracer != nil {
+		c.Tracer(pc, w)
+	}
+	i := Decode(w)
+
+	next := pc + 4
+	switch i.Op {
+	case OpLUI:
+		c.set(i.Rd, uint32(i.Imm))
+	case OpAUIPC:
+		c.set(i.Rd, pc+uint32(i.Imm))
+	case OpJAL:
+		c.set(i.Rd, next)
+		next = pc + uint32(i.Imm)
+	case OpJALR:
+		t := (c.Regs[i.Rs1] + uint32(i.Imm)) &^ 1
+		c.set(i.Rd, next)
+		next = t
+	case OpBEQ:
+		if c.Regs[i.Rs1] == c.Regs[i.Rs2] {
+			next = pc + uint32(i.Imm)
+		}
+	case OpBNE:
+		if c.Regs[i.Rs1] != c.Regs[i.Rs2] {
+			next = pc + uint32(i.Imm)
+		}
+	case OpBLT:
+		if int32(c.Regs[i.Rs1]) < int32(c.Regs[i.Rs2]) {
+			next = pc + uint32(i.Imm)
+		}
+	case OpBGE:
+		if int32(c.Regs[i.Rs1]) >= int32(c.Regs[i.Rs2]) {
+			next = pc + uint32(i.Imm)
+		}
+	case OpBLTU:
+		if c.Regs[i.Rs1] < c.Regs[i.Rs2] {
+			next = pc + uint32(i.Imm)
+		}
+	case OpBGEU:
+		if c.Regs[i.Rs1] >= c.Regs[i.Rs2] {
+			next = pc + uint32(i.Imm)
+		}
+	case OpLB:
+		v, err := c.load(c.Regs[i.Rs1]+uint32(i.Imm), 1, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, uint32(int32(v<<24)>>24))
+	case OpLH:
+		v, err := c.load(c.Regs[i.Rs1]+uint32(i.Imm), 2, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, uint32(int32(v<<16)>>16))
+	case OpLW:
+		v, err := c.load(c.Regs[i.Rs1]+uint32(i.Imm), 4, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, v)
+	case OpLBU:
+		v, err := c.load(c.Regs[i.Rs1]+uint32(i.Imm), 1, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, v)
+	case OpLHU:
+		v, err := c.load(c.Regs[i.Rs1]+uint32(i.Imm), 2, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, v)
+	case OpSB:
+		if err := c.store(c.Regs[i.Rs1]+uint32(i.Imm), c.Regs[i.Rs2], 1, delay, pc); err != nil {
+			return RunOK, err
+		}
+	case OpSH:
+		if err := c.store(c.Regs[i.Rs1]+uint32(i.Imm), c.Regs[i.Rs2], 2, delay, pc); err != nil {
+			return RunOK, err
+		}
+	case OpSW:
+		if err := c.store(c.Regs[i.Rs1]+uint32(i.Imm), c.Regs[i.Rs2], 4, delay, pc); err != nil {
+			return RunOK, err
+		}
+	case OpADDI:
+		c.set(i.Rd, c.Regs[i.Rs1]+uint32(i.Imm))
+	case OpSLTI:
+		c.set(i.Rd, b2u(int32(c.Regs[i.Rs1]) < i.Imm))
+	case OpSLTIU:
+		c.set(i.Rd, b2u(c.Regs[i.Rs1] < uint32(i.Imm)))
+	case OpXORI:
+		c.set(i.Rd, c.Regs[i.Rs1]^uint32(i.Imm))
+	case OpORI:
+		c.set(i.Rd, c.Regs[i.Rs1]|uint32(i.Imm))
+	case OpANDI:
+		c.set(i.Rd, c.Regs[i.Rs1]&uint32(i.Imm))
+	case OpSLLI:
+		c.set(i.Rd, c.Regs[i.Rs1]<<uint(i.Imm))
+	case OpSRLI:
+		c.set(i.Rd, c.Regs[i.Rs1]>>uint(i.Imm))
+	case OpSRAI:
+		c.set(i.Rd, uint32(int32(c.Regs[i.Rs1])>>uint(i.Imm)))
+	case OpADD:
+		c.set(i.Rd, c.Regs[i.Rs1]+c.Regs[i.Rs2])
+	case OpSUB:
+		c.set(i.Rd, c.Regs[i.Rs1]-c.Regs[i.Rs2])
+	case OpSLL:
+		c.set(i.Rd, c.Regs[i.Rs1]<<(c.Regs[i.Rs2]&31))
+	case OpSLT:
+		c.set(i.Rd, b2u(int32(c.Regs[i.Rs1]) < int32(c.Regs[i.Rs2])))
+	case OpSLTU:
+		c.set(i.Rd, b2u(c.Regs[i.Rs1] < c.Regs[i.Rs2]))
+	case OpXOR:
+		c.set(i.Rd, c.Regs[i.Rs1]^c.Regs[i.Rs2])
+	case OpSRL:
+		c.set(i.Rd, c.Regs[i.Rs1]>>(c.Regs[i.Rs2]&31))
+	case OpSRA:
+		c.set(i.Rd, uint32(int32(c.Regs[i.Rs1])>>(c.Regs[i.Rs2]&31)))
+	case OpOR:
+		c.set(i.Rd, c.Regs[i.Rs1]|c.Regs[i.Rs2])
+	case OpAND:
+		c.set(i.Rd, c.Regs[i.Rs1]&c.Regs[i.Rs2])
+	case OpMUL:
+		c.set(i.Rd, c.Regs[i.Rs1]*c.Regs[i.Rs2])
+	case OpMULH:
+		c.set(i.Rd, uint32(uint64(int64(int32(c.Regs[i.Rs1]))*int64(int32(c.Regs[i.Rs2])))>>32))
+	case OpMULHSU:
+		c.set(i.Rd, uint32(uint64(int64(int32(c.Regs[i.Rs1]))*int64(c.Regs[i.Rs2]))>>32))
+	case OpMULHU:
+		c.set(i.Rd, uint32(uint64(c.Regs[i.Rs1])*uint64(c.Regs[i.Rs2])>>32))
+	case OpDIV:
+		c.set(i.Rd, divS(c.Regs[i.Rs1], c.Regs[i.Rs2]))
+	case OpDIVU:
+		c.set(i.Rd, divU(c.Regs[i.Rs1], c.Regs[i.Rs2]))
+	case OpREM:
+		c.set(i.Rd, remS(c.Regs[i.Rs1], c.Regs[i.Rs2]))
+	case OpREMU:
+		c.set(i.Rd, remU(c.Regs[i.Rs1], c.Regs[i.Rs2]))
+	case OpFENCE, OpFENCEI:
+		// No-ops: the model is sequentially consistent with no caches.
+	case OpECALL:
+		return RunOK, c.trap(CauseECallM, 0, pc)
+	case OpEBREAK:
+		return RunOK, c.trap(CauseBreakpoint, 0, pc)
+	case OpMRET:
+		// MIE <- MPIE; MPIE <- 1.
+		if c.mstatus&MstatusMPIE != 0 {
+			c.mstatus |= MstatusMIE
+		} else {
+			c.mstatus &^= MstatusMIE
+		}
+		c.mstatus |= MstatusMPIE
+		next = c.mepc
+	case OpWFI:
+		if !c.PendingIRQ() {
+			c.PC = next
+			return RunWFI, nil
+		}
+	case OpCSRRW, OpCSRRS, OpCSRRC, OpCSRRWI, OpCSRRSI, OpCSRRCI:
+		if err := c.csrOp(i, pc); err != nil {
+			return RunOK, err
+		}
+		// csrOp may have trapped (illegal CSR) and replaced PC.
+		if c.PC != pc {
+			return RunOK, nil
+		}
+	default:
+		return RunOK, c.trap(CauseIllegalInstr, w, pc)
+	}
+	if c.PC == pc { // not redirected by a trap inside the switch
+		c.PC = next
+	}
+	return RunOK, nil
+}
+
+// set writes a destination register, keeping x0 hardwired to zero.
+func (c *Core) set(rd uint8, v uint32) {
+	if rd != 0 {
+		c.Regs[rd] = v
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func divS(a, b uint32) uint32 {
+	switch {
+	case b == 0:
+		return 0xffffffff
+	case a == 0x80000000 && b == 0xffffffff:
+		return 0x80000000
+	default:
+		return uint32(int32(a) / int32(b))
+	}
+}
+
+func divU(a, b uint32) uint32 {
+	if b == 0 {
+		return 0xffffffff
+	}
+	return a / b
+}
+
+func remS(a, b uint32) uint32 {
+	switch {
+	case b == 0:
+		return a
+	case a == 0x80000000 && b == 0xffffffff:
+		return 0
+	default:
+		return uint32(int32(a) % int32(b))
+	}
+}
+
+func remU(a, b uint32) uint32 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}
+
+// load reads size bytes (1, 2 or 4) little-endian, zero-extended.
+func (c *Core) load(addr uint32, size uint32, delay *kernel.Time, pc uint32) (uint32, error) {
+	off := addr - c.ramBase
+	if off < c.ramSize && off+size <= c.ramSize {
+		switch size {
+		case 1:
+			return uint32(c.ram[off]), nil
+		case 2:
+			return uint32(c.ram[off]) | uint32(c.ram[off+1])<<8, nil
+		default:
+			return uint32(c.ram[off]) | uint32(c.ram[off+1])<<8 |
+				uint32(c.ram[off+2])<<16 | uint32(c.ram[off+3])<<24, nil
+		}
+	}
+	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size]}
+	c.bus.Transport(&p, delay)
+	if p.Resp != tlm.OK {
+		return 0, &BusError{What: "load " + p.Resp.String(), Addr: addr, PC: pc}
+	}
+	var v uint32
+	for j := uint32(0); j < size; j++ {
+		v |= uint32(c.mmioBuf[j].V) << (8 * j)
+	}
+	return v, nil
+}
+
+// store writes size bytes (1, 2 or 4) little-endian.
+func (c *Core) store(addr, val uint32, size uint32, delay *kernel.Time, pc uint32) error {
+	off := addr - c.ramBase
+	if off < c.ramSize && off+size <= c.ramSize {
+		for j := uint32(0); j < size; j++ {
+			c.ram[off+j] = byte(val >> (8 * j))
+		}
+		return nil
+	}
+	for j := uint32(0); j < size; j++ {
+		c.mmioBuf[j] = core.TByte{V: byte(val >> (8 * j))}
+	}
+	p := tlm.Payload{Cmd: tlm.Write, Addr: addr, Data: c.mmioBuf[:size]}
+	c.bus.Transport(&p, delay)
+	if p.Resp != tlm.OK {
+		return &BusError{What: "store " + p.Resp.String(), Addr: addr, PC: pc}
+	}
+	return nil
+}
+
+// csrOp executes the Zicsr instructions.
+func (c *Core) csrOp(i Inst, pc uint32) error {
+	csr := uint32(i.Imm)
+	old, ok := c.csrRead(csr)
+	if !ok {
+		return c.trap(CauseIllegalInstr, 0, pc)
+	}
+	var operand uint32
+	imm := i.Op == OpCSRRWI || i.Op == OpCSRRSI || i.Op == OpCSRRCI
+	if imm {
+		operand = uint32(i.Rs1)
+	} else {
+		operand = c.Regs[i.Rs1]
+	}
+	var newVal uint32
+	write := true
+	switch i.Op {
+	case OpCSRRW, OpCSRRWI:
+		newVal = operand
+	case OpCSRRS, OpCSRRSI:
+		newVal = old | operand
+		write = i.Rs1 != 0
+	default: // CSRRC, CSRRCI
+		newVal = old &^ operand
+		write = i.Rs1 != 0
+	}
+	if write {
+		if !c.csrWrite(csr, newVal) {
+			return c.trap(CauseIllegalInstr, 0, pc)
+		}
+	}
+	c.set(i.Rd, old)
+	return nil
+}
+
+func (c *Core) csrRead(csr uint32) (uint32, bool) {
+	switch csr {
+	case CSRMstatus:
+		return c.mstatus | MstatusMPP, true
+	case CSRMisa:
+		return misaRV32IM, true
+	case CSRMie:
+		return c.mie, true
+	case CSRMip:
+		return c.mip, true
+	case CSRMtvec:
+		return c.mtvec, true
+	case CSRMepc:
+		return c.mepc, true
+	case CSRMcause:
+		return c.mcause, true
+	case CSRMtval:
+		return c.mtval, true
+	case CSRMscratch:
+		return c.mscratch, true
+	case CSRMvendorid, CSRMarchid, CSRMimpid, CSRMhartid:
+		return 0, true
+	case CSRMcycle, CSRCycle, CSRMinstret, CSRInstret, CSRTime:
+		return uint32(c.Instret), true
+	case CSRMcycleh, CSRCycleh, CSRMinstreth, CSRInstreth, CSRTimeh:
+		return uint32(c.Instret >> 32), true
+	default:
+		return 0, false
+	}
+}
+
+func (c *Core) csrWrite(csr, v uint32) bool {
+	switch csr {
+	case CSRMstatus:
+		c.mstatus = v & (MstatusMIE | MstatusMPIE)
+	case CSRMie:
+		c.mie = v & (IntMSI | IntMTI | IntMEI)
+	case CSRMip:
+		// Interrupt-pending lines are wired from devices; software writes
+		// are ignored (hardwired bits per the privileged spec).
+	case CSRMtvec:
+		c.mtvec = v &^ 3
+	case CSRMepc:
+		c.mepc = v &^ 1
+	case CSRMcause:
+		c.mcause = v
+	case CSRMtval:
+		c.mtval = v
+	case CSRMscratch:
+		c.mscratch = v
+	case CSRMisa, CSRMvendorid, CSRMarchid, CSRMimpid, CSRMhartid:
+		// Read-only: writes ignored.
+	case CSRMcycle, CSRMcycleh, CSRMinstret, CSRMinstreth:
+		// Counters are maintained by the simulator; writes ignored.
+	case CSRCycle, CSRCycleh, CSRInstret, CSRInstreth, CSRTime, CSRTimeh:
+		return false // user-mode counter aliases are read-only
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package rv32
+
+import "fmt"
+
+// Machine-mode CSR addresses (privileged spec subset).
+const (
+	CSRMstatus   = 0x300
+	CSRMisa      = 0x301
+	CSRMie       = 0x304
+	CSRMtvec     = 0x305
+	CSRMscratch  = 0x340
+	CSRMepc      = 0x341
+	CSRMcause    = 0x342
+	CSRMtval     = 0x343
+	CSRMip       = 0x344
+	CSRMvendorid = 0xF11
+	CSRMarchid   = 0xF12
+	CSRMimpid    = 0xF13
+	CSRMhartid   = 0xF14
+	CSRMcycle    = 0xB00
+	CSRMcycleh   = 0xB80
+	CSRMinstret  = 0xB02
+	CSRMinstreth = 0xB82
+	CSRCycle     = 0xC00
+	CSRTime      = 0xC01
+	CSRInstret   = 0xC02
+	CSRCycleh    = 0xC80
+	CSRTimeh     = 0xC81
+	CSRInstreth  = 0xC82
+)
+
+// mstatus bits.
+const (
+	MstatusMIE  = 1 << 3
+	MstatusMPIE = 1 << 7
+	MstatusMPP  = 3 << 11 // machine-mode only: MPP always reads 0b11
+)
+
+// mip/mie interrupt bits.
+const (
+	IntMSI = 1 << 3  // machine software interrupt
+	IntMTI = 1 << 7  // machine timer interrupt
+	IntMEI = 1 << 11 // machine external interrupt
+)
+
+// Trap causes.
+const (
+	CauseInstrMisaligned = 0
+	CauseIllegalInstr    = 2
+	CauseBreakpoint      = 3
+	CauseECallM          = 11
+	causeInterruptBit    = 1 << 31
+	CauseMTimerInt       = causeInterruptBit | 7
+	CauseMExtInt         = causeInterruptBit | 11
+)
+
+// misa value: RV32 (MXL=1) with I and M extensions.
+const misaRV32IM = 1<<30 | 1<<8 | 1<<12
+
+// RunStatus tells the platform why Core.Run / TaintCore.Run returned.
+type RunStatus int
+
+const (
+	// RunOK: the instruction quantum was exhausted; call Run again.
+	RunOK RunStatus = iota
+	// RunWFI: the core executed WFI with no pending interrupt; resume once
+	// an interrupt line changes.
+	RunWFI
+	// RunHalt: the core was halted (platform power-off via SysCtrl).
+	RunHalt
+)
+
+// String names the run status.
+func (s RunStatus) String() string {
+	switch s {
+	case RunOK:
+		return "ok"
+	case RunWFI:
+		return "wfi"
+	case RunHalt:
+		return "halt"
+	default:
+		return fmt.Sprintf("runstatus(%d)", int(s))
+	}
+}
+
+// BusError reports a transaction that did not complete (unmapped address,
+// bad command). Guest bugs surface here instead of silently corrupting the
+// simulation.
+type BusError struct {
+	What string
+	Addr uint32
+	PC   uint32
+}
+
+// Error implements error.
+func (e *BusError) Error() string {
+	return fmt.Sprintf("bus error: %s at addr=0x%08x (pc=0x%08x)", e.What, e.Addr, e.PC)
+}
+
+// TrapError reports an exception taken while mtvec is unset — the guest has
+// no trap handler, so continuing would loop at address 0.
+type TrapError struct {
+	Cause uint32
+	Tval  uint32
+	PC    uint32
+}
+
+// Error implements error.
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("unhandled trap: cause=%d tval=0x%08x pc=0x%08x (mtvec not set)", e.Cause, e.Tval, e.PC)
+}

@@ -1,0 +1,226 @@
+package rv32
+
+import (
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+)
+
+// TestCSRCatalogue reads and writes every implemented CSR on both cores and
+// checks read-only and illegal-CSR behaviour.
+func TestCSRCatalogue(t *testing.T) {
+	src := `
+_start:
+	la t0, handler
+	csrw mtvec, t0
+
+	# read every known CSR; none may trap
+	csrr a0, mstatus
+	csrr a0, misa
+	csrr a0, mie
+	csrr a0, mip
+	csrr a0, mtvec
+	csrr a0, mscratch
+	csrr a0, mepc
+	csrr a0, mcause
+	csrr a0, mtval
+	csrr a0, mvendorid
+	csrr a0, marchid
+	csrr a0, mimpid
+	csrr a0, mhartid
+	csrr a0, mcycle
+	csrr a0, mcycleh
+	csrr a0, minstret
+	csrr a0, minstreth
+	csrr a0, cycle
+	csrr a0, cycleh
+	csrr a0, time
+	csrr a0, timeh
+	csrr a0, instret
+	csrr a0, instreth
+
+	# counters advance
+	csrr s0, instret
+	nop
+	nop
+	csrr s1, instret
+	bleu s1, s0, fail
+
+	# writes to read-only machine info CSRs are ignored, not trapping
+	li t1, 0x123
+	csrw mhartid, t1
+	csrr t2, mhartid
+	bnez t2, fail
+	csrw misa, t1
+	csrw mcycle, t1
+	csrw minstret, t1
+
+	# writes to user counter aliases trap as illegal (handler counts)
+	csrw cycle, t1
+	csrw instret, t1
+	csrw time, t1
+
+	# unknown CSR number traps
+	csrr t1, 0x123
+	csrrw t1, 0x123, t2
+
+	# mepc write clears bit 0
+	li t1, 0x80000001
+	csrw mepc, t1
+	csrr t2, mepc
+	andi t2, t2, 1
+	bnez t2, fail
+
+	# mtvec write clears low bits
+	csrr s2, mtvec
+	andi t2, s2, 3
+	bnez t2, fail
+
+	la t0, traps
+	lw a0, 0(t0)
+	li t1, 5
+	bne a0, t1, fail
+	li a0, 0
+	call halt
+fail:
+	li a0, 1
+	call halt
+
+handler:
+	la t0, traps
+	lw t1, 0(t0)
+	addi t1, t1, 1
+	sw t1, 0(t0)
+	csrr t1, mepc
+	addi t1, t1, 4
+	csrw mepc, t1
+	mret
+
+	.data
+	.align 2
+traps:
+	.word 0
+`
+	// Plain core.
+	c, _, _ := runPlain(t, src)
+	if c.Regs[10+0] == 0 && false {
+		t.Error("unreachable")
+	}
+	if got := c.Regs[10]; got != 0 {
+		// a0 is reset to 0 before halt on success.
+		t.Errorf("plain core CSR catalogue failed (a0=%d)", got)
+	}
+
+	// Taint core, permissive policy.
+	l := core.IFP2()
+	pol := core.NewPolicy(l, l.MustTag(core.ClassLI))
+	r := buildTaint(t, src, pol)
+	var delay kernel.Time
+	if _, st, err := r.c.Run(1_000_000, &delay); err != nil || st != RunHalt {
+		t.Fatalf("taint run st=%v err=%v", st, err)
+	}
+	if r.c.Regs[10].V != 0 {
+		t.Errorf("taint core CSR catalogue failed (a0=%d)", r.c.Regs[10].V)
+	}
+}
+
+// TestCSRNonZeroRs1SetClear: csrrs/csrrc with rs1 != x0 must write.
+func TestCSRNonZeroRs1SetClear(t *testing.T) {
+	c, _, _ := runPlain(t, `
+_start:
+	li t0, 0xF0
+	csrw mscratch, t0
+	li t1, 0x0F
+	csrrs t2, mscratch, t1   # old 0xF0, now 0xFF
+	li t1, 0x30
+	csrrc t3, mscratch, t1   # old 0xFF, now 0xCF
+	csrr t4, mscratch
+	call halt
+`)
+	if c.Regs[7] != 0xF0 || c.Regs[28] != 0xFF || c.Regs[29] != 0xCF {
+		t.Errorf("t2=0x%x t3=0x%x t4=0x%x", c.Regs[7], c.Regs[28], c.Regs[29])
+	}
+}
+
+// TestMisalignedTargetsAndX0Writes exercises remaining step corners on the
+// taint core: csrrsi/csrrci immediates, x0 destination discards.
+func TestTaintCoreCSRImmediates(t *testing.T) {
+	l := core.IFP2()
+	pol := core.NewPolicy(l, l.MustTag(core.ClassLI))
+	r := buildTaint(t, `
+_start:
+	csrwi mscratch, 21
+	csrr a0, mscratch
+	csrsi mscratch, 10
+	csrr a1, mscratch
+	csrci mscratch, 1
+	csrr a2, mscratch
+	csrrsi a3, mscratch, 0  # read without write
+	call halt
+`, pol)
+	if err := r.run(t); err != nil {
+		t.Fatal(err)
+	}
+	if r.c.Regs[10].V != 21 || r.c.Regs[11].V != 31 || r.c.Regs[12].V != 30 || r.c.Regs[13].V != 30 {
+		t.Errorf("a0..a3 = %d %d %d %d", r.c.Regs[10].V, r.c.Regs[11].V, r.c.Regs[12].V, r.c.Regs[13].V)
+	}
+}
+
+// TestSetIRQLowering covers the lowering branch of SetIRQ on both cores.
+func TestSetIRQLowering(t *testing.T) {
+	c, _, _ := buildPlain(t, "_start:\n\tcall halt\n")
+	c.SetIRQ(IntMTI, true)
+	c.SetIRQ(IntMEI, true)
+	c.SetIRQ(IntMTI, false)
+	if c.mip != IntMEI {
+		t.Errorf("mip = 0x%x", c.mip)
+	}
+	l := core.IFP2()
+	pol := core.NewPolicy(l, l.MustTag(core.ClassLI))
+	r := buildTaint(t, "_start:\n\tcall halt\n", pol)
+	r.c.SetIRQ(IntMSI, true)
+	r.c.SetIRQ(IntMSI, false)
+	if r.c.mip != 0 {
+		t.Errorf("taint mip = 0x%x", r.c.mip)
+	}
+}
+
+// TestTaintCoreSoftwareInterrupt covers the MSI cause path.
+func TestTaintCoreSoftwareInterrupt(t *testing.T) {
+	l := core.IFP2()
+	pol := core.NewPolicy(l, l.MustTag(core.ClassLI))
+	r := buildTaint(t, `
+_start:
+	la t0, handler
+	csrw mtvec, t0
+	li t1, 0x8           # MSIE
+	csrw mie, t1
+	csrsi mstatus, 8
+1:	j 1b
+handler:
+	csrr s0, mcause
+	call halt
+`, pol)
+	var delay kernel.Time
+	if _, _, err := r.c.Run(20, &delay); err != nil {
+		t.Fatal(err)
+	}
+	r.c.SetIRQ(IntMSI, true)
+	if _, st, err := r.c.Run(1000, &delay); err != nil || st != RunHalt {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	if r.c.Regs[8].V != 0x80000003 {
+		t.Errorf("mcause = 0x%x, want software interrupt", r.c.Regs[8].V)
+	}
+}
+
+// TestDisasmNames covers the Op.Name and csrName fallbacks.
+func TestDisasmNames(t *testing.T) {
+	if Op(200).Name() == "" || OpADD.Name() != "add" {
+		t.Error("op names")
+	}
+	if csrName(0x300) != "mstatus" || csrName(0x7c0) != "0x7c0" {
+		t.Error("csr names")
+	}
+}

@@ -1,0 +1,218 @@
+// Package rv32 implements the virtual prototype's CPU: an RV32IM (plus
+// Zicsr, Zifencei and machine-mode trap handling) instruction-set simulator.
+//
+// The package provides two cores sharing one decoder:
+//
+//   - Core — the plain ISS used by the baseline platform ("VP" in the
+//     paper's Table II). Registers are uint32, memory is plain bytes.
+//   - TaintCore — the DIFT-enabled ISS ("VP+"): registers and memory carry
+//     security tags, every instruction propagates tags through the IFP's
+//     LUB, and the three execution-clearance checks of the paper
+//     (Section V-B2: branch condition, instruction fetch, memory address)
+//     plus region store-clearance checks are enforced.
+//
+// Keeping two cores rather than one parameterized core is deliberate: the
+// baseline must not pay any tag-carrying cost, or the measured DIFT overhead
+// would be meaningless (see DESIGN.md §5.2).
+package rv32
+
+// Op enumerates decoded operations.
+type Op uint8
+
+// Decoded operations. OpIllegal marks undecodable words.
+const (
+	OpIllegal Op = iota
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+	OpSB
+	OpSH
+	OpSW
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpFENCE
+	OpFENCEI
+	OpECALL
+	OpEBREAK
+	OpMRET
+	OpWFI
+	OpCSRRW
+	OpCSRRS
+	OpCSRRC
+	OpCSRRWI
+	OpCSRRSI
+	OpCSRRCI
+	numOps
+)
+
+// Inst is a decoded instruction. Imm holds the sign-extended immediate; for
+// shifts it is the shift amount, for CSR instructions the CSR address (and
+// Rs1 doubles as the zimm for the immediate forms).
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+func immI(w uint32) int32 { return int32(w) >> 20 }
+func immS(w uint32) int32 { return int32(w)>>25<<5 | int32(w>>7&0x1f) }
+func immB(w uint32) int32 {
+	return int32(w)>>31<<12 | int32(w>>7&1)<<11 | int32(w>>25&0x3f)<<5 | int32(w>>8&0xf)<<1
+}
+func immU(w uint32) int32 { return int32(w & 0xfffff000) }
+func immJ(w uint32) int32 {
+	return int32(w)>>31<<20 | int32(w>>12&0xff)<<12 | int32(w>>20&1)<<11 | int32(w>>21&0x3ff)<<1
+}
+
+// Decode translates a 32-bit instruction word. Undecodable words come back
+// with Op == OpIllegal.
+func Decode(w uint32) Inst {
+	rd := uint8(w >> 7 & 0x1f)
+	rs1 := uint8(w >> 15 & 0x1f)
+	rs2 := uint8(w >> 20 & 0x1f)
+	f3 := w >> 12 & 7
+	f7 := w >> 25
+
+	switch w & 0x7f {
+	case 0x37:
+		return Inst{Op: OpLUI, Rd: rd, Imm: immU(w)}
+	case 0x17:
+		return Inst{Op: OpAUIPC, Rd: rd, Imm: immU(w)}
+	case 0x6f:
+		return Inst{Op: OpJAL, Rd: rd, Imm: immJ(w)}
+	case 0x67:
+		if f3 == 0 {
+			return Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		}
+	case 0x63:
+		ops := [8]Op{OpBEQ, OpBNE, 0, 0, OpBLT, OpBGE, OpBLTU, OpBGEU}
+		if op := ops[f3]; op != 0 {
+			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB(w)}
+		}
+	case 0x03:
+		ops := [8]Op{OpLB, OpLH, OpLW, 0, OpLBU, OpLHU, 0, 0}
+		if op := ops[f3]; op != 0 {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		}
+	case 0x23:
+		ops := [8]Op{OpSB, OpSH, OpSW, 0, 0, 0, 0, 0}
+		if op := ops[f3]; op != 0 {
+			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS(w)}
+		}
+	case 0x13:
+		switch f3 {
+		case 0:
+			return Inst{Op: OpADDI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 2:
+			return Inst{Op: OpSLTI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 3:
+			return Inst{Op: OpSLTIU, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 4:
+			return Inst{Op: OpXORI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 6:
+			return Inst{Op: OpORI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 7:
+			return Inst{Op: OpANDI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 1:
+			if f7 == 0 {
+				return Inst{Op: OpSLLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+		case 5:
+			switch f7 {
+			case 0x00:
+				return Inst{Op: OpSRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			case 0x20:
+				return Inst{Op: OpSRAI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+		}
+	case 0x33:
+		switch f7 {
+		case 0x00:
+			ops := [8]Op{OpADD, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpOR, OpAND}
+			return Inst{Op: ops[f3], Rd: rd, Rs1: rs1, Rs2: rs2}
+		case 0x20:
+			switch f3 {
+			case 0:
+				return Inst{Op: OpSUB, Rd: rd, Rs1: rs1, Rs2: rs2}
+			case 5:
+				return Inst{Op: OpSRA, Rd: rd, Rs1: rs1, Rs2: rs2}
+			}
+		case 0x01:
+			ops := [8]Op{OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}
+			return Inst{Op: ops[f3], Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+	case 0x0f:
+		switch f3 {
+		case 0:
+			return Inst{Op: OpFENCE}
+		case 1:
+			return Inst{Op: OpFENCEI}
+		}
+	case 0x73:
+		switch f3 {
+		case 0:
+			switch w {
+			case 0x00000073:
+				return Inst{Op: OpECALL}
+			case 0x00100073:
+				return Inst{Op: OpEBREAK}
+			case 0x30200073:
+				return Inst{Op: OpMRET}
+			case 0x10500073:
+				return Inst{Op: OpWFI}
+			}
+		case 1:
+			return Inst{Op: OpCSRRW, Rd: rd, Rs1: rs1, Imm: int32(w >> 20)}
+		case 2:
+			return Inst{Op: OpCSRRS, Rd: rd, Rs1: rs1, Imm: int32(w >> 20)}
+		case 3:
+			return Inst{Op: OpCSRRC, Rd: rd, Rs1: rs1, Imm: int32(w >> 20)}
+		case 5:
+			return Inst{Op: OpCSRRWI, Rd: rd, Rs1: rs1, Imm: int32(w >> 20)}
+		case 6:
+			return Inst{Op: OpCSRRSI, Rd: rd, Rs1: rs1, Imm: int32(w >> 20)}
+		case 7:
+			return Inst{Op: OpCSRRCI, Rd: rd, Rs1: rs1, Imm: int32(w >> 20)}
+		}
+	}
+	return Inst{Op: OpIllegal}
+}

@@ -1,0 +1,87 @@
+package rv32
+
+import "fmt"
+
+// abiNames maps register numbers to ABI names for disassembly.
+var abiNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+var csrDisasmNames = map[int32]string{
+	CSRMstatus: "mstatus", CSRMisa: "misa", CSRMie: "mie", CSRMtvec: "mtvec",
+	CSRMscratch: "mscratch", CSRMepc: "mepc", CSRMcause: "mcause",
+	CSRMtval: "mtval", CSRMip: "mip", CSRMhartid: "mhartid",
+	CSRMcycle: "mcycle", CSRMinstret: "minstret",
+	CSRCycle: "cycle", CSRTime: "time", CSRInstret: "instret",
+}
+
+var opNames = [numOps]string{
+	OpIllegal: "illegal",
+	OpLUI:     "lui", OpAUIPC: "auipc", OpJAL: "jal", OpJALR: "jalr",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge", OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpLB: "lb", OpLH: "lh", OpLW: "lw", OpLBU: "lbu", OpLHU: "lhu",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw",
+	OpADDI: "addi", OpSLTI: "slti", OpSLTIU: "sltiu", OpXORI: "xori", OpORI: "ori", OpANDI: "andi",
+	OpSLLI: "slli", OpSRLI: "srli", OpSRAI: "srai",
+	OpADD: "add", OpSUB: "sub", OpSLL: "sll", OpSLT: "slt", OpSLTU: "sltu",
+	OpXOR: "xor", OpSRL: "srl", OpSRA: "sra", OpOR: "or", OpAND: "and",
+	OpMUL: "mul", OpMULH: "mulh", OpMULHSU: "mulhsu", OpMULHU: "mulhu",
+	OpDIV: "div", OpDIVU: "divu", OpREM: "rem", OpREMU: "remu",
+	OpFENCE: "fence", OpFENCEI: "fence.i",
+	OpECALL: "ecall", OpEBREAK: "ebreak", OpMRET: "mret", OpWFI: "wfi",
+	OpCSRRW: "csrrw", OpCSRRS: "csrrs", OpCSRRC: "csrrc",
+	OpCSRRWI: "csrrwi", OpCSRRSI: "csrrsi", OpCSRRCI: "csrrci",
+}
+
+// Name returns the mnemonic of the operation.
+func (op Op) Name() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+func csrName(imm int32) string {
+	if n, ok := csrDisasmNames[imm]; ok {
+		return n
+	}
+	return fmt.Sprintf("0x%x", imm)
+}
+
+// Disassemble renders the instruction word at pc as assembly text. Branch
+// and jump targets are printed as absolute addresses.
+func Disassemble(w, pc uint32) string {
+	i := Decode(w)
+	n := i.Op.Name()
+	rd, rs1, rs2 := abiNames[i.Rd], abiNames[i.Rs1], abiNames[i.Rs2]
+	switch i.Op {
+	case OpIllegal:
+		return fmt.Sprintf(".word 0x%08x", w)
+	case OpLUI, OpAUIPC:
+		return fmt.Sprintf("%s %s, 0x%x", n, rd, uint32(i.Imm)>>12)
+	case OpJAL:
+		return fmt.Sprintf("%s %s, 0x%x", n, rd, pc+uint32(i.Imm))
+	case OpJALR:
+		return fmt.Sprintf("%s %s, %d(%s)", n, rd, i.Imm, rs1)
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, 0x%x", n, rs1, rs2, pc+uint32(i.Imm))
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return fmt.Sprintf("%s %s, %d(%s)", n, rd, i.Imm, rs1)
+	case OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s, %d(%s)", n, rs2, i.Imm, rs1)
+	case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpSLLI, OpSRLI, OpSRAI:
+		return fmt.Sprintf("%s %s, %s, %d", n, rd, rs1, i.Imm)
+	case OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR, OpAND,
+		OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU:
+		return fmt.Sprintf("%s %s, %s, %s", n, rd, rs1, rs2)
+	case OpCSRRW, OpCSRRS, OpCSRRC:
+		return fmt.Sprintf("%s %s, %s, %s", n, rd, csrName(i.Imm), rs1)
+	case OpCSRRWI, OpCSRRSI, OpCSRRCI:
+		return fmt.Sprintf("%s %s, %s, %d", n, rd, csrName(i.Imm), i.Rs1)
+	default:
+		return n
+	}
+}

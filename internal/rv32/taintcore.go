@@ -1,0 +1,588 @@
+package rv32
+
+import (
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/mem"
+	"vpdift/internal/tlm"
+)
+
+// TaintCore is the DIFT-enabled ("VP+") RV32IM instruction-set simulator.
+// It mirrors Core exactly in architectural behaviour and adds, per the
+// paper's Section V:
+//
+//   - tag storage: every register and every memory byte carries a security
+//     class tag;
+//   - tag propagation: computational instructions join source tags with the
+//     IFP's LUB, loads fold the tags of the accessed bytes, stores write the
+//     data tag to every byte;
+//   - execution clearance: configurable checks on the instruction-fetch
+//     word, on branch conditions and indirect-jump/trap-vector targets, and
+//     on load/store addresses;
+//   - region store clearance: integrity protection of configured memory
+//     ranges.
+//
+// A check failure aborts execution with a *core.Violation.
+type TaintCore struct {
+	Regs    [32]core.Word
+	PC      uint32
+	Instret uint64
+	Halted  bool
+
+	// Tracer, when non-nil, is invoked before each instruction executes.
+	Tracer func(pc, insn uint32)
+
+	// ForceBusMem disables the DMI-style direct RAM path for data
+	// accesses: every load/store becomes a full TLM transaction with
+	// per-access to_bytes/from_bytes conversion, the memory-interface
+	// organization the paper describes for its VP+ (Section V-B1,
+	// modification 3). It roughly doubles the DIFT overhead factor; see
+	// the ablation benches and EXPERIMENTS.md.
+	ForceBusMem bool
+
+	ram     []core.TByte
+	ramBase uint32
+	ramSize uint32
+	bus     *tlm.Bus
+
+	lat *core.Lattice
+	pol *core.Policy
+	def core.Tag
+
+	// Cached policy switches (hot path).
+	checkFetch   bool
+	fetchClear   core.Tag
+	checkBranch  bool
+	branchClear  core.Tag
+	checkMemAddr bool
+	memAddrClear core.Tag
+	hasRegions   bool
+
+	mstatus  core.Word
+	mie      core.Word
+	mip      uint32
+	mtvec    core.Word
+	mepc     core.Word
+	mcause   core.Word
+	mtval    core.Word
+	mscratch core.Word
+
+	mmioBuf [4]core.TByte
+}
+
+// NewTaintCore builds a DIFT core over tainted RAM, enforcing the policy.
+// The policy must have been validated against its lattice.
+func NewTaintCore(ram *mem.Memory, ramBase uint32, bus *tlm.Bus, pol *core.Policy) *TaintCore {
+	c := &TaintCore{
+		ram:     ram.Data(),
+		ramBase: ramBase,
+		ramSize: ram.Size(),
+		bus:     bus,
+		lat:     pol.L,
+		pol:     pol,
+		def:     pol.Default,
+
+		checkFetch:   pol.Exec.CheckFetch,
+		fetchClear:   pol.Exec.Fetch,
+		checkBranch:  pol.Exec.CheckBranch,
+		branchClear:  pol.Exec.Branch,
+		checkMemAddr: pol.Exec.CheckMemAddr,
+		memAddrClear: pol.Exec.MemAddr,
+		hasRegions:   len(pol.Regions) > 0,
+	}
+	for i := range c.Regs {
+		c.Regs[i] = core.W(0, c.def)
+	}
+	c.mstatus = core.W(0, c.def)
+	c.mie = core.W(0, c.def)
+	c.mtvec = core.W(0, c.def)
+	c.mepc = core.W(0, c.def)
+	c.mcause = core.W(0, c.def)
+	c.mtval = core.W(0, c.def)
+	c.mscratch = core.W(0, c.def)
+	return c
+}
+
+// SetIRQ drives the machine interrupt-pending lines.
+func (c *TaintCore) SetIRQ(line uint32, level bool) {
+	if level {
+		c.mip |= line
+	} else {
+		c.mip &^= line
+	}
+}
+
+// PendingIRQ reports whether any enabled interrupt is pending.
+func (c *TaintCore) PendingIRQ() bool { return c.mie.V&c.mip != 0 }
+
+// Run executes up to max instructions; see Core.Run.
+func (c *TaintCore) Run(max uint64, delay *kernel.Time) (n uint64, st RunStatus, err error) {
+	for n < max {
+		if c.Halted {
+			return n, RunHalt, nil
+		}
+		st, err = c.step(delay)
+		if err != nil {
+			return n, st, err
+		}
+		n++
+		c.Instret++
+		if st != RunOK {
+			return n, st, nil
+		}
+	}
+	return n, RunOK, nil
+}
+
+func (c *TaintCore) takeIRQ() (bool, error) {
+	if c.mstatus.V&MstatusMIE == 0 {
+		return false, nil
+	}
+	pending := c.mie.V & c.mip
+	if pending == 0 {
+		return false, nil
+	}
+	var cause uint32
+	switch {
+	case pending&IntMEI != 0:
+		cause = CauseMExtInt
+	case pending&IntMSI != 0:
+		cause = causeInterruptBit | 3
+	default:
+		cause = CauseMTimerInt
+	}
+	return true, c.trap(cause, 0, c.PC)
+}
+
+// trap enters the machine trap handler. Per the paper, the trap-vector
+// target is subject to the branch execution clearance ("the same clearance
+// is used to check the interrupt/trap handler address").
+func (c *TaintCore) trap(cause, tval, epc uint32) error {
+	if c.mtvec.V == 0 {
+		return &TrapError{Cause: cause, Tval: tval, PC: epc}
+	}
+	if c.checkBranch && !c.lat.AllowedFlow(c.mtvec.T, c.branchClear) {
+		return core.NewViolation(c.lat, core.KindBranchClearance, c.mtvec.T, c.branchClear).
+			WithPC(epc).WithValue(c.mtvec.V)
+	}
+	c.mepc = core.W(epc, c.def)
+	c.mcause = core.W(cause, c.def)
+	c.mtval = core.W(tval, c.def)
+	st := c.mstatus.V
+	if st&MstatusMIE != 0 {
+		st |= MstatusMPIE
+	} else {
+		st &^= MstatusMPIE
+	}
+	st &^= MstatusMIE
+	st |= MstatusMPP
+	c.mstatus = core.W(st, c.mstatus.T)
+	c.PC = c.mtvec.V &^ 3
+	return nil
+}
+
+// checkBranchTag enforces the branch-condition / indirect-target clearance.
+func (c *TaintCore) checkBranchTag(t core.Tag, pc uint32) error {
+	if !c.checkBranch || c.lat.AllowedFlow(t, c.branchClear) {
+		return nil
+	}
+	return core.NewViolation(c.lat, core.KindBranchClearance, t, c.branchClear).WithPC(pc)
+}
+
+// checkAddrTag enforces the memory-address clearance.
+func (c *TaintCore) checkAddrTag(t core.Tag, addr, pc uint32) error {
+	if !c.checkMemAddr || c.lat.AllowedFlow(t, c.memAddrClear) {
+		return nil
+	}
+	return core.NewViolation(c.lat, core.KindMemAddrClearance, t, c.memAddrClear).
+		WithPC(pc).WithAddr(addr)
+}
+
+func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
+	if taken, err := c.takeIRQ(); err != nil {
+		return RunOK, err
+	} else if taken {
+		return RunOK, nil
+	}
+
+	pc := c.PC
+	off := pc - c.ramBase
+	if off >= c.ramSize || off+4 > c.ramSize {
+		return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
+	}
+	b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
+	w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
+	if c.Tracer != nil {
+		c.Tracer(pc, w)
+	}
+	if c.checkFetch {
+		t := c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T))
+		if !c.lat.AllowedFlow(t, c.fetchClear) {
+			return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, t, c.fetchClear).
+				WithPC(pc).WithValue(w)
+		}
+	}
+	i := Decode(w)
+
+	next := pc + 4
+	r := &c.Regs
+	switch i.Op {
+	case OpLUI:
+		c.set(i.Rd, core.W(uint32(i.Imm), c.def))
+	case OpAUIPC:
+		c.set(i.Rd, core.W(pc+uint32(i.Imm), c.def))
+	case OpJAL:
+		c.set(i.Rd, core.W(next, c.def))
+		next = pc + uint32(i.Imm)
+	case OpJALR:
+		// Indirect jump: the target register steers control flow, so it is
+		// subject to the branch clearance.
+		if err := c.checkBranchTag(r[i.Rs1].T, pc); err != nil {
+			return RunOK, err
+		}
+		t := (r[i.Rs1].V + uint32(i.Imm)) &^ 1
+		c.set(i.Rd, core.W(next, c.def))
+		next = t
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		condTag := c.lat.LUB(r[i.Rs1].T, r[i.Rs2].T)
+		if err := c.checkBranchTag(condTag, pc); err != nil {
+			return RunOK, err
+		}
+		a, b := r[i.Rs1].V, r[i.Rs2].V
+		var taken bool
+		switch i.Op {
+		case OpBEQ:
+			taken = a == b
+		case OpBNE:
+			taken = a != b
+		case OpBLT:
+			taken = int32(a) < int32(b)
+		case OpBGE:
+			taken = int32(a) >= int32(b)
+		case OpBLTU:
+			taken = a < b
+		default:
+			taken = a >= b
+		}
+		if taken {
+			next = pc + uint32(i.Imm)
+		}
+	case OpLB:
+		v, err := c.load(r[i.Rs1], uint32(i.Imm), 1, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, core.W(uint32(int32(v.V<<24)>>24), v.T))
+	case OpLH:
+		v, err := c.load(r[i.Rs1], uint32(i.Imm), 2, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, core.W(uint32(int32(v.V<<16)>>16), v.T))
+	case OpLW:
+		v, err := c.load(r[i.Rs1], uint32(i.Imm), 4, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, v)
+	case OpLBU:
+		v, err := c.load(r[i.Rs1], uint32(i.Imm), 1, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, v)
+	case OpLHU:
+		v, err := c.load(r[i.Rs1], uint32(i.Imm), 2, delay, pc)
+		if err != nil {
+			return RunOK, err
+		}
+		c.set(i.Rd, v)
+	case OpSB:
+		if err := c.store(r[i.Rs1], uint32(i.Imm), r[i.Rs2], 1, delay, pc); err != nil {
+			return RunOK, err
+		}
+	case OpSH:
+		if err := c.store(r[i.Rs1], uint32(i.Imm), r[i.Rs2], 2, delay, pc); err != nil {
+			return RunOK, err
+		}
+	case OpSW:
+		if err := c.store(r[i.Rs1], uint32(i.Imm), r[i.Rs2], 4, delay, pc); err != nil {
+			return RunOK, err
+		}
+	case OpADDI:
+		c.set(i.Rd, core.W(r[i.Rs1].V+uint32(i.Imm), r[i.Rs1].T))
+	case OpSLTI:
+		c.set(i.Rd, core.W(b2u(int32(r[i.Rs1].V) < i.Imm), r[i.Rs1].T))
+	case OpSLTIU:
+		c.set(i.Rd, core.W(b2u(r[i.Rs1].V < uint32(i.Imm)), r[i.Rs1].T))
+	case OpXORI:
+		c.set(i.Rd, core.W(r[i.Rs1].V^uint32(i.Imm), r[i.Rs1].T))
+	case OpORI:
+		c.set(i.Rd, core.W(r[i.Rs1].V|uint32(i.Imm), r[i.Rs1].T))
+	case OpANDI:
+		c.set(i.Rd, core.W(r[i.Rs1].V&uint32(i.Imm), r[i.Rs1].T))
+	case OpSLLI:
+		c.set(i.Rd, core.W(r[i.Rs1].V<<uint(i.Imm), r[i.Rs1].T))
+	case OpSRLI:
+		c.set(i.Rd, core.W(r[i.Rs1].V>>uint(i.Imm), r[i.Rs1].T))
+	case OpSRAI:
+		c.set(i.Rd, core.W(uint32(int32(r[i.Rs1].V)>>uint(i.Imm)), r[i.Rs1].T))
+	case OpADD:
+		c.alu(i, r[i.Rs1].V+r[i.Rs2].V)
+	case OpSUB:
+		c.alu(i, r[i.Rs1].V-r[i.Rs2].V)
+	case OpSLL:
+		c.alu(i, r[i.Rs1].V<<(r[i.Rs2].V&31))
+	case OpSLT:
+		c.alu(i, b2u(int32(r[i.Rs1].V) < int32(r[i.Rs2].V)))
+	case OpSLTU:
+		c.alu(i, b2u(r[i.Rs1].V < r[i.Rs2].V))
+	case OpXOR:
+		c.alu(i, r[i.Rs1].V^r[i.Rs2].V)
+	case OpSRL:
+		c.alu(i, r[i.Rs1].V>>(r[i.Rs2].V&31))
+	case OpSRA:
+		c.alu(i, uint32(int32(r[i.Rs1].V)>>(r[i.Rs2].V&31)))
+	case OpOR:
+		c.alu(i, r[i.Rs1].V|r[i.Rs2].V)
+	case OpAND:
+		c.alu(i, r[i.Rs1].V&r[i.Rs2].V)
+	case OpMUL:
+		c.alu(i, r[i.Rs1].V*r[i.Rs2].V)
+	case OpMULH:
+		c.alu(i, uint32(uint64(int64(int32(r[i.Rs1].V))*int64(int32(r[i.Rs2].V)))>>32))
+	case OpMULHSU:
+		c.alu(i, uint32(uint64(int64(int32(r[i.Rs1].V))*int64(r[i.Rs2].V))>>32))
+	case OpMULHU:
+		c.alu(i, uint32(uint64(r[i.Rs1].V)*uint64(r[i.Rs2].V)>>32))
+	case OpDIV:
+		c.alu(i, divS(r[i.Rs1].V, r[i.Rs2].V))
+	case OpDIVU:
+		c.alu(i, divU(r[i.Rs1].V, r[i.Rs2].V))
+	case OpREM:
+		c.alu(i, remS(r[i.Rs1].V, r[i.Rs2].V))
+	case OpREMU:
+		c.alu(i, remU(r[i.Rs1].V, r[i.Rs2].V))
+	case OpFENCE, OpFENCEI:
+		// No-ops in this memory model.
+	case OpECALL:
+		return RunOK, c.trap(CauseECallM, 0, pc)
+	case OpEBREAK:
+		return RunOK, c.trap(CauseBreakpoint, 0, pc)
+	case OpMRET:
+		// Return target comes from mepc: a control transfer steered by a
+		// register, so the branch clearance applies (like jalr).
+		if err := c.checkBranchTag(c.mepc.T, pc); err != nil {
+			return RunOK, err
+		}
+		st := c.mstatus.V
+		if st&MstatusMPIE != 0 {
+			st |= MstatusMIE
+		} else {
+			st &^= MstatusMIE
+		}
+		st |= MstatusMPIE
+		c.mstatus = core.W(st, c.mstatus.T)
+		next = c.mepc.V
+	case OpWFI:
+		if !c.PendingIRQ() {
+			c.PC = next
+			return RunWFI, nil
+		}
+	case OpCSRRW, OpCSRRS, OpCSRRC, OpCSRRWI, OpCSRRSI, OpCSRRCI:
+		if err := c.csrOp(i, pc); err != nil {
+			return RunOK, err
+		}
+		if c.PC != pc {
+			return RunOK, nil
+		}
+	default:
+		return RunOK, c.trap(CauseIllegalInstr, w, pc)
+	}
+	if c.PC == pc {
+		c.PC = next
+	}
+	return RunOK, nil
+}
+
+// alu writes an R-type result: value computed by the caller, tag joined from
+// both sources — the paper's overloaded-operator semantics (Fig. 3 line 35).
+func (c *TaintCore) alu(i Inst, v uint32) {
+	c.set(i.Rd, core.W(v, c.lat.LUB(c.Regs[i.Rs1].T, c.Regs[i.Rs2].T)))
+}
+
+// set writes a destination register, keeping x0 hardwired to zero with the
+// policy default class.
+func (c *TaintCore) set(rd uint8, w core.Word) {
+	if rd != 0 {
+		c.Regs[rd] = w
+	}
+}
+
+// load reads size bytes little-endian, zero-extended, folding byte tags.
+func (c *TaintCore) load(base core.Word, imm, size uint32, delay *kernel.Time, pc uint32) (core.Word, error) {
+	addr := base.V + imm
+	if err := c.checkAddrTag(base.T, addr, pc); err != nil {
+		return core.Word{}, err
+	}
+	off := addr - c.ramBase
+	if !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize {
+		switch size {
+		case 1:
+			b := c.ram[off]
+			return core.W(uint32(b.V), b.T), nil
+		case 2:
+			b0, b1 := c.ram[off], c.ram[off+1]
+			return core.W(uint32(b0.V)|uint32(b1.V)<<8, c.lat.LUB(b0.T, b1.T)), nil
+		default:
+			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
+			return core.W(
+				uint32(b0.V)|uint32(b1.V)<<8|uint32(b2.V)<<16|uint32(b3.V)<<24,
+				c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T)),
+			), nil
+		}
+	}
+	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size]}
+	c.bus.Transport(&p, delay)
+	if p.Resp != tlm.OK {
+		return core.Word{}, &BusError{What: "load " + p.Resp.String(), Addr: addr, PC: pc}
+	}
+	var v uint32
+	t := c.mmioBuf[0].T
+	for j := uint32(0); j < size; j++ {
+		v |= uint32(c.mmioBuf[j].V) << (8 * j)
+		t = c.lat.LUB(t, c.mmioBuf[j].T)
+	}
+	return core.W(v, t), nil
+}
+
+// store writes size bytes little-endian, each carrying the value's tag,
+// after the memory-address and region store-clearance checks.
+func (c *TaintCore) store(base core.Word, imm uint32, val core.Word, size uint32, delay *kernel.Time, pc uint32) error {
+	addr := base.V + imm
+	if err := c.checkAddrTag(base.T, addr, pc); err != nil {
+		return err
+	}
+	if c.hasRegions {
+		if err := c.pol.CheckStore(addr, val.T); err != nil {
+			if v, ok := err.(*core.Violation); ok {
+				v.PC = pc
+			}
+			return err
+		}
+	}
+	off := addr - c.ramBase
+	if !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize {
+		for j := uint32(0); j < size; j++ {
+			c.ram[off+j] = core.TByte{V: byte(val.V >> (8 * j)), T: val.T}
+		}
+		return nil
+	}
+	for j := uint32(0); j < size; j++ {
+		c.mmioBuf[j] = core.TByte{V: byte(val.V >> (8 * j)), T: val.T}
+	}
+	p := tlm.Payload{Cmd: tlm.Write, Addr: addr, Data: c.mmioBuf[:size]}
+	c.bus.Transport(&p, delay)
+	if p.Resp != tlm.OK {
+		return &BusError{What: "store " + p.Resp.String(), Addr: addr, PC: pc}
+	}
+	return nil
+}
+
+// csrOp executes the Zicsr instructions with tag propagation: the
+// destination register receives the CSR's tag, and register-sourced writes
+// carry the source register's tag into the CSR.
+func (c *TaintCore) csrOp(i Inst, pc uint32) error {
+	csr := uint32(i.Imm)
+	old, ok := c.csrRead(csr)
+	if !ok {
+		return c.trap(CauseIllegalInstr, 0, pc)
+	}
+	var operand core.Word
+	imm := i.Op == OpCSRRWI || i.Op == OpCSRRSI || i.Op == OpCSRRCI
+	if imm {
+		operand = core.W(uint32(i.Rs1), c.def)
+	} else {
+		operand = c.Regs[i.Rs1]
+	}
+	var newVal core.Word
+	write := true
+	switch i.Op {
+	case OpCSRRW, OpCSRRWI:
+		newVal = operand
+	case OpCSRRS, OpCSRRSI:
+		newVal = core.W(old.V|operand.V, c.lat.LUB(old.T, operand.T))
+		write = i.Rs1 != 0
+	default:
+		newVal = core.W(old.V&^operand.V, c.lat.LUB(old.T, operand.T))
+		write = i.Rs1 != 0
+	}
+	if write {
+		if !c.csrWrite(csr, newVal) {
+			return c.trap(CauseIllegalInstr, 0, pc)
+		}
+	}
+	c.set(i.Rd, old)
+	return nil
+}
+
+func (c *TaintCore) csrRead(csr uint32) (core.Word, bool) {
+	switch csr {
+	case CSRMstatus:
+		return core.W(c.mstatus.V|MstatusMPP, c.mstatus.T), true
+	case CSRMisa:
+		return core.W(misaRV32IM, c.def), true
+	case CSRMie:
+		return c.mie, true
+	case CSRMip:
+		return core.W(c.mip, c.def), true
+	case CSRMtvec:
+		return c.mtvec, true
+	case CSRMepc:
+		return c.mepc, true
+	case CSRMcause:
+		return c.mcause, true
+	case CSRMtval:
+		return c.mtval, true
+	case CSRMscratch:
+		return c.mscratch, true
+	case CSRMvendorid, CSRMarchid, CSRMimpid, CSRMhartid:
+		return core.W(0, c.def), true
+	case CSRMcycle, CSRCycle, CSRMinstret, CSRInstret, CSRTime:
+		return core.W(uint32(c.Instret), c.def), true
+	case CSRMcycleh, CSRCycleh, CSRMinstreth, CSRInstreth, CSRTimeh:
+		return core.W(uint32(c.Instret>>32), c.def), true
+	default:
+		return core.Word{}, false
+	}
+}
+
+func (c *TaintCore) csrWrite(csr uint32, w core.Word) bool {
+	switch csr {
+	case CSRMstatus:
+		c.mstatus = core.W(w.V&(MstatusMIE|MstatusMPIE), w.T)
+	case CSRMie:
+		c.mie = core.W(w.V&(IntMSI|IntMTI|IntMEI), w.T)
+	case CSRMip:
+		// Hardwired from devices; software writes ignored.
+	case CSRMtvec:
+		c.mtvec = core.W(w.V&^3, w.T)
+	case CSRMepc:
+		c.mepc = core.W(w.V&^1, w.T)
+	case CSRMcause:
+		c.mcause = w
+	case CSRMtval:
+		c.mtval = w
+	case CSRMscratch:
+		c.mscratch = w
+	case CSRMisa, CSRMvendorid, CSRMarchid, CSRMimpid, CSRMhartid:
+		// Read-only: writes ignored.
+	case CSRMcycle, CSRMcycleh, CSRMinstret, CSRMinstreth:
+		// Simulator-maintained counters; writes ignored.
+	case CSRCycle, CSRCycleh, CSRInstret, CSRInstreth, CSRTime, CSRTimeh:
+		return false
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,419 @@
+// Package soc assembles the complete virtual prototype: CPU, tainted RAM,
+// TLM bus, and the peripheral set (UART, sensor, CLINT, interrupt
+// controller, DMA, CAN, AES, SysCtrl), mirroring the RISC-V VP platform the
+// paper builds on.
+//
+// Two platform flavours exist, selected by Config.Policy:
+//
+//   - Policy == nil — the baseline "VP": plain core, plain memory, no tag
+//     tracking. This is the reference for Table II.
+//   - Policy != nil — "VP+": TaintCore over tainted memory, with the policy
+//     encoded into the platform: load-time classification, peripheral input
+//     classes, output/input clearances, execution clearance, and the AES
+//     declassifier.
+package soc
+
+import (
+	"fmt"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/mem"
+	"vpdift/internal/periph"
+	"vpdift/internal/rv32"
+	"vpdift/internal/tlm"
+)
+
+// Memory map of the platform.
+const (
+	CLINTBase   = 0x02000000
+	IntCBase    = 0x0C000000
+	UARTBase    = 0x10000000
+	SysCtrlBase = 0x11000000
+	CANBase     = 0x40000000
+	SensorBase  = 0x50000000
+	AESBase     = 0x60000000
+	DMABase     = 0x70000000
+	RAMBase     = 0x80000000
+)
+
+// External interrupt source numbers on the IntC.
+const (
+	IRQUart   = 1
+	IRQSensor = 2
+	IRQCan    = 3
+	IRQDma    = 4
+)
+
+// DefaultRAMSize is 8 MiB, plenty for every guest in this repository.
+const DefaultRAMSize = 8 << 20
+
+// DefaultQuantum is the number of instructions the CPU executes between
+// kernel synchronizations (the TLM loosely-timed quantum).
+const DefaultQuantum = 4096
+
+// DefaultInstrTime models a 100 MHz single-issue core: 10 ns per
+// instruction.
+const DefaultInstrTime = 10 * kernel.NS
+
+// Config parameterizes platform construction.
+type Config struct {
+	// Policy enables DIFT (VP+) when non-nil. It must validate.
+	Policy *core.Policy
+	// RAMSize defaults to DefaultRAMSize.
+	RAMSize uint32
+	// Quantum defaults to DefaultQuantum instructions.
+	Quantum uint64
+	// InstrTime defaults to DefaultInstrTime.
+	InstrTime kernel.Time
+	// TaintMemViaTLM routes every VP+ data access through full TLM
+	// transactions instead of the direct memory path, matching the
+	// memory-interface organization the paper describes for its DIFT
+	// platform. Ignored on the baseline VP.
+	TaintMemViaTLM bool
+}
+
+// Platform is a constructed virtual prototype.
+type Platform struct {
+	Sim *kernel.Simulator
+	Bus *tlm.Bus
+
+	UART    *periph.UART
+	Sensor  *periph.Sensor
+	CLINT   *periph.CLINT
+	IntC    *periph.IntC
+	DMA     *periph.DMA
+	CAN     *periph.CAN
+	AES     *periph.AES
+	SysCtrl *periph.SysCtrl
+
+	// Exactly one of the two cores is non-nil.
+	Core      *rv32.Core
+	TaintCore *rv32.TaintCore
+
+	policy   *core.Policy
+	ram      *mem.Memory      // VP+ RAM
+	plainRAM *mem.PlainMemory // VP RAM
+
+	cfg      Config
+	irqEvent *kernel.Event
+	exited   bool
+	exitCode uint32
+	loaded   bool
+}
+
+// New builds a platform. The baseline VP is built when cfg.Policy is nil.
+func New(cfg Config) (*Platform, error) {
+	if cfg.RAMSize == 0 {
+		cfg.RAMSize = DefaultRAMSize
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = DefaultQuantum
+	}
+	if cfg.InstrTime == 0 {
+		cfg.InstrTime = DefaultInstrTime
+	}
+	pl := &Platform{
+		Sim: kernel.New(),
+		Bus: tlm.NewBus(),
+		cfg: cfg,
+	}
+	pl.irqEvent = pl.Sim.NewEvent("irq")
+
+	env := &periph.Env{Sim: pl.Sim}
+	pol := cfg.Policy
+	if pol != nil {
+		if err := pol.Validate(); err != nil {
+			return nil, fmt.Errorf("soc: %w", err)
+		}
+		pl.policy = pol
+		env.Lat = pol.L
+		env.Default = pol.Default
+	}
+
+	// CPU and RAM.
+	var setIRQ func(line uint32, level bool)
+	if pol == nil {
+		pl.plainRAM = mem.NewPlain(cfg.RAMSize)
+		pl.Core = rv32.NewCore(pl.plainRAM, RAMBase, pl.Bus)
+		setIRQ = func(line uint32, level bool) {
+			pl.Core.SetIRQ(line, level)
+			if level {
+				pl.irqEvent.Notify(0)
+			}
+		}
+	} else {
+		pl.ram = mem.New(cfg.RAMSize, pol.Default)
+		pl.TaintCore = rv32.NewTaintCore(pl.ram, RAMBase, pl.Bus, pol)
+		pl.TaintCore.ForceBusMem = cfg.TaintMemViaTLM
+		setIRQ = func(line uint32, level bool) {
+			pl.TaintCore.SetIRQ(line, level)
+			if level {
+				pl.irqEvent.Notify(0)
+			}
+		}
+	}
+
+	// Interrupt fabric.
+	pl.CLINT = periph.NewCLINT(env,
+		func(lv bool) { setIRQ(rv32.IntMTI, lv) },
+		func(lv bool) { setIRQ(rv32.IntMSI, lv) })
+	pl.IntC = periph.NewIntC(env, func(lv bool) { setIRQ(rv32.IntMEI, lv) })
+
+	// Peripherals.
+	pl.UART = periph.NewUART(env, "uart0", pl.IntC.Source(IRQUart))
+	pl.Sensor = periph.NewSensor(env, "sensor0", pl.IntC.Source(IRQSensor))
+	pl.CAN = periph.NewCAN(env, "can0", pl.IntC.Source(IRQCan))
+	pl.DMA = periph.NewDMA(env, pl.Bus, "dma0", pl.IntC.Source(IRQDma))
+	var decl *core.Declassifier
+	if pol != nil {
+		decl = core.NewDeclassifier(pol.L)
+	}
+	pl.AES = periph.NewAES(env, "aes0", decl)
+	pl.SysCtrl = periph.NewSysCtrl(env, func(code uint32) {
+		pl.exited = true
+		pl.exitCode = code
+		if pl.Core != nil {
+			pl.Core.Halted = true
+		} else {
+			pl.TaintCore.Halted = true
+		}
+	})
+
+	// Encode the policy into the peripherals.
+	if pol != nil {
+		if t, ok := pol.OutputClearance("uart0.tx"); ok {
+			pl.UART.SetTxClearance(t)
+		}
+		if t, ok := pol.OutputClearance("can0.tx"); ok {
+			pl.CAN.SetTxClearance(t)
+		}
+		if t, ok := pol.OutputClearance("aes0.in"); ok {
+			pl.AES.SetInputClearance(t)
+		}
+		pl.UART.SetRxClass(pol.InputClass("uart0.rx"))
+		pl.CAN.SetRxClass(pol.InputClass("can0.rx"))
+		pl.Sensor.SetDataTag(pol.InputClass("sensor0.data"))
+		pl.AES.SetOutputClass(pol.InputClass("aes0.out"))
+	}
+
+	// Memory map.
+	pl.Bus.MustMap("clint", CLINTBase, periph.CLINTSize, pl.CLINT)
+	pl.Bus.MustMap("intc", IntCBase, periph.IntCSize, pl.IntC)
+	pl.Bus.MustMap("uart0", UARTBase, periph.UARTSize, pl.UART)
+	pl.Bus.MustMap("sysctrl", SysCtrlBase, periph.SysCtrlSize, pl.SysCtrl)
+	pl.Bus.MustMap("can0", CANBase, periph.CANSize, pl.CAN)
+	pl.Bus.MustMap("sensor0", SensorBase, periph.SensorSize, pl.Sensor)
+	pl.Bus.MustMap("aes0", AESBase, periph.AESSize, pl.AES)
+	pl.Bus.MustMap("dma0", DMABase, periph.DMASize, pl.DMA)
+	if pol == nil {
+		pl.Bus.MustMap("ram", RAMBase, cfg.RAMSize, pl.plainRAM)
+	} else {
+		pl.Bus.MustMap("ram", RAMBase, cfg.RAMSize, pl.ram)
+	}
+
+	pl.spawnCPU()
+	return pl, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Platform {
+	pl, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// spawnCPU starts the CPU process: execute a quantum, advance simulated
+// time, repeat; on WFI sleep until an interrupt line rises.
+func (pl *Platform) spawnCPU() {
+	pl.Sim.Spawn("cpu", func(p *kernel.Proc) {
+		for {
+			var delay kernel.Time
+			var n uint64
+			var st rv32.RunStatus
+			var err error
+			if pl.Core != nil {
+				n, st, err = pl.Core.Run(pl.cfg.Quantum, &delay)
+			} else {
+				n, st, err = pl.TaintCore.Run(pl.cfg.Quantum, &delay)
+			}
+			if err != nil {
+				p.Fatal(err)
+			}
+			advance := kernel.Time(n)*pl.cfg.InstrTime + delay
+			switch st {
+			case rv32.RunHalt:
+				p.Stop()
+			case rv32.RunWFI:
+				if advance > 0 {
+					p.Wait(advance)
+				}
+				for !pl.pendingIRQ() && !pl.Sim.Stopped() {
+					p.WaitEvent(pl.irqEvent)
+				}
+			default:
+				p.Wait(advance)
+			}
+		}
+	})
+}
+
+func (pl *Platform) pendingIRQ() bool {
+	if pl.Core != nil {
+		return pl.Core.PendingIRQ()
+	}
+	return pl.TaintCore.PendingIRQ()
+}
+
+// Load places a program image into RAM and points the CPU at its entry. On
+// the DIFT platform every loaded byte is classified per the policy's region
+// rules (program text typically HI, key material HC/HI, everything else the
+// default class); classification rules also apply to untouched RAM such as
+// zero-initialized key buffers.
+func (pl *Platform) Load(img *asm.Image) error {
+	if pl.loaded {
+		return fmt.Errorf("soc: image already loaded")
+	}
+	flat := img.Flatten()
+	if img.Base < RAMBase {
+		return fmt.Errorf("soc: image base 0x%x below RAM base 0x%x", img.Base, RAMBase)
+	}
+	offset := img.Base - RAMBase
+	if pl.Core != nil {
+		if err := pl.plainRAM.Load(offset, flat); err != nil {
+			return err
+		}
+		pl.Core.PC = img.Entry
+		pl.loaded = true
+		return nil
+	}
+	pol := pl.policy
+	data := pl.ram.Data()
+	if uint64(offset)+uint64(len(flat)) > uint64(len(data)) {
+		return fmt.Errorf("soc: image of %d bytes does not fit RAM", len(flat))
+	}
+	for i, b := range flat {
+		addr := img.Base + uint32(i)
+		data[offset+uint32(i)] = core.TByte{V: b, T: pol.ClassifyAt(addr)}
+	}
+	// Classification rules may also cover RAM outside the image.
+	for i := range pol.Regions {
+		r := &pol.Regions[i]
+		if !r.Classify {
+			continue
+		}
+		for a := r.Start; a < r.End; a++ {
+			off := a - RAMBase
+			if off < uint32(len(data)) && (a < img.Base || a >= img.Base+uint32(len(flat))) {
+				data[off].T = r.Class
+			}
+		}
+	}
+	pl.TaintCore.PC = img.Entry
+	pl.loaded = true
+	return nil
+}
+
+// Run advances the simulation until the guest exits, a violation or error
+// stops it, or the horizon passes. It returns the stopping error (a
+// *core.Violation for policy violations), or nil on clean exit/horizon.
+func (pl *Platform) Run(horizon kernel.Time) error {
+	if !pl.loaded {
+		return fmt.Errorf("soc: no image loaded")
+	}
+	return pl.Sim.Run(horizon)
+}
+
+// Shutdown releases the platform's kernel processes. The platform must not
+// be used afterwards.
+func (pl *Platform) Shutdown() { pl.Sim.Shutdown() }
+
+// Exited reports whether the guest powered off, with its exit code.
+func (pl *Platform) Exited() (bool, uint32) { return pl.exited, pl.exitCode }
+
+// Instret returns the number of instructions executed so far.
+func (pl *Platform) Instret() uint64 {
+	if pl.Core != nil {
+		return pl.Core.Instret
+	}
+	return pl.TaintCore.Instret
+}
+
+// IsDIFT reports whether this is the VP+ (taint-tracking) flavour.
+func (pl *Platform) IsDIFT() bool { return pl.TaintCore != nil }
+
+// TaintSummary counts RAM bytes per security class — a debugging aid for
+// policy development ("how far did the secret spread?"). It returns nil on
+// the baseline platform.
+func (pl *Platform) TaintSummary() map[string]uint64 {
+	if pl.ram == nil {
+		return nil
+	}
+	counts := make([]uint64, pl.policy.L.Size())
+	for _, b := range pl.ram.Data() {
+		if int(b.T) < len(counts) {
+			counts[b.T]++
+		}
+	}
+	out := make(map[string]uint64, len(counts))
+	for tag, n := range counts {
+		if n > 0 {
+			out[pl.policy.L.Name(core.Tag(tag))] = n
+		}
+	}
+	return out
+}
+
+// TaintedRanges lists the maximal RAM ranges whose bytes carry a class
+// other than the policy default, as "[start, end) CLASS" strings in address
+// order. Empty on the baseline platform.
+func (pl *Platform) TaintedRanges() []string {
+	if pl.ram == nil {
+		return nil
+	}
+	var out []string
+	data := pl.ram.Data()
+	def := pl.policy.Default
+	i := 0
+	for i < len(data) {
+		if data[i].T == def {
+			i++
+			continue
+		}
+		tag := data[i].T
+		start := i
+		for i < len(data) && data[i].T == tag {
+			i++
+		}
+		out = append(out, fmt.Sprintf("[0x%08x, 0x%08x) %s",
+			RAMBase+uint32(start), RAMBase+uint32(i), pl.policy.L.Name(tag)))
+	}
+	return out
+}
+
+// ReadRAM copies size bytes of RAM at the given bus address (values only).
+func (pl *Platform) ReadRAM(addr, size uint32) ([]byte, error) {
+	if addr < RAMBase {
+		return nil, fmt.Errorf("soc: 0x%x below RAM", addr)
+	}
+	off := addr - RAMBase
+	if pl.Core != nil {
+		d := pl.plainRAM.Data()
+		if uint64(off)+uint64(size) > uint64(len(d)) {
+			return nil, fmt.Errorf("soc: read beyond RAM")
+		}
+		return append([]byte(nil), d[off:off+size]...), nil
+	}
+	d := pl.ram.Data()
+	if uint64(off)+uint64(size) > uint64(len(d)) {
+		return nil, fmt.Errorf("soc: read beyond RAM")
+	}
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = d[off+uint32(i)].V
+	}
+	return out, nil
+}

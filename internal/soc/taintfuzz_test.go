@@ -1,0 +1,155 @@
+package soc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/guest"
+	"vpdift/internal/kernel"
+)
+
+// The taint-tracking fuzzer: generate random straight-line data-flow chains
+// that shuttle a value through registers, arithmetic, and memory (word,
+// half and byte granularity), then emit the result on the UART.
+//
+//   - Soundness (no under-tainting): a chain rooted at the secret must
+//     ALWAYS raise an output-clearance violation, whatever path the data
+//     took.
+//   - Precision (no over-tainting): a chain rooted at public data must
+//     NEVER raise a violation, even when a secret-derived chain runs
+//     interleaved next to it.
+
+type chainGen struct {
+	seed uint32
+	b    strings.Builder
+	buf  int // scratch slots used
+}
+
+func (g *chainGen) rnd() uint32 {
+	g.seed = g.seed*1664525 + 1013904223
+	return g.seed
+}
+
+func (g *chainGen) line(format string, args ...any) {
+	fmt.Fprintf(&g.b, "\t"+format+"\n", args...)
+}
+
+// step applies one random taint-preserving transformation to the live value
+// in reg (an s-register name), using other as a public helper register.
+func (g *chainGen) step(reg, other string) {
+	switch g.rnd() % 8 {
+	case 0: // move through a temporary
+		g.line("mv t0, %s", reg)
+		g.line("mv %s, t0", reg)
+	case 1: // arithmetic with a public register
+		g.line("li %s, %d", other, g.rnd()%1000)
+		g.line("add %s, %s, %s", reg, reg, other)
+	case 2: // xor with an immediate
+		g.line("xori %s, %s, %d", reg, reg, g.rnd()%2048)
+	case 3: // shift left then right (keeps derivation)
+		g.line("slli %s, %s, 1", reg, reg)
+		g.line("srli %s, %s, 1", reg, reg)
+	case 4: // word round trip through memory
+		slot := g.slot()
+		g.line("la t1, %s", slot)
+		g.line("sw %s, 0(t1)", reg)
+		g.line("lw %s, 0(t1)", reg)
+	case 5: // byte round trip (only the low byte survives, still tainted)
+		slot := g.slot()
+		g.line("la t1, %s", slot)
+		g.line("sb %s, 0(t1)", reg)
+		g.line("lbu %s, 0(t1)", reg)
+	case 6: // halfword round trip
+		slot := g.slot()
+		g.line("la t1, %s", slot)
+		g.line("sh %s, 0(t1)", reg)
+		g.line("lhu %s, 0(t1)", reg)
+	case 7: // multiply by a public value
+		g.line("li %s, 3", other)
+		g.line("mul %s, %s, %s", reg, reg, other)
+	}
+}
+
+func (g *chainGen) slot() string {
+	g.buf++
+	return fmt.Sprintf("fz_slot%d", g.buf)
+}
+
+// program builds a guest with two interleaved chains: one rooted at the
+// secret (register s2), one rooted at public data (s3). emitSecret selects
+// which one is written to the console at the end.
+func (g *chainGen) program(steps int, emitSecret bool) string {
+	g.b.Reset()
+	g.buf = 0
+	g.b.WriteString("main:\n")
+	g.line("la t0, fz_secret")
+	g.line("lw s2, 0(t0)")
+	g.line("li s3, 0x1234")
+	for i := 0; i < steps; i++ {
+		g.step("s2", "s4")
+		g.step("s3", "s5")
+	}
+	out := "s3"
+	if emitSecret {
+		out = "s2"
+	}
+	g.line("li t0, UART_BASE")
+	g.line("sw %s, UART_TX(t0)", out)
+	g.line("li a0, 0")
+	g.line("j exit")
+	fmt.Fprintf(&g.b, "\t.data\n\t.align 2\nfz_secret:\n\t.word 0x%08x\n", 0xC0DE0000|g.rnd()&0xFFFF)
+	for i := 1; i <= g.buf; i++ {
+		fmt.Fprintf(&g.b, "fz_slot%d:\n\t.word 0\n", i)
+	}
+	return g.b.String()
+}
+
+func TestTaintFuzzSoundnessAndPrecision(t *testing.T) {
+	for seed := uint32(1); seed <= 24; seed++ {
+		for _, emitSecret := range []bool{true, false} {
+			g := &chainGen{seed: seed * 7919}
+			src := g.program(6+int(seed%5), emitSecret)
+
+			img, err := guest.Program(src)
+			if err != nil {
+				t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+			}
+			l := core.IFP1()
+			lc, hc := l.MustTag(core.ClassLC), l.MustTag(core.ClassHC)
+			secret := img.MustSymbol("fz_secret")
+			pol := core.NewPolicy(l, lc).
+				WithOutput("uart0.tx", lc).
+				WithRegion(core.RegionRule{
+					Name: "secret", Start: secret, End: secret + 4,
+					Classify: true, Class: hc,
+				})
+			pl := MustNew(Config{Policy: pol})
+			err = func() error {
+				defer pl.Shutdown()
+				if err := pl.Load(img); err != nil {
+					return err
+				}
+				return pl.Run(kernel.S)
+			}()
+
+			var v *core.Violation
+			isViolation := errors.As(err, &v)
+			if emitSecret && !isViolation {
+				t.Fatalf("seed %d: UNDER-TAINTING — secret-derived output not detected (err=%v)\nsource:\n%s",
+					seed, err, src)
+			}
+			if !emitSecret {
+				if isViolation {
+					t.Fatalf("seed %d: OVER-TAINTING — public output flagged: %v\nsource:\n%s",
+						seed, v, src)
+				}
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package stress
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStressAllFeatures(t *testing.T) {
+	out := Run(Config{Seeds: 20, Steps: 10, UseDMA: true, UseMMIO: true, UseCSR: true})
+	if out.Programs != 40 {
+		t.Errorf("programs = %d", out.Programs)
+	}
+	if !out.OK() {
+		for _, f := range out.Failures {
+			t.Errorf("seed %d (emitSecret=%v): %s: %s\n%s",
+				f.Seed, f.EmitSecret, f.Problem, f.Detail, f.Source)
+		}
+	}
+}
+
+func TestStressCPUOnly(t *testing.T) {
+	out := Run(Config{Seeds: 10, Steps: 6})
+	if !out.OK() {
+		t.Errorf("failures: %+v", out.Failures)
+	}
+}
+
+func TestStressDefaults(t *testing.T) {
+	out := Run(Config{Seeds: 2, Steps: 0}) // Steps defaults
+	if out.Programs != 4 || !out.OK() {
+		t.Errorf("outcome = %+v", out)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := &gen{seed: 99, cfg: Config{Steps: 5, UseDMA: true, UseMMIO: true, UseCSR: true}}
+	g2 := &gen{seed: 99, cfg: Config{Steps: 5, UseDMA: true, UseMMIO: true, UseCSR: true}}
+	if g1.program(true) != g2.program(true) {
+		t.Error("same seed must generate the same program")
+	}
+	g3 := &gen{seed: 100, cfg: g1.cfg}
+	if g1.program(true) == g3.program(true) {
+		t.Error("different seeds should generate different programs")
+	}
+}
+
+func TestGeneratorUsesRequestedHops(t *testing.T) {
+	// With many steps, every enabled hop kind should appear.
+	g := &gen{seed: 7, cfg: Config{Steps: 80, UseDMA: true, UseMMIO: true, UseCSR: true}}
+	src := g.program(true)
+	for _, want := range []string{"DMA_CTRL", "SENSOR_BASE", "mscratch"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated program never uses %s", want)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package tlm
+
+import (
+	"fmt"
+
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+)
+
+// Transaction is one observed bus access.
+type Transaction struct {
+	At   kernel.Time
+	Cmd  Command
+	Addr uint32
+	Data []core.TByte // copy of the payload data after completion
+	Resp Response
+}
+
+// String renders the transaction for logs.
+func (t Transaction) String() string {
+	return fmt.Sprintf("%v %s addr=0x%08x len=%d %s data=% x",
+		t.At, t.Cmd, t.Addr, len(t.Data), t.Resp, core.Values(t.Data))
+}
+
+// Monitor wraps a Target and records its transactions — the analog of a
+// TLM analysis port. It is inserted transparently between the bus and a
+// target:
+//
+//	mon := tlm.NewMonitor(device, sim, 256)
+//	bus.Map("dev", base, size, mon)
+//
+// Keep records small: every transaction copies its payload.
+type Monitor struct {
+	target Target
+	sim    *kernel.Simulator
+	limit  int
+	log    []Transaction
+	// OnTransaction, when set, is invoked for every completed access.
+	OnTransaction func(Transaction)
+}
+
+// NewMonitor wraps target, keeping at most limit records (older entries are
+// discarded first; limit <= 0 keeps everything).
+func NewMonitor(target Target, sim *kernel.Simulator, limit int) *Monitor {
+	return &Monitor{target: target, sim: sim, limit: limit}
+}
+
+// Transport implements Target.
+func (m *Monitor) Transport(p *Payload, delay *kernel.Time) {
+	m.target.Transport(p, delay)
+	tr := Transaction{
+		Cmd:  p.Cmd,
+		Addr: p.Addr,
+		Data: append([]core.TByte(nil), p.Data...),
+		Resp: p.Resp,
+	}
+	if m.sim != nil {
+		tr.At = m.sim.Now()
+	}
+	m.log = append(m.log, tr)
+	if m.limit > 0 && len(m.log) > m.limit {
+		m.log = m.log[len(m.log)-m.limit:]
+	}
+	if m.OnTransaction != nil {
+		m.OnTransaction(tr)
+	}
+}
+
+// Log returns the recorded transactions, oldest first.
+func (m *Monitor) Log() []Transaction { return append([]Transaction(nil), m.log...) }
+
+// Reset clears the record.
+func (m *Monitor) Reset() { m.log = m.log[:0] }

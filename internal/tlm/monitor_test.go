@@ -1,0 +1,82 @@
+package tlm
+
+import (
+	"strings"
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+)
+
+func TestMonitorRecordsTransactions(t *testing.T) {
+	sim := kernel.New()
+	defer sim.Shutdown()
+	sim.At(42*kernel.NS, func() {})
+	if err := sim.Run(kernel.Forever); err != nil {
+		t.Fatal(err)
+	}
+
+	ram := make([]core.TByte, 16)
+	dev := TargetFunc(func(p *Payload, d *kernel.Time) {
+		switch p.Cmd {
+		case Read:
+			copy(p.Data, ram[p.Addr:])
+		case Write:
+			copy(ram[p.Addr:], p.Data)
+		}
+		p.Resp = OK
+	})
+	var seen []Transaction
+	mon := NewMonitor(dev, sim, 3)
+	mon.OnTransaction = func(tr Transaction) { seen = append(seen, tr) }
+
+	bus := NewBus()
+	bus.MustMap("dev", 0x1000, 16, mon)
+
+	var delay kernel.Time
+	if resp := bus.WriteWord(core.W(0xAABBCCDD, 1), 0x1004, &delay); resp != OK {
+		t.Fatal(resp)
+	}
+	if _, resp := bus.ReadWord(core.IFP1(), 0x1004, &delay); resp != OK {
+		t.Fatal(resp)
+	}
+
+	log := mon.Log()
+	if len(log) != 2 || len(seen) != 2 {
+		t.Fatalf("log=%d seen=%d", len(log), len(seen))
+	}
+	if log[0].Cmd != Write || log[0].Addr != 4 || log[0].At != 42*kernel.NS {
+		t.Errorf("write record = %+v", log[0])
+	}
+	if log[1].Cmd != Read || log[1].Data[0].V != 0xDD || log[1].Data[0].T != 1 {
+		t.Errorf("read record = %+v (tags must be recorded)", log[1])
+	}
+	if !strings.Contains(log[0].String(), "write addr=0x00000004") {
+		t.Errorf("String() = %q", log[0].String())
+	}
+
+	// Limit: issue more transactions than the cap.
+	for i := 0; i < 5; i++ {
+		bus.WriteWord(core.W(uint32(i), 0), 0x1000, &delay)
+	}
+	if got := len(mon.Log()); got != 3 {
+		t.Errorf("log length = %d, want capped 3", got)
+	}
+	mon.Reset()
+	if len(mon.Log()) != 0 {
+		t.Error("Reset must clear the log")
+	}
+}
+
+func TestMonitorUnlimited(t *testing.T) {
+	dev := TargetFunc(func(p *Payload, d *kernel.Time) { p.Resp = OK })
+	mon := NewMonitor(dev, nil, 0)
+	var delay kernel.Time
+	for i := 0; i < 300; i++ {
+		p := Payload{Cmd: Read, Data: make([]core.TByte, 1)}
+		mon.Transport(&p, &delay)
+	}
+	if len(mon.Log()) != 300 {
+		t.Errorf("unlimited log length = %d", len(mon.Log()))
+	}
+}

@@ -1,0 +1,107 @@
+package wk
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperResults is Table I of the paper, verbatim.
+var paperResults = map[int]Result{
+	1: NA, 2: NA, 3: Detected, 4: NA, 5: Detected, 6: Detected,
+	7: Detected, 8: NA, 9: Detected, 10: Detected, 11: Detected,
+	12: NA, 13: Detected, 14: Detected, 15: NA, 16: NA,
+	17: Detected, 18: NA,
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 18 {
+		t.Fatalf("suite has %d attacks, want 18", len(suite))
+	}
+	for i := range suite {
+		a := &suite[i]
+		if a.Num != i+1 {
+			t.Errorf("attack %d out of order (Num=%d)", i+1, a.Num)
+		}
+		if a.Applicable() != (paperResults[a.Num] == Detected) {
+			t.Errorf("attack %d applicability mismatch with Table I", a.Num)
+		}
+		if !a.Applicable() && a.NAReason == "" {
+			t.Errorf("attack %d: N/A without a reason", a.Num)
+		}
+	}
+}
+
+func TestAttacksSucceedWithoutDIFT(t *testing.T) {
+	// Every applicable attack must actually hijack control flow when the
+	// DIFT engine is off — otherwise "Detected" would be vacuous.
+	suite := Suite()
+	for i := range suite {
+		a := &suite[i]
+		if !a.Applicable() {
+			continue
+		}
+		res, err := Run(a, false)
+		if err != nil {
+			t.Errorf("attack %d (plain): %v", a.Num, err)
+			continue
+		}
+		if res != Missed {
+			t.Errorf("attack %d (plain): result %v, want control-flow hijack", a.Num, res)
+		}
+	}
+}
+
+func TestAttacksDetectedWithDIFT(t *testing.T) {
+	// Table I: every applicable attack is detected by the fetch-clearance
+	// check at the payload's first instruction.
+	suite := Suite()
+	for i := range suite {
+		a := &suite[i]
+		if !a.Applicable() {
+			continue
+		}
+		res, err := Run(a, true)
+		if err != nil {
+			t.Errorf("attack %d: %v", a.Num, err)
+			continue
+		}
+		if res != Detected {
+			t.Errorf("attack %d: result %v, want Detected", a.Num, res)
+		}
+	}
+}
+
+func TestRunNotApplicable(t *testing.T) {
+	suite := Suite()
+	res, err := Run(&suite[0], true) // attack 1 is N/A
+	if err != nil || res != NA {
+		t.Errorf("Run(N/A) = %v, %v", res, err)
+	}
+	if _, err := suite[0].Build(); err == nil {
+		t.Error("Build of N/A attack must fail")
+	}
+}
+
+func TestTableMatchesPaper(t *testing.T) {
+	table, err := Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 19 { // header + 18 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), table)
+	}
+	for i, line := range lines[1:] {
+		want := paperResults[i+1].String()
+		if !strings.HasSuffix(strings.TrimSpace(line), want) {
+			t.Errorf("row %d = %q, want result %s", i+1, line, want)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if NA.String() != "N/A" || Detected.String() != "Detected" || Missed.String() != "MISSED" {
+		t.Error("result strings")
+	}
+}

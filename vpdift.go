@@ -1,0 +1,185 @@
+// Package vpdift is a virtual-prototype-based dynamic information flow
+// tracking (DIFT) engine for embedded RISC-V binaries — a from-scratch Go
+// reproduction of "Dynamic Information Flow Tracking for Embedded Binaries
+// using SystemC-based Virtual Prototypes" (DAC 2020).
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - a deterministic discrete-event simulation kernel (the SystemC
+//     substitute) and a TLM-style bus whose payloads carry tainted bytes;
+//   - an RV32IM instruction-set simulator in two flavours: the plain
+//     baseline core ("VP") and the tag-propagating DIFT core ("VP+") with
+//     the paper's execution-clearance checks;
+//   - a peripheral set (UART, sensor, CLINT, interrupt controller, DMA,
+//     CAN, AES with declassification, SysCtrl);
+//   - an RV32IM assembler so guest binaries can be built in-process;
+//   - security policies: IFP lattices, classification, clearance,
+//     declassification.
+//
+// # Quick start
+//
+//	img, err := vpdift.BuildProgram(`
+//	main:
+//	    la a0, msg
+//	    tail uart_puts
+//	    .data
+//	msg: .asciz "hello\n"
+//	`)
+//	...
+//	lat := vpdift.IFP1()
+//	pol := vpdift.NewPolicy(lat, lat.MustTag(vpdift.ClassLC)).
+//	    WithOutput("uart0.tx", lat.MustTag(vpdift.ClassLC))
+//	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+//	...
+//	err = pl.Load(img)
+//	err = pl.Run(vpdift.Forever) // *Violation on policy violations
+package vpdift
+
+import (
+	"vpdift/internal/asm"
+	"vpdift/internal/core"
+	"vpdift/internal/guest"
+	"vpdift/internal/kernel"
+	"vpdift/internal/periph"
+	"vpdift/internal/rv32"
+	"vpdift/internal/soc"
+	"vpdift/internal/tlm"
+)
+
+// Security-policy types.
+type (
+	// Tag identifies a security class within a Lattice.
+	Tag = core.Tag
+	// Lattice is an information flow policy: a join-semilattice of
+	// security classes with LUB and AllowedFlow.
+	Lattice = core.Lattice
+	// Policy bundles an IFP with classification and clearance assignments.
+	Policy = core.Policy
+	// RegionRule attaches classification/store-clearance to address ranges.
+	RegionRule = core.RegionRule
+	// ExecClearance configures the CPU's execution-clearance checks.
+	ExecClearance = core.ExecClearance
+	// Violation is the runtime error raised on policy violations.
+	Violation = core.Violation
+	// ViolationKind classifies where a violation was detected.
+	ViolationKind = core.ViolationKind
+	// Word is a tainted 32-bit value.
+	Word = core.Word
+	// TByte is a tainted byte.
+	TByte = core.TByte
+)
+
+// Violation kinds.
+const (
+	KindOutputClearance  = core.KindOutputClearance
+	KindFetchClearance   = core.KindFetchClearance
+	KindBranchClearance  = core.KindBranchClearance
+	KindMemAddrClearance = core.KindMemAddrClearance
+	KindStoreClearance   = core.KindStoreClearance
+)
+
+// Standard security-class names used by the IFP constructors.
+const (
+	ClassLC = core.ClassLC
+	ClassHC = core.ClassHC
+	ClassHI = core.ClassHI
+	ClassLI = core.ClassLI
+)
+
+// NewLattice builds an IFP from classes and allowed-flow edges.
+func NewLattice(classes []string, edges [][2]string) (*Lattice, error) {
+	return core.NewLattice(classes, edges)
+}
+
+// IFP1 is the confidentiality lattice of the paper's Fig. 1 (LC -> HC).
+func IFP1() *Lattice { return core.IFP1() }
+
+// IFP2 is the integrity lattice of Fig. 1 (HI -> LI).
+func IFP2() *Lattice { return core.IFP2() }
+
+// IFP3 is the combined confidentiality+integrity product lattice of Fig. 1.
+func IFP3() *Lattice { return core.IFP3() }
+
+// Product combines two IFPs into their product lattice.
+func Product(a, b *Lattice) (*Lattice, error) { return core.Product(a, b) }
+
+// PerByteKeyIntegrity builds the per-key-byte integrity lattice used by the
+// immobilizer case study's final fix.
+func PerByteKeyIntegrity(keyBytes int) (*Lattice, error) {
+	return core.PerByteKeyIntegrity(keyBytes)
+}
+
+// NewPolicy creates an empty policy over a lattice with a default class.
+func NewPolicy(l *Lattice, defaultClass Tag) *Policy { return core.NewPolicy(l, defaultClass) }
+
+// Simulation time.
+type Time = kernel.Time
+
+// Time units and the unbounded horizon.
+const (
+	NS      = kernel.NS
+	US      = kernel.US
+	MS      = kernel.MS
+	S       = kernel.S
+	Forever = kernel.Forever
+)
+
+// Toolchain types.
+type (
+	// Image is an assembled guest program.
+	Image = asm.Image
+	// AsmOptions configures assembly.
+	AsmOptions = asm.Options
+)
+
+// Assemble translates raw RV32IM assembly into a loadable image.
+func Assemble(src string, opts AsmOptions) (*Image, error) { return asm.Assemble(src, opts) }
+
+// BuildProgram assembles a guest program body against the bundled runtime
+// (crt0, UART console I/O, setjmp/longjmp, rand, the platform's MMIO
+// equates). The body must define main.
+func BuildProgram(body string) (*Image, error) { return guest.Program(body) }
+
+// Platform types.
+type (
+	// Platform is a constructed virtual prototype (VP or VP+).
+	Platform = soc.Platform
+	// Config parameterizes platform construction; a nil Policy selects the
+	// untracked baseline VP.
+	Config = soc.Config
+	// UART is the console peripheral.
+	UART = periph.UART
+	// Sensor is the paper's Fig. 4 sensor peripheral.
+	Sensor = periph.Sensor
+	// CAN is the CAN-bus endpoint.
+	CAN = periph.CAN
+	// CANFrame is a CAN frame with tainted payload bytes.
+	CANFrame = periph.CANFrame
+	// AES is the declassifying crypto engine.
+	AES = periph.AES
+	// DMA is the tag-preserving copy engine.
+	DMA = periph.DMA
+	// Bus is the TLM interconnect.
+	Bus = tlm.Bus
+	// Core is the baseline RV32IM ISS.
+	Core = rv32.Core
+	// TaintCore is the DIFT-enabled RV32IM ISS.
+	TaintCore = rv32.TaintCore
+)
+
+// Platform memory map.
+const (
+	RAMBase     = soc.RAMBase
+	UARTBase    = soc.UARTBase
+	SensorBase  = soc.SensorBase
+	CANBase     = soc.CANBase
+	AESBase     = soc.AESBase
+	DMABase     = soc.DMABase
+	CLINTBase   = soc.CLINTBase
+	IntCBase    = soc.IntCBase
+	SysCtrlBase = soc.SysCtrlBase
+)
+
+// NewPlatform builds a virtual prototype. A nil cfg.Policy yields the plain
+// baseline VP; a policy yields the DIFT-enabled VP+.
+func NewPlatform(cfg Config) (*Platform, error) { return soc.New(cfg) }

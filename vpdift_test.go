@@ -1,0 +1,196 @@
+package vpdift_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vpdift"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	img, err := vpdift.BuildProgram(`
+main:
+	la t0, secret
+	lw a0, 0(t0)
+	li t0, UART_BASE
+	sw a0, UART_TX(t0)
+	li a0, 0
+	ret
+	.data
+	.align 2
+secret:
+	.word 0x11223344
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := vpdift.IFP1()
+	lc, hc := lat.MustTag(vpdift.ClassLC), lat.MustTag(vpdift.ClassHC)
+	secret := img.MustSymbol("secret")
+	pol := vpdift.NewPolicy(lat, lc).
+		WithOutput("uart0.tx", lc).
+		WithRegion(vpdift.RegionRule{
+			Name: "secret", Start: secret, End: secret + 4,
+			Classify: true, Class: hc,
+		})
+	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	runErr := pl.Run(vpdift.Forever)
+	var v *vpdift.Violation
+	if !errors.As(runErr, &v) {
+		t.Fatalf("want violation, got %v", runErr)
+	}
+	if v.Kind != vpdift.KindOutputClearance {
+		t.Errorf("kind = %v", v.Kind)
+	}
+}
+
+func TestPublicBaselinePlatform(t *testing.T) {
+	img, err := vpdift.BuildProgram(`
+main:
+	la a0, msg
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	call uart_puts
+	li a0, 5
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+	.data
+msg:	.asciz "public api"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := vpdift.NewPlatform(vpdift.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(vpdift.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(pl.UART.Output()); got != "public api" {
+		t.Errorf("uart = %q", got)
+	}
+	if _, code := pl.Exited(); code != 5 {
+		t.Errorf("code = %d", code)
+	}
+	if pl.IsDIFT() {
+		t.Error("baseline must not be DIFT")
+	}
+}
+
+func TestPublicLatticeConstruction(t *testing.T) {
+	l, err := vpdift.NewLattice(
+		[]string{"PUBLIC", "INTERNAL", "SECRET"},
+		[][2]string{{"PUBLIC", "INTERNAL"}, {"INTERNAL", "SECRET"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := l.MustTag("PUBLIC")
+	sec := l.MustTag("SECRET")
+	if !l.AllowedFlow(pub, sec) || l.AllowedFlow(sec, pub) {
+		t.Error("three-level lattice flows wrong")
+	}
+	if top, ok := l.Top(); !ok || top != sec {
+		t.Error("top must be SECRET")
+	}
+
+	prod, err := vpdift.Product(vpdift.IFP1(), vpdift.IFP2())
+	if err != nil || prod.Size() != 4 {
+		t.Errorf("product: %v size=%d", err, prod.Size())
+	}
+	pb, err := vpdift.PerByteKeyIntegrity(4)
+	if err != nil || pb.Size() != 6 {
+		t.Errorf("per-byte: %v", err)
+	}
+}
+
+func TestPublicAssembler(t *testing.T) {
+	img, err := vpdift.Assemble("start:\n\tnop\n\tj start\n", vpdift.AsmOptions{Base: 0x80000000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.TextWords() != 2 || img.Base != 0x80000000 {
+		t.Errorf("img = %v", img)
+	}
+	if _, err := vpdift.Assemble("bogus!\n", vpdift.AsmOptions{}); err == nil {
+		t.Error("bad source must fail")
+	}
+}
+
+func TestPublicMemoryMapConstants(t *testing.T) {
+	// The facade constants must match the guest runtime equates.
+	img, err := vpdift.BuildProgram(`
+main:
+	li a0, 0
+	ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sym, want := range map[string]uint32{
+		"RAM_BASE":     vpdift.RAMBase,
+		"UART_BASE":    vpdift.UARTBase,
+		"SENSOR_BASE":  vpdift.SensorBase,
+		"CAN_BASE":     vpdift.CANBase,
+		"AES_BASE":     vpdift.AESBase,
+		"DMA_BASE":     vpdift.DMABase,
+		"CLINT_BASE":   vpdift.CLINTBase,
+		"INTC_BASE":    vpdift.IntCBase,
+		"SYSCTRL_BASE": vpdift.SysCtrlBase,
+	} {
+		if got := img.MustSymbol(sym); got != want {
+			t.Errorf("%s = 0x%x, facade says 0x%x", sym, got, want)
+		}
+	}
+}
+
+func TestPublicViolationRendering(t *testing.T) {
+	l := vpdift.IFP2()
+	pol := vpdift.NewPolicy(l, l.MustTag(vpdift.ClassLI)).
+		WithFetchClearance(l.MustTag(vpdift.ClassHI))
+	if err := pol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Error text must name classes, not raw tags.
+	img, err := vpdift.BuildProgram(`
+main:
+	la t0, blob
+	jr t0
+	.data
+	.align 2
+blob:
+	.word 0x00000013
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.WithRegion(vpdift.RegionRule{
+		Name: "text", Start: img.Base, End: img.Base + uint32(len(img.Text)),
+		Classify: true, Class: l.MustTag(vpdift.ClassHI),
+	})
+	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	runErr := pl.Run(vpdift.S)
+	if runErr == nil || !strings.Contains(runErr.Error(), "LI -> HI") {
+		t.Errorf("violation text = %v", runErr)
+	}
+}
