@@ -8,7 +8,8 @@
 //     Table I.
 //   - BenchmarkAblation*: design-choice ablations from DESIGN.md §5 —
 //     tag propagation without any clearance checks (isolating pure taint
-//     cost), and the DMI-style direct memory path versus plain bus access.
+//     cost), the DMI-style direct memory path versus plain bus access, and
+//     the predecoded-instruction cache on versus off.
 //   - BenchmarkLattice*: the O(1) LUB/AllowedFlow operations underlying
 //     Fig. 1 (they execute several times per simulated instruction).
 package vpdift_test
@@ -28,11 +29,16 @@ import (
 // benchWorkload runs one Table II workload repeatedly on one platform
 // flavour, reporting simulated MIPS.
 func benchWorkload(b *testing.B, w perf.Workload, dift bool) {
+	benchWorkloadOpts(b, w, perf.Options{DIFT: dift})
+}
+
+// benchWorkloadOpts is benchWorkload with the full option set exposed.
+func benchWorkloadOpts(b *testing.B, w perf.Workload, o perf.Options) {
 	b.Helper()
 	var instr uint64
 	var wall float64
 	for i := 0; i < b.N; i++ {
-		m, err := perf.RunOnce(w, dift)
+		m, err := perf.RunOnceOpts(w, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,9 +141,11 @@ func BenchmarkAblationMemoryBusPath(b *testing.B) {
 
 func BenchmarkLatticeLUB(b *testing.B) {
 	l := core.IFP3()
+	// The accumulator feeds back unmasked (LUB only returns valid tags), so
+	// the loop body is a pure LUB chain.
 	var t core.Tag
 	for i := 0; i < b.N; i++ {
-		t = l.LUB(core.Tag(i&3), t&3)
+		t = l.LUB(core.Tag(i&3), t)
 	}
 	_ = t
 }
@@ -160,6 +168,23 @@ func BenchmarkAssembler(b *testing.B) {
 			b.Fatal("empty image")
 		}
 	}
+}
+
+// BenchmarkAblationDecodeCacheOffVP runs the qsort workload on the baseline
+// VP with the predecoded-instruction cache disabled: the gap to
+// BenchmarkTable2VP/qsort is the cache's contribution to interpreter speed.
+func BenchmarkAblationDecodeCacheOffVP(b *testing.B) {
+	w := perf.Workloads(perf.ScaleSmall)[0]
+	benchWorkloadOpts(b, w, perf.Options{NoDecodeCache: true})
+}
+
+// BenchmarkAblationDecodeCacheOffVPPlus is the VP+ counterpart; the gap to
+// BenchmarkTable2VPPlus/qsort additionally includes the cached fetch-tag
+// summary (on a hit, the per-fetch 3×LUB + AllowedFlow of the code-injection
+// policy collapses to one comparison).
+func BenchmarkAblationDecodeCacheOffVPPlus(b *testing.B) {
+	w := perf.Workloads(perf.ScaleSmall)[0]
+	benchWorkloadOpts(b, w, perf.Options{DIFT: true, NoDecodeCache: true})
 }
 
 // BenchmarkAblationTaintMemViaTLM runs the qsort workload on a VP+ whose

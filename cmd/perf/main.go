@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	perf [-scale small|medium|large] [-only name]
+//	perf [-scale small|medium|large] [-only name] [-json [file]]
 //
 // Absolute MIPS depend on the host; the reproduced quantity is the
 // per-workload overhead factor.
@@ -22,6 +22,7 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "workload scale: small, medium or large")
 	only := flag.String("only", "", "run a single benchmark by name")
 	tlmMem := flag.Bool("tlm-mem", false, "route VP+ data accesses through full TLM transactions (the paper's memory-interface organization)")
+	jsonOut := flag.String("json", "", "also write the comparison as JSON to this file (e.g. BENCH_table2.json)")
 	flag.Parse()
 
 	scale, err := perf.ParseScale(*scaleFlag)
@@ -48,4 +49,12 @@ func main() {
 	}
 	fmt.Println("Table II: performance overhead of the DIFT engine (VP vs VP+)")
 	fmt.Print(perf.Table(rows))
+	if *jsonOut != "" {
+		rep := perf.NewReport(*scaleFlag, *tlmMem, rows)
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
 }

@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/tlm"
+)
+
+// The write hooks back the decode-cache invalidation in internal/rv32:
+// every mutation path through the type must fire with the exact local
+// offset range, and raw Data() writes must not.
+func TestMemoryWriteHooks(t *testing.T) {
+	l := core.IFP2()
+	li := l.MustTag(core.ClassLI)
+	m := New(64, li)
+	type span struct{ start, end uint32 }
+	var got []span
+	m.AddWriteHook(func(start, end uint32) { got = append(got, span{start, end}) })
+
+	p := &tlm.Payload{Cmd: tlm.Write, Addr: 8, Data: make([]core.TByte, 4)}
+	var d kernel.Time
+	m.Transport(p, &d)
+	if err := m.Load(16, []byte{1, 2, 3}, li); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Classify(20, 24, li); err != nil {
+		t.Fatal(err)
+	}
+	m.Data()[0].V = 0xFF // raw access: no hook
+	p = &tlm.Payload{Cmd: tlm.Read, Addr: 8, Data: make([]core.TByte, 4)}
+	m.Transport(p, &d) // read: no hook
+
+	want := []span{{8, 12}, {16, 19}, {20, 24}}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("hook call %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPlainMemoryWriteHooks(t *testing.T) {
+	m := NewPlain(64)
+	type span struct{ start, end uint32 }
+	var got []span
+	m.AddWriteHook(func(start, end uint32) { got = append(got, span{start, end}) })
+
+	p := &tlm.Payload{Cmd: tlm.Write, Addr: 4, Data: make([]core.TByte, 8)}
+	var d kernel.Time
+	m.Transport(p, &d)
+	if err := m.Load(32, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	m.Data()[0] = 0xFF // raw access: no hook
+
+	want := []span{{4, 12}, {32, 33}}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("hook call %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// The platform constructs a fresh tainted RAM per run (every Table II
+// measurement, every test): New's chunked default-tag fill is on that path
+// and used to dominate VP+ platform construction as a per-byte loop.
+func BenchmarkMemoryNew(b *testing.B) {
+	l := core.IFP2()
+	li := l.MustTag(core.ClassLI)
+	b.SetBytes(16 << 20)
+	for i := 0; i < b.N; i++ {
+		m := New(16<<20, li)
+		_ = m
+	}
+}
+
+func BenchmarkMemoryClassify(b *testing.B) {
+	l := core.IFP2()
+	hi := l.MustTag(core.ClassHI)
+	m := New(16<<20, l.MustTag(core.ClassLI))
+	b.SetBytes(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Classify(0, 16<<20, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryLoad(b *testing.B) {
+	l := core.IFP2()
+	li := l.MustTag(core.ClassLI)
+	m := New(16<<20, li)
+	img := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Load(0, img, li); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,19 +22,41 @@ import (
 
 // Memory is byte-addressable tainted RAM.
 type Memory struct {
-	data []core.TByte
+	data  []core.TByte
+	hooks []func(start, end uint32)
 }
 
 // New allocates a tainted memory of the given size with all bytes zero and
 // tagged with defaultTag.
 func New(size uint32, defaultTag core.Tag) *Memory {
 	m := &Memory{data: make([]core.TByte, size)}
-	if defaultTag != 0 {
-		for i := range m.data {
-			m.data[i].T = defaultTag
+	if defaultTag != 0 && size > 0 {
+		// Chunked fill: seed one element, then double the initialized
+		// prefix with copy (memmove) instead of a per-byte store loop.
+		m.data[0].T = defaultTag
+		for filled := 1; filled < len(m.data); filled *= 2 {
+			copy(m.data[filled:], m.data[:filled])
 		}
 	}
 	return m
+}
+
+// AddWriteHook registers f to be called after any mutation of the backing
+// store that goes through this type — TLM write transactions, Load, and
+// Classify — with the affected local offset range [start, end). The CPUs use
+// it to invalidate predecoded-instruction cache entries when instruction
+// bytes (or their tags) change underneath them, e.g. via DMA.
+//
+// Mutations through the raw Data() slice do NOT trigger hooks; the CPU
+// invalidates its own direct-path stores inline.
+func (m *Memory) AddWriteHook(f func(start, end uint32)) {
+	m.hooks = append(m.hooks, f)
+}
+
+func (m *Memory) notifyWrite(start, end uint32) {
+	for _, f := range m.hooks {
+		f(start, end)
+	}
 }
 
 // Size returns the memory size in bytes.
@@ -57,6 +79,7 @@ func (m *Memory) Transport(p *tlm.Payload, delay *kernel.Time) {
 		copy(p.Data, m.data[p.Addr:])
 	case tlm.Write:
 		copy(m.data[p.Addr:], p.Data)
+		m.notifyWrite(p.Addr, p.Addr+uint32(len(p.Data)))
 	default:
 		p.Resp = tlm.CommandError
 		return
@@ -71,9 +94,13 @@ func (m *Memory) Classify(start, end uint32, t core.Tag) error {
 	if end < start || uint64(end) > uint64(len(m.data)) {
 		return fmt.Errorf("mem: classify range [0x%x, 0x%x) outside memory of size 0x%x", start, end, len(m.data))
 	}
-	for i := start; i < end; i++ {
-		m.data[i].T = t
+	// Values must be preserved, so only the tag field is rewritten; slicing
+	// first lets the compiler elide the per-element bounds checks.
+	sub := m.data[start:end]
+	for i := range sub {
+		sub[i].T = t
 	}
+	m.notifyWrite(start, end)
 	return nil
 }
 
@@ -83,15 +110,30 @@ func (m *Memory) Load(offset uint32, bytes []byte, t core.Tag) error {
 	if uint64(offset)+uint64(len(bytes)) > uint64(len(m.data)) {
 		return fmt.Errorf("mem: load of %d bytes at 0x%x exceeds memory of size 0x%x", len(bytes), offset, len(m.data))
 	}
+	dst := m.data[offset : offset+uint32(len(bytes))]
 	for i, b := range bytes {
-		m.data[offset+uint32(i)] = core.TByte{V: b, T: t}
+		dst[i] = core.TByte{V: b, T: t}
 	}
+	m.notifyWrite(offset, offset+uint32(len(bytes)))
 	return nil
 }
 
 // PlainMemory is byte-addressable RAM without tags, for the baseline VP.
 type PlainMemory struct {
-	data []byte
+	data  []byte
+	hooks []func(start, end uint32)
+}
+
+// AddWriteHook registers f exactly like Memory.AddWriteHook: it fires on TLM
+// write transactions and Load, with the affected local offset range.
+func (m *PlainMemory) AddWriteHook(f func(start, end uint32)) {
+	m.hooks = append(m.hooks, f)
+}
+
+func (m *PlainMemory) notifyWrite(start, end uint32) {
+	for _, f := range m.hooks {
+		f(start, end)
+	}
 }
 
 // NewPlain allocates a plain memory of the given size.
@@ -121,6 +163,7 @@ func (m *PlainMemory) Transport(p *tlm.Payload, delay *kernel.Time) {
 		for i := range p.Data {
 			m.data[p.Addr+uint32(i)] = p.Data[i].V
 		}
+		m.notifyWrite(p.Addr, p.Addr+uint32(len(p.Data)))
 	default:
 		p.Resp = tlm.CommandError
 		return
@@ -134,5 +177,6 @@ func (m *PlainMemory) Load(offset uint32, bytes []byte) error {
 		return fmt.Errorf("mem: load of %d bytes at 0x%x exceeds memory of size 0x%x", len(bytes), offset, len(m.data))
 	}
 	copy(m.data[offset:], bytes)
+	m.notifyWrite(offset, offset+uint32(len(bytes)))
 	return nil
 }

@@ -7,7 +7,9 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -154,18 +156,37 @@ func (m Measurement) MIPS() float64 {
 	return float64(m.Instr) / 1e6 / m.Wall.Seconds()
 }
 
+// Options selects the platform flavour for a single measurement run.
+type Options struct {
+	// DIFT selects the VP+ (with the workload's policy); false is the
+	// baseline VP.
+	DIFT bool
+	// TLMMem routes every VP+ data access through full TLM transactions
+	// (the paper's memory-interface organization) instead of the direct
+	// path.
+	TLMMem bool
+	// NoDecodeCache disables the predecoded-instruction cache, for
+	// ablation: it isolates how much of the platform's speed comes from
+	// caching decode work versus the rest of the interpreter.
+	NoDecodeCache bool
+}
+
 // RunOnce executes the workload on one platform flavour (dift selects VP+)
 // and measures it.
 func RunOnce(w Workload, dift bool) (Measurement, error) {
-	return RunOnceCfg(w, dift, false)
+	return RunOnceOpts(w, Options{DIFT: dift})
 }
 
-// RunOnceCfg is RunOnce with the VP+ memory-interface choice exposed:
-// tlmMem routes every VP+ data access through full TLM transactions (the
-// paper's memory-interface organization) instead of the direct path.
+// RunOnceCfg is RunOnce with the VP+ memory-interface choice exposed.
 func RunOnceCfg(w Workload, dift, tlmMem bool) (Measurement, error) {
+	return RunOnceOpts(w, Options{DIFT: dift, TLMMem: tlmMem})
+}
+
+// RunOnceOpts executes and measures the workload under the given options.
+func RunOnceOpts(w Workload, o Options) (Measurement, error) {
 	img := w.Build()
 	var pol *core.Policy
+	dift := o.DIFT
 	if dift {
 		if w.Policy != nil {
 			pol = w.Policy(img)
@@ -173,7 +194,7 @@ func RunOnceCfg(w Workload, dift, tlmMem bool) (Measurement, error) {
 			pol = codeInjectionPolicy(img)
 		}
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: tlmMem})
+	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, NoDecodeCache: o.NoDecodeCache})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -243,6 +264,59 @@ func RunRowCfg(w Workload, tlmMem bool) (Row, error) {
 		VP:     vp,
 		VPPlus: vpp,
 	}, nil
+}
+
+// ReportRow is one Table II row in the machine-readable report.
+type ReportRow struct {
+	Name       string  `json:"name"`
+	Instr      uint64  `json:"instructions"`
+	LoCASM     int     `json:"loc_asm"`
+	VPSecs     float64 `json:"vp_seconds"`
+	VPPlusSecs float64 `json:"vp_plus_seconds"`
+	VPMIPS     float64 `json:"vp_mips"`
+	VPPlusMIPS float64 `json:"vp_plus_mips"`
+	Overhead   float64 `json:"overhead_factor"`
+}
+
+// Report is the machine-readable Table II comparison, written next to the
+// human-readable table so CI or plotting scripts can diff runs.
+type Report struct {
+	Scale           string      `json:"scale"`
+	TLMMem          bool        `json:"tlm_mem"`
+	Rows            []ReportRow `json:"rows"`
+	AverageOverhead float64     `json:"average_overhead"`
+}
+
+// NewReport converts measured rows into a Report.
+func NewReport(scale string, tlmMem bool, rows []Row) Report {
+	rep := Report{Scale: scale, TLMMem: tlmMem}
+	var sumOv float64
+	for _, r := range rows {
+		rep.Rows = append(rep.Rows, ReportRow{
+			Name:       r.Name,
+			Instr:      r.Instr,
+			LoCASM:     r.LoCASM,
+			VPSecs:     r.VP.Wall.Seconds(),
+			VPPlusSecs: r.VPPlus.Wall.Seconds(),
+			VPMIPS:     r.VP.MIPS(),
+			VPPlusMIPS: r.VPPlus.MIPS(),
+			Overhead:   r.Overhead(),
+		})
+		sumOv += r.Overhead()
+	}
+	if len(rows) > 0 {
+		rep.AverageOverhead = sumOv / float64(len(rows))
+	}
+	return rep
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (rep Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // group3 formats an integer with thousands separators, as in the paper.

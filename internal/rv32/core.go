@@ -26,6 +26,18 @@ type Core struct {
 	ramSize uint32
 	bus     *tlm.Bus
 
+	// ic is the predecoded-instruction cache (see icache.go). The baseline
+	// core carries it too, deliberately: accelerating only the VP+ would
+	// flatter the Table II overhead ratio with a slow baseline.
+	ic icache
+
+	// irqPoll gates the per-instruction interrupt check: it is raised by
+	// every event that could make an interrupt takeable (a device line
+	// rising, writes to mstatus/mie, mret restoring MIE) and cleared when a
+	// poll finds nothing pending, so the hot loop replaces a takeIRQ call
+	// per instruction with one predictable branch.
+	irqPoll bool
+
 	mstatus  uint32
 	mie      uint32
 	mip      uint32
@@ -38,21 +50,37 @@ type Core struct {
 	mmioBuf [4]core.TByte
 }
 
-// NewCore builds a baseline core over plain RAM and a bus for MMIO.
+// NewCore builds a baseline core over plain RAM and a bus for MMIO. The
+// core registers a write hook on the RAM so that bus-initiated writes (DMA,
+// TLM transactions) invalidate its predecoded-instruction cache.
 func NewCore(ram *mem.PlainMemory, ramBase uint32, bus *tlm.Bus) *Core {
-	return &Core{
+	c := &Core{
 		ram:     ram.Data(),
 		ramBase: ramBase,
 		ramSize: ram.Size(),
 		bus:     bus,
+		ic:      newICache(ram.Size()),
+		irqPoll: true,
 	}
+	ram.AddWriteHook(c.InvalidateDecodeCache)
+	return c
 }
+
+// DisableDecodeCache turns the predecoded-instruction cache off: every
+// fetch decodes from RAM bytes again. For ablation benchmarks.
+func (c *Core) DisableDecodeCache() { c.ic = icache{} }
+
+// InvalidateDecodeCache drops predecoded entries covering RAM byte offsets
+// [start, end). It is registered as the RAM write hook and may be called by
+// platform code that mutates RAM behind the core's back.
+func (c *Core) InvalidateDecodeCache(start, end uint32) { c.ic.invalidate(start, end) }
 
 // SetIRQ drives the machine interrupt-pending lines (mask of IntMTI /
 // IntMEI / IntMSI).
 func (c *Core) SetIRQ(line uint32, level bool) {
 	if level {
 		c.mip |= line
+		c.irqPoll = true
 	} else {
 		c.mip &^= line
 	}
@@ -84,13 +112,16 @@ func (c *Core) Run(max uint64, delay *kernel.Time) (n uint64, st RunStatus, err 
 }
 
 // takeIRQ enters the highest-priority pending enabled interrupt, if the
-// global enable allows.
+// global enable allows. Finding nothing takeable clears irqPoll; the events
+// that can change that verdict re-raise it.
 func (c *Core) takeIRQ() (bool, error) {
 	if c.mstatus&MstatusMIE == 0 {
+		c.irqPoll = false
 		return false, nil
 	}
 	pending := c.mie & c.mip
 	if pending == 0 {
+		c.irqPoll = false
 		return false, nil
 	}
 	var cause uint32
@@ -125,23 +156,52 @@ func (c *Core) trap(cause, tval, epc uint32) error {
 	return nil
 }
 
+// fetchWord assembles the little-endian instruction word at RAM offset off;
+// the caller guarantees off+4 <= ramSize.
+func (c *Core) fetchWord(off uint32) uint32 {
+	return uint32(c.ram[off]) | uint32(c.ram[off+1])<<8 | uint32(c.ram[off+2])<<16 | uint32(c.ram[off+3])<<24
+}
+
 func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
-	if taken, err := c.takeIRQ(); err != nil {
-		return RunOK, err
-	} else if taken {
-		return RunOK, nil
+	if c.irqPoll {
+		if taken, err := c.takeIRQ(); err != nil {
+			return RunOK, err
+		} else if taken {
+			return RunOK, nil
+		}
 	}
 
 	pc := c.PC
 	off := pc - c.ramBase
-	if off >= c.ramSize || off+4 > c.ramSize {
-		return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
+	var i Inst
+	if idx := int(off >> 2); off&3 == 0 && idx < len(c.ic.ents) {
+		e := &c.ic.ents[idx]
+		if e.state != 0 {
+			i = e.inst
+			if c.Tracer != nil {
+				c.Tracer(pc, c.fetchWord(off))
+			}
+		} else {
+			w := c.fetchWord(off)
+			if c.Tracer != nil {
+				c.Tracer(pc, w)
+			}
+			i = Decode(w)
+			e.inst = i
+			e.state = icValid
+			c.ic.noteFill(off)
+		}
+	} else {
+		// Misaligned PC, fetch outside RAM, or the decode cache is off.
+		if off >= c.ramSize || off+4 > c.ramSize {
+			return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
+		}
+		w := c.fetchWord(off)
+		if c.Tracer != nil {
+			c.Tracer(pc, w)
+		}
+		i = Decode(w)
 	}
-	w := uint32(c.ram[off]) | uint32(c.ram[off+1])<<8 | uint32(c.ram[off+2])<<16 | uint32(c.ram[off+3])<<24
-	if c.Tracer != nil {
-		c.Tracer(pc, w)
-	}
-	i := Decode(w)
 
 	next := pc + 4
 	switch i.Op {
@@ -276,8 +336,13 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 		c.set(i.Rd, remS(c.Regs[i.Rs1], c.Regs[i.Rs2]))
 	case OpREMU:
 		c.set(i.Rd, remU(c.Regs[i.Rs1], c.Regs[i.Rs2]))
-	case OpFENCE, OpFENCEI:
-		// No-ops: the model is sequentially consistent with no caches.
+	case OpFENCE:
+		// No-op: the memory model is sequentially consistent.
+	case OpFENCEI:
+		// Explicit fetch/store synchronization point: drop every predecoded
+		// entry. (Stores already invalidate eagerly; FENCE.I additionally
+		// pins the architectural contract for self-modifying code.)
+		c.ic.invalidateAll()
 	case OpECALL:
 		return RunOK, c.trap(CauseECallM, 0, pc)
 	case OpEBREAK:
@@ -290,6 +355,7 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 			c.mstatus &^= MstatusMIE
 		}
 		c.mstatus |= MstatusMPIE
+		c.irqPoll = true
 		next = c.mepc
 	case OpWFI:
 		if !c.PendingIRQ() {
@@ -305,7 +371,7 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 			return RunOK, nil
 		}
 	default:
-		return RunOK, c.trap(CauseIllegalInstr, w, pc)
+		return RunOK, c.trap(CauseIllegalInstr, c.fetchWord(off), pc)
 	}
 	if c.PC == pc { // not redirected by a trap inside the switch
 		c.PC = next
@@ -396,6 +462,11 @@ func (c *Core) store(addr, val uint32, size uint32, delay *kernel.Time, pc uint3
 		for j := uint32(0); j < size; j++ {
 			c.ram[off+j] = byte(val >> (8 * j))
 		}
+		// Keep the decode cache coherent with self-modifying code. The
+		// watermark guard keeps the common data store at two compares.
+		if c.ic.overlaps(off, off+size) {
+			c.ic.invalidate(off, off+size)
+		}
 		return nil
 	}
 	for j := uint32(0); j < size; j++ {
@@ -479,8 +550,10 @@ func (c *Core) csrWrite(csr, v uint32) bool {
 	switch csr {
 	case CSRMstatus:
 		c.mstatus = v & (MstatusMIE | MstatusMPIE)
+		c.irqPoll = true
 	case CSRMie:
 		c.mie = v & (IntMSI | IntMTI | IntMEI)
+		c.irqPoll = true
 	case CSRMip:
 		// Interrupt-pending lines are wired from devices; software writes
 		// are ignored (hardwired bits per the privileged spec).

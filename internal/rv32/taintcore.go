@@ -45,6 +45,15 @@ type TaintCore struct {
 	ramSize uint32
 	bus     *tlm.Bus
 
+	// ic is the predecoded-instruction cache (see icache.go). On this core
+	// each entry also carries the fetch-tag summary: the LUB of the word's
+	// byte tags and the cached fetch-clearance verdict, recomputed only
+	// when a write invalidates the entry.
+	ic icache
+
+	// irqPoll gates the per-instruction interrupt check; see Core.irqPoll.
+	irqPoll bool
+
 	lat *core.Lattice
 	pol *core.Policy
 	def core.Tag
@@ -89,7 +98,11 @@ func NewTaintCore(ram *mem.Memory, ramBase uint32, bus *tlm.Bus, pol *core.Polic
 		checkMemAddr: pol.Exec.CheckMemAddr,
 		memAddrClear: pol.Exec.MemAddr,
 		hasRegions:   len(pol.Regions) > 0,
+
+		ic:      newICache(ram.Size()),
+		irqPoll: true,
 	}
+	ram.AddWriteHook(c.InvalidateDecodeCache)
 	for i := range c.Regs {
 		c.Regs[i] = core.W(0, c.def)
 	}
@@ -103,10 +116,20 @@ func NewTaintCore(ram *mem.Memory, ramBase uint32, bus *tlm.Bus, pol *core.Polic
 	return c
 }
 
+// DisableDecodeCache turns the predecoded-instruction cache off: every
+// fetch folds byte tags and decodes again. For ablation benchmarks.
+func (c *TaintCore) DisableDecodeCache() { c.ic = icache{} }
+
+// InvalidateDecodeCache drops predecoded entries (and their fetch-tag
+// summaries) covering RAM byte offsets [start, end). Registered as the
+// tainted RAM's write hook.
+func (c *TaintCore) InvalidateDecodeCache(start, end uint32) { c.ic.invalidate(start, end) }
+
 // SetIRQ drives the machine interrupt-pending lines.
 func (c *TaintCore) SetIRQ(line uint32, level bool) {
 	if level {
 		c.mip |= line
+		c.irqPoll = true
 	} else {
 		c.mip &^= line
 	}
@@ -136,10 +159,12 @@ func (c *TaintCore) Run(max uint64, delay *kernel.Time) (n uint64, st RunStatus,
 
 func (c *TaintCore) takeIRQ() (bool, error) {
 	if c.mstatus.V&MstatusMIE == 0 {
+		c.irqPoll = false
 		return false, nil
 	}
 	pending := c.mie.V & c.mip
 	if pending == 0 {
+		c.irqPoll = false
 		return false, nil
 	}
 	var cause uint32
@@ -198,31 +223,88 @@ func (c *TaintCore) checkAddrTag(t core.Tag, addr, pc uint32) error {
 		WithPC(pc).WithAddr(addr)
 }
 
+// fetchWord assembles the little-endian instruction word at RAM offset off;
+// the caller guarantees off+4 <= ramSize.
+func (c *TaintCore) fetchWord(off uint32) uint32 {
+	return uint32(c.ram[off].V) | uint32(c.ram[off+1].V)<<8 |
+		uint32(c.ram[off+2].V)<<16 | uint32(c.ram[off+3].V)<<24
+}
+
+// foldFetchTag joins the four byte tags of an instruction word,
+// short-circuiting the all-equal case (uniformly classified text, the
+// overwhelmingly common one) to a single comparison chain without LUBs.
+func (c *TaintCore) foldFetchTag(b0, b1, b2, b3 core.TByte) core.Tag {
+	t := b0.T
+	if b1.T != t || b2.T != t || b3.T != t {
+		t = c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T))
+	}
+	return t
+}
+
 func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
-	if taken, err := c.takeIRQ(); err != nil {
-		return RunOK, err
-	} else if taken {
-		return RunOK, nil
+	if c.irqPoll {
+		if taken, err := c.takeIRQ(); err != nil {
+			return RunOK, err
+		} else if taken {
+			return RunOK, nil
+		}
 	}
 
 	pc := c.PC
 	off := pc - c.ramBase
-	if off >= c.ramSize || off+4 > c.ramSize {
-		return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
-	}
-	b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
-	w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
-	if c.Tracer != nil {
-		c.Tracer(pc, w)
-	}
-	if c.checkFetch {
-		t := c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T))
-		if !c.lat.AllowedFlow(t, c.fetchClear) {
-			return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, t, c.fetchClear).
-				WithPC(pc).WithValue(w)
+	var i Inst
+	if idx := int(off >> 2); off&3 == 0 && idx < len(c.ic.ents) {
+		e := &c.ic.ents[idx]
+		if e.state != 0 {
+			i = e.inst
+			if c.Tracer != nil {
+				c.Tracer(pc, c.fetchWord(off))
+			}
+			if !e.allowed {
+				// Cached fetch-clearance verdict: the word's tag summary
+				// may not flow to the execution unit.
+				return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, e.tag, c.fetchClear).
+					WithPC(pc).WithValue(c.fetchWord(off))
+			}
+		} else {
+			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
+			w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
+			if c.Tracer != nil {
+				c.Tracer(pc, w)
+			}
+			e.tag, e.allowed = 0, true
+			if c.checkFetch {
+				e.tag = c.foldFetchTag(b0, b1, b2, b3)
+				e.allowed = c.lat.AllowedFlow(e.tag, c.fetchClear)
+			}
+			i = Decode(w)
+			e.inst = i
+			e.state = icValid
+			c.ic.noteFill(off)
+			if !e.allowed {
+				return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, e.tag, c.fetchClear).
+					WithPC(pc).WithValue(w)
+			}
 		}
+	} else {
+		// Misaligned PC, fetch outside RAM, or the decode cache is off.
+		if off >= c.ramSize || off+4 > c.ramSize {
+			return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
+		}
+		b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
+		w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
+		if c.Tracer != nil {
+			c.Tracer(pc, w)
+		}
+		if c.checkFetch {
+			t := c.foldFetchTag(b0, b1, b2, b3)
+			if !c.lat.AllowedFlow(t, c.fetchClear) {
+				return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, t, c.fetchClear).
+					WithPC(pc).WithValue(w)
+			}
+		}
+		i = Decode(w)
 	}
-	i := Decode(w)
 
 	next := pc + 4
 	r := &c.Regs
@@ -363,8 +445,12 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 		c.alu(i, remS(r[i.Rs1].V, r[i.Rs2].V))
 	case OpREMU:
 		c.alu(i, remU(r[i.Rs1].V, r[i.Rs2].V))
-	case OpFENCE, OpFENCEI:
-		// No-ops in this memory model.
+	case OpFENCE:
+		// No-op: the memory model is sequentially consistent.
+	case OpFENCEI:
+		// Explicit fetch/store synchronization: drop every predecoded
+		// entry together with its fetch-tag summary.
+		c.ic.invalidateAll()
 	case OpECALL:
 		return RunOK, c.trap(CauseECallM, 0, pc)
 	case OpEBREAK:
@@ -383,6 +469,7 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 		}
 		st |= MstatusMPIE
 		c.mstatus = core.W(st, c.mstatus.T)
+		c.irqPoll = true
 		next = c.mepc.V
 	case OpWFI:
 		if !c.PendingIRQ() {
@@ -397,7 +484,7 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			return RunOK, nil
 		}
 	default:
-		return RunOK, c.trap(CauseIllegalInstr, w, pc)
+		return RunOK, c.trap(CauseIllegalInstr, c.fetchWord(off), pc)
 	}
 	if c.PC == pc {
 		c.PC = next
@@ -427,18 +514,29 @@ func (c *TaintCore) load(base core.Word, imm, size uint32, delay *kernel.Time, p
 	}
 	off := addr - c.ramBase
 	if !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize {
+		// Tag folding short-circuits when all accessed bytes carry the same
+		// tag (the overwhelmingly common case — whole words written by sw
+		// carry one tag), avoiding the per-byte LUB chain.
 		switch size {
 		case 1:
 			b := c.ram[off]
 			return core.W(uint32(b.V), b.T), nil
 		case 2:
 			b0, b1 := c.ram[off], c.ram[off+1]
-			return core.W(uint32(b0.V)|uint32(b1.V)<<8, c.lat.LUB(b0.T, b1.T)), nil
+			t := b0.T
+			if b1.T != t {
+				t = c.lat.LUB(b0.T, b1.T)
+			}
+			return core.W(uint32(b0.V)|uint32(b1.V)<<8, t), nil
 		default:
 			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
+			t := b0.T
+			if b1.T != t || b2.T != t || b3.T != t {
+				t = c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T))
+			}
 			return core.W(
 				uint32(b0.V)|uint32(b1.V)<<8|uint32(b2.V)<<16|uint32(b3.V)<<24,
-				c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T)),
+				t,
 			), nil
 		}
 	}
@@ -473,8 +571,22 @@ func (c *TaintCore) store(base core.Word, imm uint32, val core.Word, size uint32
 	}
 	off := addr - c.ramBase
 	if !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize {
-		for j := uint32(0); j < size; j++ {
-			c.ram[off+j] = core.TByte{V: byte(val.V >> (8 * j)), T: val.T}
+		switch size {
+		case 1:
+			c.ram[off] = core.TByte{V: byte(val.V), T: val.T}
+		case 2:
+			c.ram[off] = core.TByte{V: byte(val.V), T: val.T}
+			c.ram[off+1] = core.TByte{V: byte(val.V >> 8), T: val.T}
+		default:
+			c.ram[off] = core.TByte{V: byte(val.V), T: val.T}
+			c.ram[off+1] = core.TByte{V: byte(val.V >> 8), T: val.T}
+			c.ram[off+2] = core.TByte{V: byte(val.V >> 16), T: val.T}
+			c.ram[off+3] = core.TByte{V: byte(val.V >> 24), T: val.T}
+		}
+		// Keep the decode cache (and its fetch-tag summaries) coherent with
+		// self-modifying or freshly injected code.
+		if c.ic.overlaps(off, off+size) {
+			c.ic.invalidate(off, off+size)
 		}
 		return nil
 	}
@@ -561,8 +673,10 @@ func (c *TaintCore) csrWrite(csr uint32, w core.Word) bool {
 	switch csr {
 	case CSRMstatus:
 		c.mstatus = core.W(w.V&(MstatusMIE|MstatusMPIE), w.T)
+		c.irqPoll = true
 	case CSRMie:
 		c.mie = core.W(w.V&(IntMSI|IntMTI|IntMEI), w.T)
+		c.irqPoll = true
 	case CSRMip:
 		// Hardwired from devices; software writes ignored.
 	case CSRMtvec:

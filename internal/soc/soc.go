@@ -72,6 +72,10 @@ type Config struct {
 	// memory-interface organization the paper describes for its DIFT
 	// platform. Ignored on the baseline VP.
 	TaintMemViaTLM bool
+	// NoDecodeCache disables the predecoded-instruction cache on whichever
+	// core the platform builds — every fetch decodes (and, on the VP+,
+	// tag-folds) from RAM again. For ablation benchmarks.
+	NoDecodeCache bool
 }
 
 // Platform is a constructed virtual prototype.
@@ -137,6 +141,9 @@ func New(cfg Config) (*Platform, error) {
 	if pol == nil {
 		pl.plainRAM = mem.NewPlain(cfg.RAMSize)
 		pl.Core = rv32.NewCore(pl.plainRAM, RAMBase, pl.Bus)
+		if cfg.NoDecodeCache {
+			pl.Core.DisableDecodeCache()
+		}
 		setIRQ = func(line uint32, level bool) {
 			pl.Core.SetIRQ(line, level)
 			if level {
@@ -147,6 +154,9 @@ func New(cfg Config) (*Platform, error) {
 		pl.ram = mem.New(cfg.RAMSize, pol.Default)
 		pl.TaintCore = rv32.NewTaintCore(pl.ram, RAMBase, pl.Bus, pol)
 		pl.TaintCore.ForceBusMem = cfg.TaintMemViaTLM
+		if cfg.NoDecodeCache {
+			pl.TaintCore.DisableDecodeCache()
+		}
 		setIRQ = func(line uint32, level bool) {
 			pl.TaintCore.SetIRQ(line, level)
 			if level {
@@ -312,6 +322,10 @@ func (pl *Platform) Load(img *asm.Image) error {
 			}
 		}
 	}
+	// The image and classification rules were written through the raw Data()
+	// slice, which bypasses the RAM write hooks; drop any predecoded
+	// entries explicitly.
+	pl.TaintCore.InvalidateDecodeCache(0, pl.ram.Size())
 	pl.TaintCore.PC = img.Entry
 	pl.loaded = true
 	return nil
