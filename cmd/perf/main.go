@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	perf [-scale small|medium|large] [-only name] [-json [file]]
+//	perf [-scale small|medium|large] [-only name] [-reps n] [-json [file]]
 //
 // Absolute MIPS depend on the host; the reproduced quantity is the
 // per-workload overhead factor.
@@ -23,6 +23,9 @@ func main() {
 	only := flag.String("only", "", "run a single benchmark by name")
 	tlmMem := flag.Bool("tlm-mem", false, "route VP+ data accesses through full TLM transactions (the paper's memory-interface organization)")
 	jsonOut := flag.String("json", "", "also write the comparison as JSON to this file (e.g. BENCH_table2.json)")
+	baseline := flag.String("baseline", "", "compare against an archived report and fail on MIPS regression (the CI perf guard)")
+	regress := flag.Float64("regress", 0.10, "allowed fractional MIPS drop vs -baseline before failing")
+	reps := flag.Int("reps", 1, "run each flavour this many times and keep the fastest (denoises shared runners; the guard uses 3)")
 	flag.Parse()
 
 	scale, err := perf.ParseScale(*scaleFlag)
@@ -36,7 +39,7 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "running %s...\n", w.Name)
-		row, err := perf.RunRowCfg(w, *tlmMem)
+		row, err := perf.RunRowBest(w, *tlmMem, *reps)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -56,5 +59,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	if *baseline != "" {
+		base, err := perf.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if base.Scale != *scaleFlag || base.TLMMem != *tlmMem {
+			fmt.Fprintf(os.Stderr, "baseline %s is scale=%s tlm_mem=%v; run with matching flags\n",
+				*baseline, base.Scale, base.TLMMem)
+			os.Exit(2)
+		}
+		msgs := perf.CheckRegression(base, rows, *regress)
+		for _, m := range msgs {
+			fmt.Fprintln(os.Stderr, "PERF REGRESSION: "+m)
+		}
+		if len(msgs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "perf guard: all workloads within %.0f%% of %s\n",
+			*regress*100, *baseline)
 	}
 }

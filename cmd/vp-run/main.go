@@ -28,6 +28,7 @@ import (
 	"vpdift/internal/core"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
 	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
 )
@@ -40,6 +41,10 @@ func main() {
 	mapFlag := flag.Bool("map", false, "print the platform memory map before running")
 	trace := flag.Uint64("trace", 0, "disassemble the first N executed instructions to stderr")
 	taintMap := flag.Bool("taintmap", false, "print the per-class RAM census and tainted ranges after the run")
+	why := flag.Bool("why", false, "on violation, print the taint-provenance chain (classification site to failed check)")
+	metricsOut := flag.String("metrics", "", "write the metrics snapshot as JSON to this file ('-' for stderr)")
+	eventsOut := flag.String("events", "", "write the recorded taint events as JSONL to this file")
+	chromeOut := flag.String("chrome", "", "write the recorded taint events as a Chrome trace to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -95,7 +100,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	pl, err := soc.New(soc.Config{Policy: pol})
+	var observer *obs.Observer
+	if *why || *metricsOut != "" || *eventsOut != "" || *chromeOut != "" {
+		observer = obs.New()
+	}
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -154,10 +163,26 @@ func main() {
 		}
 	}
 
+	writeExports(pl, observer, *metricsOut, *eventsOut, *chromeOut)
+
 	var v *core.Violation
 	switch {
 	case errors.As(runErr, &v):
 		fmt.Fprintf(os.Stderr, "\nSECURITY VIOLATION: %v\n", v)
+		if *why {
+			annotate := func(ev core.TaintEvent) string {
+				if ev.PC == 0 || ev.Insn == 0 {
+					return ""
+				}
+				s := rv32.Disassemble(ev.Insn, ev.PC)
+				if name, off, ok := img.SymbolAt(ev.PC); ok {
+					s += fmt.Sprintf(" <%s+0x%x>", name, off)
+				}
+				return s
+			}
+			fmt.Fprintf(os.Stderr, "provenance (classification -> failed check):\n%s",
+				v.ProvenanceReport(annotate))
+		}
 		os.Exit(3)
 	case runErr != nil:
 		fmt.Fprintf(os.Stderr, "\nerror: %v\n", runErr)
@@ -168,6 +193,52 @@ func main() {
 		exited, code, pl.Instret(), pl.Sim.Now())
 	if exited {
 		os.Exit(int(code) & 0x7f)
+	}
+}
+
+// writeExports dumps the observer's metrics and event stream in the formats
+// requested on the command line.
+func writeExports(pl *soc.Platform, o *obs.Observer, metricsOut, eventsOut, chromeOut string) {
+	if o == nil {
+		return
+	}
+	openOut := func(path string) (*os.File, bool) {
+		if path == "-" {
+			return os.Stderr, false
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return f, true
+	}
+	if metricsOut != "" {
+		f, closeit := openOut(metricsOut)
+		if err := obs.WriteMetricsJSON(f, pl.MetricsSnapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if closeit {
+			f.Close()
+		}
+	}
+	if eventsOut != "" {
+		f, closeit := openOut(eventsOut)
+		if err := o.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if closeit {
+			f.Close()
+		}
+	}
+	if chromeOut != "" {
+		f, closeit := openOut(chromeOut)
+		if err := o.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		if closeit {
+			f.Close()
+		}
 	}
 }
 

@@ -12,12 +12,35 @@ import (
 	"fmt"
 	"os"
 
+	"vpdift/internal/obs"
 	"vpdift/internal/wk"
 )
 
 func main() {
 	verify := flag.Bool("verify", false, "also run each attack without DIFT to confirm it works")
+	why := flag.Bool("why", false, "print each detected attack's taint-provenance chain")
 	flag.Parse()
+
+	if *why {
+		for _, a := range wk.Suite() {
+			a := a
+			if !a.Applicable() {
+				continue
+			}
+			res, v, err := wk.RunObserved(&a, true, obs.New())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "attack %d: %v\n", a.Num, err)
+				os.Exit(1)
+			}
+			if res != wk.Detected || v == nil {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "attack %2d (%s / %s / %s): %v\n",
+				a.Num, a.Location, a.Target, a.Technique, v)
+			fmt.Fprintf(os.Stderr, "provenance (classification -> failed check):\n%s\n",
+				v.ProvenanceReport(nil))
+		}
+	}
 
 	if *verify {
 		for _, a := range wk.Suite() {

@@ -35,7 +35,7 @@ key:
 		WithOutput("uart0.tx", lc).
 		WithRegion(vpdift.RegionRule{Name: "key", Start: key, End: key + 4, Classify: true, Class: hc})
 
-	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +44,7 @@ key:
 		log.Fatal(err)
 	}
 
-	runErr := pl.Run(vpdift.Forever)
+	_, runErr := pl.Run(vpdift.Forever)
 	var v *vpdift.Violation
 	if errors.As(runErr, &v) {
 		fmt.Printf("%s: flow %s -> %s at port %s\n", v.Kind, v.HaveClass(), v.RequiredClass(), v.Port)
@@ -90,7 +90,7 @@ msg:	.asciz "hello, world"
 	if err != nil {
 		log.Fatal(err)
 	}
-	pl, err := vpdift.NewPlatform(vpdift.Config{})
+	pl, err := vpdift.NewPlatform()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,7 +98,7 @@ msg:	.asciz "hello, world"
 	if err := pl.Load(img); err != nil {
 		log.Fatal(err)
 	}
-	if err := pl.Run(vpdift.Forever); err != nil {
+	if _, err := pl.Run(vpdift.Forever); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(string(pl.UART.Output()))

@@ -74,7 +74,7 @@ func run(withDIFT bool) error {
 			}).
 			WithInput("uart0.rx", li)
 	}
-	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol))
 	if err != nil {
 		return err
 	}
@@ -91,7 +91,7 @@ func run(withDIFT bool) error {
 	binary.LittleEndian.PutUint32(exploit[28:], img.MustSymbol("payload"))
 	pl.UART.Inject(exploit)
 
-	if err := pl.Run(vpdift.S); err != nil {
+	if _, err := pl.Run(vpdift.S); err != nil {
 		return err
 	}
 	exited, code := pl.Exited()

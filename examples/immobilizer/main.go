@@ -115,7 +115,7 @@ func main() {
 		WithInput("can0.rx", lcLI).
 		WithInput("aes0.out", lcLI)
 
-	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func main() {
 
 	challenge := []byte{1, 2, 3, 4, 5, 6, 7, 8}
 	pl.CAN.Deliver(0x100, challenge)
-	runErr := pl.Run(vpdift.S)
+	_, runErr := pl.Run(vpdift.S)
 
 	// The challenge response made it out before the leak attempt.
 	if len(pl.CAN.TxLog) < 1 {

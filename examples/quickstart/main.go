@@ -52,7 +52,12 @@ secret:
 			Classify: true, Class: hc,
 		})
 
-	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	// An observer records how the tag travelled, so the violation below
+	// carries a provenance chain instead of just naming the port.
+	pl, err := vpdift.NewPlatform(
+		vpdift.WithPolicy(pol),
+		vpdift.WithObserver(vpdift.NewObserver()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,13 +66,15 @@ secret:
 		log.Fatal(err)
 	}
 
-	runErr := pl.Run(vpdift.Forever)
+	res, runErr := pl.Run(vpdift.Forever)
 	fmt.Printf("console output: %q\n", pl.UART.Output())
 
 	var v *vpdift.Violation
 	if errors.As(runErr, &v) {
 		fmt.Printf("DIFT engine stopped the program: %v\n", v)
 		fmt.Println("the greeting got through; the tainted hex dump did not")
+		fmt.Printf("how the secret reached the port:\n%s", v.ProvenanceReport(nil))
+		fmt.Printf("clearance checks performed: %d\n", res.Metrics["checks.output"])
 		return
 	}
 	log.Fatalf("expected a violation, got: %v", runErr)

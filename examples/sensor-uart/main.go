@@ -69,7 +69,7 @@ func run(confidential bool) error {
 	if confidential {
 		pol.WithInput("sensor0.data", hc)
 	}
-	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol))
 	if err != nil {
 		return err
 	}
@@ -77,7 +77,7 @@ func run(confidential bool) error {
 	if err := pl.Load(img); err != nil {
 		return err
 	}
-	runErr := pl.Run(500 * vpdift.MS)
+	_, runErr := pl.Run(500 * vpdift.MS)
 	fmt.Printf("  %d sensor frames generated, %d bytes reached the console\n",
 		pl.Sensor.Frames(), len(pl.UART.Output()))
 	return runErr

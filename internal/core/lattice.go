@@ -19,6 +19,12 @@ type Lattice struct {
 	names   []string
 	allowed []bool // n*n closure matrix: allowed[x*n+y] == AllowedFlow(x, y)
 	lub     []Tag  // n*n join table: lub[x*n+y] == LUB(x, y)
+
+	// lubCount, when non-nil, is incremented on every LUB — the observer's
+	// join-operation counter. Set once at platform wiring time (before the
+	// simulation starts); nil in normal operation so the hot path pays only
+	// a predictable not-taken branch.
+	lubCount *uint64
 }
 
 // NewLattice builds an IFP from named security classes and directed flow
@@ -180,9 +186,17 @@ func (l *Lattice) MustTag(name string) Tag {
 // LUB returns the least upper bound of two security classes: the class of
 // data produced by combining data of classes a and b (paper Section IV-A).
 func (l *Lattice) LUB(a, b Tag) Tag {
+	if l.lubCount != nil {
+		*l.lubCount++
+	}
 	n := len(l.names)
 	return l.lub[int(a)*n+int(b)]
 }
+
+// SetLUBCounter installs (or, with nil, removes) the join-operation counter.
+// It must be called before the simulation starts and is the one permitted
+// post-construction mutation of a Lattice.
+func (l *Lattice) SetLUBCounter(c *uint64) { l.lubCount = c }
 
 // AllowedFlow reports whether data of class from may flow to a sink with
 // clearance to — the paper's allowedFlow(X, Y) predicate. It holds iff there

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // ViolationKind classifies where in the platform a security-policy violation
 // was detected.
@@ -58,7 +61,12 @@ type Violation struct {
 	Addr     uint32 // memory/bus address involved (0 if n/a)
 	Value    uint32 // offending data value (diagnostic)
 	Port     string // output port name for KindOutputClearance
-	lattice  *Lattice
+	// Provenance, when an observer was attached to the platform, is the
+	// ordered chain of taint events that carried the offending tag from its
+	// classification site to the failed clearance check (the chain's last
+	// event). Empty without an observer.
+	Provenance []TaintEvent
+	lattice    *Lattice
 }
 
 // NewViolation builds a violation bound to a lattice so that Error can print
@@ -93,6 +101,23 @@ func (v *Violation) RequiredClass() string {
 		return fmt.Sprintf("tag %d", v.Required)
 	}
 	return v.lattice.Name(v.Required)
+}
+
+// ProvenanceReport renders the provenance chain as one line per event,
+// classification site first, failed check last. annotate may be nil; when
+// non-nil it can add per-event context (disassembly, symbol names). The
+// report is empty when no observer was attached.
+func (v *Violation) ProvenanceReport(annotate func(TaintEvent) string) string {
+	if len(v.Provenance) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, ev := range v.Provenance {
+		b.WriteString("  ")
+		b.WriteString(ev.Format(v.lattice, annotate))
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // Error implements error.

@@ -8,6 +8,7 @@ import (
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
 	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
 	"vpdift/internal/soc"
 )
 
@@ -130,6 +131,12 @@ type ECU struct {
 // NewECU builds the immobilizer with the chosen firmware variant and
 // policy.
 func NewECU(v Variant, kind PolicyKind) (*ECU, error) {
+	return NewECUObserved(v, kind, nil)
+}
+
+// NewECUObserved is NewECU with a taint-provenance observer wired into the
+// platform; o may be nil.
+func NewECUObserved(v Variant, kind PolicyKind, o *obs.Observer) (*ECU, error) {
 	img := Firmware(v)
 	var pol *core.Policy
 	switch kind {
@@ -145,7 +152,7 @@ func NewECU(v Variant, kind PolicyKind) (*ECU, error) {
 	default:
 		return nil, fmt.Errorf("immo: unknown policy kind %d", kind)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol})
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: o})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"vpdift/internal/core"
+)
+
+// WriteJSONL streams the live events (pinned roots plus ring contents) as
+// one JSON object per line, in sequence order. Kind is rendered as its
+// string name; class names are resolved separately via Lattice.
+func (o *Observer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range o.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format
+// (load the output at chrome://tracing or https://ui.perfetto.dev).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the live events in Chrome trace_event format,
+// keyed by simulated time (1 trace µs == 1 simulated µs). Each event kind
+// gets its own thread row so propagation, I/O, and checks separate visually.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	events := o.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		args := map[string]any{
+			"seq":   ev.Seq,
+			"value": fmt.Sprintf("0x%x", ev.Value),
+		}
+		if o.lat != nil {
+			args["class"] = o.lat.Name(ev.Tag)
+		} else {
+			args["tag"] = ev.Tag
+		}
+		if ev.PC != 0 {
+			args["pc"] = fmt.Sprintf("0x%08x", ev.PC)
+		}
+		if ev.Addr != 0 {
+			args["addr"] = fmt.Sprintf("0x%08x", ev.Addr)
+		}
+		if ev.Port != "" {
+			args["port"] = ev.Port
+		}
+		if ev.Prev != 0 {
+			args["prev"] = ev.Prev
+		}
+		if ev.Prev2 != 0 {
+			args["prev2"] = ev.Prev2
+		}
+		name := ev.Kind.String()
+		if ev.Port != "" {
+			name += " " + ev.Port
+		}
+		out = append(out, chromeEvent{
+			Name: name,
+			Ph:   "i",
+			Ts:   float64(ev.Time) / 1000.0,
+			Pid:  1,
+			Tid:  int(ev.Kind),
+			S:    "t",
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// FormatEvents renders events one per line with class names resolved
+// against l (may be nil); annotate may add per-event context.
+func FormatEvents(events []core.TaintEvent, l *core.Lattice, annotate func(core.TaintEvent) string) string {
+	var b strings.Builder
+	for _, ev := range events {
+		b.WriteString(ev.Format(l, annotate))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

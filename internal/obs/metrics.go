@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Metrics is a named-counter registry. Counters are created on first use;
+// callers on hot paths should cache the *uint64 from Counter instead of
+// paying a map lookup per increment.
+type Metrics struct {
+	counters map[string]*uint64
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return &Metrics{counters: make(map[string]*uint64)} }
+
+// Counter returns the counter cell for name, creating it at zero.
+func (m *Metrics) Counter(name string) *uint64 {
+	c, ok := m.counters[name]
+	if !ok {
+		c = new(uint64)
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Add increments a named counter by n.
+func (m *Metrics) Add(name string, n uint64) { *m.Counter(name) += n }
+
+// Get returns a counter's current value (0 if it was never touched).
+func (m *Metrics) Get(name string) uint64 {
+	if c, ok := m.counters[name]; ok {
+		return *c
+	}
+	return 0
+}
+
+// Snapshot copies all counters into a plain map.
+func (m *Metrics) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(m.counters))
+	for k, c := range m.counters {
+		out[k] = *c
+	}
+	return out
+}
+
+// WriteMetricsJSON writes a counter map as stable, indented JSON — the
+// format cmd/perf consumes and the CI perf guard archives.
+func WriteMetricsJSON(w io.Writer, counters map[string]uint64) error {
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]uint64, len(counters))
+	for _, k := range keys {
+		ordered[k] = counters[k]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}

@@ -1,0 +1,544 @@
+// Package obs is the platform's structured observability subsystem: it
+// records tag-propagation provenance, bus/peripheral events, and simulation
+// metrics across every layer of the virtual prototype.
+//
+// The paper's headline use case (Section VI-A) is debugging — the VP+ flags
+// the UART debug-dump leak, but the engineer still has to work backwards by
+// hand to find which instruction chain carried the PIN's HC tag to the
+// uart0.tx port. An Observer closes that gap: while attached it records a
+// fixed-size ring of TaintEvents linked backwards through per-register and
+// per-memory-word source pointers, so a raised *core.Violation carries a
+// provenance chain — the ordered list of instructions and bus transactions
+// that moved the offending tag from its classification site to the failed
+// clearance check.
+//
+// Everything here follows the existing Tracer nil-check discipline: the
+// cores, peripherals, and bus monitors call Observer methods only behind an
+// `if obs != nil` guard, so a platform without an observer pays one
+// predictable not-taken branch per hook site and records nothing. Table II
+// overhead numbers are therefore unchanged when observability is off.
+//
+// Ring-buffer eviction: events are stored in a circular buffer of
+// Options.RingCapacity entries; once full, each new event overwrites the
+// oldest. Backward links pointing at evicted events simply terminate the
+// chain there — except classification events (the roots laid down at image
+// load time), which are pinned in a separate never-evicted list so the
+// start of a chain survives arbitrarily long runs.
+package obs
+
+import (
+	"sort"
+
+	"vpdift/internal/core"
+	"vpdift/internal/tlm"
+)
+
+// Default sizing.
+const (
+	DefaultRingCapacity = 1 << 16
+	DefaultMaxChain     = 64
+)
+
+// RegNone marks "no source register" in two-operand hook calls.
+const RegNone = 0xff
+
+// Options parameterizes an Observer.
+type Options struct {
+	// RingCapacity is the number of events the ring buffer holds before
+	// eviction begins. Defaults to DefaultRingCapacity.
+	RingCapacity int
+	// MaxChain bounds the number of events reconstructed into a violation's
+	// provenance chain. Defaults to DefaultMaxChain.
+	MaxChain int
+	// TraceExec additionally records an EvExec event for every retired
+	// instruction (both cores). Very chatty; off by default.
+	TraceExec bool
+}
+
+// Checks counts performed clearance checks by site. Fetch counts only
+// uncached fetch checks: on a decode-cache hit the check is a memoized
+// verdict (see DESIGN.md section 5.6), not a re-evaluation.
+type Checks struct {
+	Fetch   uint64
+	Branch  uint64
+	MemAddr uint64
+	Store   uint64
+	Output  uint64
+	Input   uint64
+}
+
+// Observer records taint provenance, platform events, and metrics. Create
+// one with New, pass it to the platform (soc.Config.Obs or
+// vpdift.WithObserver), run, then inspect Events, violation provenance, and
+// MetricsSnapshot. An Observer must not be shared between platforms.
+type Observer struct {
+	opts Options
+
+	lat *core.Lattice
+	def core.Tag
+	now func() uint64 // simulated time source (kernel wiring)
+
+	ring    []core.TaintEvent
+	seq     uint64
+	evicted uint64
+	pinned  []core.TaintEvent
+
+	// Provenance state: the last event that defined each register, each
+	// memory word (keyed by address>>2, word granularity), the current PC
+	// (set by indirect jumps), and the last store headed for a bus target.
+	regSrc   [32]uint64
+	memSrc   map[uint32]uint64
+	pcSrc    uint64
+	lastOut  uint64
+	pending  uint64 // seq attached to the next register assignment
+	curPC    uint32
+	curInsn  uint32
+	attached bool
+
+	ports map[string]uint32 // device name -> bus base address
+
+	// Checks are the clearance-check counters, incremented by the cores and
+	// peripherals while the observer is attached.
+	Checks Checks
+
+	lubs     uint64 // wired into the policy lattice's LUB counter
+	busRead  uint64 // bytes moved by monitored bus reads
+	busWrite uint64 // bytes moved by monitored bus writes
+	busTxns  uint64
+
+	violations map[string]uint64 // violation kind -> count
+
+	m *Metrics
+}
+
+// New creates an Observer with default options.
+func New() *Observer { return NewWithOptions(Options{}) }
+
+// NewWithOptions creates an Observer.
+func NewWithOptions(o Options) *Observer {
+	if o.RingCapacity <= 0 {
+		o.RingCapacity = DefaultRingCapacity
+	}
+	if o.MaxChain <= 0 {
+		o.MaxChain = DefaultMaxChain
+	}
+	return &Observer{
+		opts:       o,
+		ring:       make([]core.TaintEvent, 0, min(o.RingCapacity, 4096)),
+		memSrc:     make(map[uint32]uint64),
+		ports:      make(map[string]uint32),
+		violations: make(map[string]uint64),
+		m:          NewMetrics(),
+	}
+}
+
+// Attach binds the observer to a platform's time source and security
+// context. Called by the platform builder; an observer can be attached to
+// exactly one platform.
+func (o *Observer) Attach(now func() uint64, lat *core.Lattice, def core.Tag) {
+	o.now = now
+	o.lat = lat
+	o.def = def
+	o.attached = true
+}
+
+// Attached reports whether a platform has claimed this observer.
+func (o *Observer) Attached() bool { return o.attached }
+
+// TracesExec reports whether per-retire EvExec tracing was requested. The
+// platform uses it to skip wiring the baseline core's instruction-boundary
+// hook when the events would be dropped anyway.
+func (o *Observer) TracesExec() bool { return o.opts.TraceExec }
+
+// Lattice returns the security lattice of the attached platform (nil on the
+// baseline VP or before attachment). Exporters use it for class names.
+func (o *Observer) Lattice() *core.Lattice { return o.lat }
+
+// RegisterPort records a peripheral's bus base address so input events can
+// be associated with the memory-mapped register the CPU will read.
+func (o *Observer) RegisterPort(dev string, base uint32) { o.ports[dev] = base }
+
+// LUBCounter exposes the join-operation counter for lattice wiring.
+func (o *Observer) LUBCounter() *uint64 { return &o.lubs }
+
+// Metrics returns the observer's named-counter registry.
+func (o *Observer) Metrics() *Metrics { return o.m }
+
+// EventCount returns the total number of events recorded (including evicted
+// and pinned ones).
+func (o *Observer) EventCount() uint64 { return o.seq }
+
+// Evicted returns how many events were overwritten by ring eviction.
+func (o *Observer) Evicted() uint64 { return o.evicted }
+
+// Events returns the live events — pinned classification roots plus the
+// ring's current contents — in sequence order.
+func (o *Observer) Events() []core.TaintEvent {
+	out := make([]core.TaintEvent, 0, len(o.pinned)+len(o.ring))
+	out = append(out, o.pinned...)
+	for _, ev := range o.ring {
+		if ev.Seq != 0 {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// emit assigns a sequence number and simulated timestamp, writes the event
+// into its ring slot (evicting whatever lived there), and returns its seq.
+// The slot is always (seq-1) mod capacity — pinned events consume sequence
+// numbers without ring slots, so the slice can have transient zero-Seq holes
+// during the fill phase; lookups verify Seq so holes never resolve.
+func (o *Observer) emit(ev core.TaintEvent) uint64 {
+	o.seq++
+	ev.Seq = o.seq
+	if o.now != nil {
+		ev.Time = o.now()
+	}
+	idx := int((ev.Seq - 1) % uint64(o.opts.RingCapacity))
+	if idx < len(o.ring) {
+		if o.ring[idx].Seq != 0 {
+			o.evicted++
+		}
+		o.ring[idx] = ev
+	} else {
+		for len(o.ring) < idx {
+			o.ring = append(o.ring, core.TaintEvent{})
+		}
+		o.ring = append(o.ring, ev)
+	}
+	return ev.Seq
+}
+
+// pin records a never-evicted event (load-time classification roots).
+func (o *Observer) pin(ev core.TaintEvent) uint64 {
+	o.seq++
+	ev.Seq = o.seq
+	if o.now != nil {
+		ev.Time = o.now()
+	}
+	o.pinned = append(o.pinned, ev)
+	return ev.Seq
+}
+
+// event looks up a live event by sequence number: the ring slot it maps to
+// (if not yet evicted) or the pinned list.
+func (o *Observer) event(seq uint64) (core.TaintEvent, bool) {
+	if seq == 0 || seq > o.seq {
+		return core.TaintEvent{}, false
+	}
+	if n := len(o.ring); n > 0 {
+		idx := int((seq - 1) % uint64(o.opts.RingCapacity))
+		if idx < n && o.ring[idx].Seq == seq {
+			return o.ring[idx], true
+		}
+	}
+	i := sort.Search(len(o.pinned), func(i int) bool { return o.pinned[i].Seq >= seq })
+	if i < len(o.pinned) && o.pinned[i].Seq == seq {
+		return o.pinned[i], true
+	}
+	return core.TaintEvent{}, false
+}
+
+// Chain reconstructs the provenance chain ending at seq by walking the
+// backward links, primary data lineage (Prev) first, bounded by
+// Options.MaxChain. The result is ordered by sequence number: earliest
+// event (typically the classification root) first, the given event last.
+func (o *Observer) Chain(seq uint64) []core.TaintEvent {
+	if seq == 0 {
+		return nil
+	}
+	seen := make(map[uint64]bool, o.opts.MaxChain)
+	out := make([]core.TaintEvent, 0, 8)
+	stack := []uint64{seq}
+	for len(stack) > 0 && len(out) < o.opts.MaxChain {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s == 0 || seen[s] {
+			continue
+		}
+		seen[s] = true
+		ev, ok := o.event(s)
+		if !ok {
+			continue // evicted: the chain terminates here
+		}
+		out = append(out, ev)
+		// Push Prev last so the primary data lineage is explored first and
+		// survives the MaxChain bound.
+		stack = append(stack, ev.Prev2, ev.Prev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Core hooks. Every method below is called by the cores only behind an
+// `if c.Obs != nil` guard — the hot path pays nothing when disabled.
+
+// BeginInsn notes the instruction about to execute; subsequent events carry
+// its pc and raw word. It also retires the pending jump provenance: pcSrc is
+// only meaningful for the fetch-clearance check of the first instruction at
+// an indirect-jump target.
+func (o *Observer) BeginInsn(pc, insn uint32) {
+	o.curPC, o.curInsn = pc, insn
+	o.pcSrc = 0
+	if o.opts.TraceExec {
+		o.emit(core.TaintEvent{Kind: core.EvExec, PC: pc, Insn: insn})
+	}
+}
+
+// SetInsn updates the current-instruction diagnostics (pc and raw word)
+// without the side effects of BeginInsn. Cold violation paths use it when
+// they fire before the instruction's deferred BeginInsn has run.
+func (o *Observer) SetInsn(pc, insn uint32) {
+	o.curPC, o.curInsn = pc, insn
+}
+
+// AssignReg consumes the pending source event into the destination
+// register's provenance slot. Called from the cores' register write path;
+// writers that did not prime a source (lui, jal link, csr reads) clear it.
+func (o *Observer) AssignReg(rd uint8) {
+	s := o.pending
+	o.pending = 0
+	if rd != 0 {
+		o.regSrc[rd] = s
+	}
+}
+
+// OnLoad records a memory/bus read about to land in a register and primes
+// the next register assignment with it. Loads of untracked default-class
+// data record nothing (chains never pass through them anyway).
+func (o *Observer) OnLoad(addr, size uint32, w core.Word) {
+	prev := o.memSrc[addr>>2]
+	if prev == 0 && w.T == o.def {
+		o.pending = 0
+		return
+	}
+	o.pending = o.emit(core.TaintEvent{
+		Kind: core.EvLoad, PC: o.curPC, Insn: o.curInsn,
+		Addr: addr, Value: w.V, Tag: w.T, Prev: prev,
+	})
+}
+
+// OnOp records a computational step combining register tags (rs2 == 0xff
+// for single-source immediate forms) and primes the next register
+// assignment. Untracked all-default steps record nothing.
+func (o *Observer) OnOp(rs1, rs2 uint8, v uint32, t core.Tag) {
+	prev := o.regSrc[rs1]
+	var prev2 uint64
+	if rs2 != RegNone {
+		prev2 = o.regSrc[rs2]
+	}
+	if prev == 0 && prev2 == 0 && t == o.def {
+		o.pending = 0
+		return
+	}
+	o.pending = o.emit(core.TaintEvent{
+		Kind: core.EvOp, PC: o.curPC, Insn: o.curInsn,
+		Value: v, Tag: t, Prev: prev, Prev2: prev2,
+	})
+}
+
+// OnStore records a register value written to memory or a bus target and
+// updates the written words' provenance. It always refreshes the
+// destination slots — an untracked store over a previously tracked word
+// must sever the old chain.
+func (o *Observer) OnStore(addr, size uint32, src uint8, w core.Word) {
+	prev := o.regSrc[src]
+	if prev == 0 && w.T == o.def {
+		for a := addr &^ 3; a < addr+size; a += 4 {
+			delete(o.memSrc, a>>2)
+		}
+		o.lastOut = 0
+		return
+	}
+	s := o.emit(core.TaintEvent{
+		Kind: core.EvStore, PC: o.curPC, Insn: o.curInsn,
+		Addr: addr, Value: w.V, Tag: w.T, Prev: prev,
+	})
+	for a := addr &^ 3; a < addr+size; a += 4 {
+		o.memSrc[a>>2] = s
+	}
+	o.lastOut = s
+}
+
+// OnJump records an indirect control transfer (jalr with the source
+// register, mret with rs == 0xff and the mepc chain unavailable). The event
+// becomes the PC provenance consulted by the next fetch-clearance check, so
+// a chain can cross an overflowed return address.
+func (o *Observer) OnJump(target uint32, rs uint8, t core.Tag) {
+	var prev uint64
+	if rs != RegNone {
+		prev = o.regSrc[rs]
+	}
+	if prev == 0 && t == o.def {
+		o.pcSrc = 0
+		return
+	}
+	o.pcSrc = o.emit(core.TaintEvent{
+		Kind: core.EvJump, PC: o.curPC, Insn: o.curInsn,
+		Value: target, Tag: t, Prev: prev,
+	})
+}
+
+// RegSource returns the provenance seq of a register (for violation sites).
+func (o *Observer) RegSource(r uint8) uint64 { return o.regSrc[r] }
+
+// MemSource returns the provenance seq of the word containing addr.
+func (o *Observer) MemSource(addr uint32) uint64 { return o.memSrc[addr>>2] }
+
+// PCSource returns the provenance of the current PC (set by the last
+// indirect jump, consumed by the next instruction).
+func (o *Observer) PCSource() uint64 { return o.pcSrc }
+
+// LastStore returns the seq of the most recent store event — the link
+// between a CPU store to an output register and the peripheral's clearance
+// check on the very same byte.
+func (o *Observer) LastStore() uint64 { return o.lastOut }
+
+// OnViolation records the failed clearance check as the chain's terminal
+// event, reconstructs the provenance chain, attaches it to the violation,
+// and counts it. prev/prev2 are the source links appropriate to the check
+// site (register, memory word, or last-store provenance).
+func (o *Observer) OnViolation(v *core.Violation, prev, prev2 uint64) {
+	s := o.emit(core.TaintEvent{
+		Kind: core.EvCheck, PC: v.PC, Insn: o.curInsn,
+		Addr: v.Addr, Value: v.Value, Tag: v.Have, Port: v.Port,
+		Prev: prev, Prev2: prev2,
+	})
+	v.Provenance = o.Chain(s)
+	o.violations[v.Kind.String()]++
+}
+
+// ---------------------------------------------------------------------------
+// Load-time and peripheral hooks.
+
+// PinClassify records a load-time region classification as a pinned (never
+// evicted) provenance root covering [start, end).
+func (o *Observer) PinClassify(region string, start, end uint32, t core.Tag) {
+	s := o.pin(core.TaintEvent{
+		Kind: core.EvClassify, Addr: start, Value: end - start, Tag: t, Port: region,
+	})
+	for a := start &^ 3; a < end; a += 4 {
+		o.memSrc[a>>2] = s
+	}
+}
+
+// OnInput records data entering through a peripheral input port. off is the
+// register offset within the device; if the device's base was registered,
+// the covered words' provenance is defined so the CPU's subsequent MMIO
+// load links to this event.
+func (o *Observer) OnInput(dev string, off, n uint32, port string, v uint32, t core.Tag) {
+	o.Checks.Input++
+	ev := core.TaintEvent{Kind: core.EvInput, Port: port, Value: v, Tag: t}
+	if base, ok := o.ports[dev]; ok {
+		ev.Addr = base + off
+		s := o.emit(ev)
+		for a := ev.Addr &^ 3; a < ev.Addr+n; a += 4 {
+			o.memSrc[a>>2] = s
+		}
+		return
+	}
+	o.emit(ev)
+}
+
+// OnOutput records a byte leaving through an output port after passing its
+// clearance check, linked to the store (or DMA burst) that delivered it.
+func (o *Observer) OnOutput(port string, v byte, t core.Tag) {
+	o.Checks.Output++
+	o.m.Add("io."+port+".bytes", 1)
+	o.emit(core.TaintEvent{
+		Kind: core.EvOutput, Port: port, Value: uint32(v), Tag: t, Prev: o.lastOut,
+	})
+}
+
+// OnDMA records one burst of a DMA transfer, carrying the source words'
+// provenance to the destination words.
+func (o *Observer) OnDMA(dev string, src, dst, n uint32, t core.Tag) {
+	s := o.emit(core.TaintEvent{
+		Kind: core.EvDMA, Addr: dst, Value: n, Tag: t, Port: dev,
+		Prev: o.memSrc[src>>2],
+	})
+	for a := dst &^ 3; a < dst+n; a += 4 {
+		o.memSrc[a>>2] = s
+	}
+	o.lastOut = s
+}
+
+// OnDeclassify records the AES engine lowering the class of its output
+// block, linked to the provenance of its input block.
+func (o *Observer) OnDeclassify(dev string, inOff, inLen, outOff, outLen uint32, from, to core.Tag) {
+	ev := core.TaintEvent{Kind: core.EvDeclassify, Tag: to, Value: uint32(from), Port: dev}
+	base, ok := o.ports[dev]
+	if ok {
+		ev.Addr = base + outOff
+		for a := base + inOff; a < base+inOff+inLen; a += 4 {
+			if s := o.memSrc[a>>2]; s > ev.Prev {
+				ev.Prev = s
+			}
+		}
+	}
+	s := o.emit(ev)
+	if ok {
+		for a := (base + outOff) &^ 3; a < base+outOff+outLen; a += 4 {
+			o.memSrc[a>>2] = s
+		}
+	}
+}
+
+// BusSink returns a tlm.Monitor callback recording the device's completed
+// transactions as bus events and counting moved bytes.
+func (o *Observer) BusSink(dev string) func(tlm.Transaction) {
+	base := o.ports[dev]
+	return func(tr tlm.Transaction) {
+		o.busTxns++
+		kind := core.EvBusRead
+		if tr.Cmd == tlm.Write {
+			kind = core.EvBusWrite
+			o.busWrite += uint64(len(tr.Data))
+		} else {
+			o.busRead += uint64(len(tr.Data))
+		}
+		ev := core.TaintEvent{Kind: kind, Addr: base + tr.Addr, Port: dev}
+		var t core.Tag
+		for i, b := range tr.Data {
+			if i < 4 {
+				ev.Value |= uint32(b.V) << (8 * i)
+			}
+			if o.lat != nil {
+				t = o.lat.LUB(t, b.T)
+			} else if b.T > t {
+				t = b.T
+			}
+		}
+		ev.Tag = t
+		o.emit(ev)
+	}
+}
+
+// MetricsSnapshot returns every counter the observer holds — the named
+// registry plus the built-in event, check, LUB, bus, and violation
+// counters — as a flat map. The platform adds its own gauges (instructions
+// retired, simulated time, decode-cache fills) on top; use
+// soc.Platform.MetricsSnapshot or vpdift.Result.Metrics for the full set.
+func (o *Observer) MetricsSnapshot() map[string]uint64 {
+	m := o.m.Snapshot()
+	m["obs.events"] = o.seq
+	m["obs.evicted"] = o.evicted
+	m["obs.pinned"] = uint64(len(o.pinned))
+	m["lub_ops"] = o.lubs
+	m["checks.fetch"] = o.Checks.Fetch
+	m["checks.branch"] = o.Checks.Branch
+	m["checks.mem_addr"] = o.Checks.MemAddr
+	m["checks.store"] = o.Checks.Store
+	m["checks.output"] = o.Checks.Output
+	m["checks.input"] = o.Checks.Input
+	m["bus.txns"] = o.busTxns
+	m["bus.read_bytes"] = o.busRead
+	m["bus.write_bytes"] = o.busWrite
+	for k, n := range o.violations {
+		m["violations."+k] = n
+	}
+	return m
+}

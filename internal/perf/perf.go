@@ -249,11 +249,44 @@ func RunRow(w Workload) (Row, error) {
 // RunRowCfg measures both flavours, optionally with the VP+ routed through
 // TLM memory transactions.
 func RunRowCfg(w Workload, tlmMem bool) (Row, error) {
-	vp, err := RunOnce(w, false)
+	return RunRowBest(w, tlmMem, 1)
+}
+
+// RunRowBest measures both flavours reps times each and keeps the fastest
+// measurement per flavour. The simulator is deterministic, so repeated runs
+// execute identical instruction streams; wall-clock differences are host
+// noise (shared runners, frequency scaling), and best-of-N measures what the
+// code can do rather than what the host happened to allow. The CI perf
+// guard uses reps=3 so a single contended run cannot fail the build.
+func RunRowBest(w Workload, tlmMem bool, reps int) (Row, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := func(dift bool) (Measurement, error) {
+		var m Measurement
+		n := reps
+		for r := 0; r < n; r++ {
+			got, err := RunOnceOpts(w, Options{DIFT: dift, TLMMem: dift && tlmMem})
+			if err != nil {
+				return Measurement{}, err
+			}
+			if r == 0 || got.Wall < m.Wall {
+				m = got
+			}
+			if r == 0 && reps > 1 && got.Wall < 200*time.Millisecond {
+				// Sub-200ms workloads are dominated by scheduling noise; a
+				// single contended slice skews the whole measurement. Triple
+				// the repetitions — the extra runs cost well under a second.
+				n = reps * 3
+			}
+		}
+		return m, nil
+	}
+	vp, err := best(false)
 	if err != nil {
 		return Row{}, err
 	}
-	vpp, err := RunOnceCfg(w, true, tlmMem)
+	vpp, err := best(true)
 	if err != nil {
 		return Row{}, err
 	}
@@ -317,6 +350,48 @@ func (rep Report) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report previously written with WriteFile (the CI perf
+// guard's archived baseline).
+func ReadFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CheckRegression compares measured rows against a baseline report and
+// returns one message per workload whose VP or VP+ MIPS fell more than
+// tolerance (e.g. 0.10 for 10%) below the baseline. Workloads missing from
+// either side are skipped — the guard must not fail on renamed benchmarks.
+func CheckRegression(baseline Report, rows []Row, tolerance float64) []string {
+	base := make(map[string]ReportRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[r.Name] = r
+	}
+	var msgs []string
+	check := func(name, flavour string, got, want float64) {
+		if want > 0 && got < want*(1-tolerance) {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: %s %.1f MIPS is %.1f%% below baseline %.1f MIPS (tolerance %.0f%%)",
+				name, flavour, got, (1-got/want)*100, want, tolerance*100))
+		}
+	}
+	for _, r := range rows {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		check(r.Name, "VP", r.VP.MIPS(), b.VPMIPS)
+		check(r.Name, "VP+", r.VPPlus.MIPS(), b.VPPlusMIPS)
+	}
+	return msgs
 }
 
 // group3 formats an integer with thousands separators, as in the paper.

@@ -55,6 +55,27 @@ func TestRunRowQsortTiny(t *testing.T) {
 	}
 }
 
+func TestRunRowBestKeepsFastest(t *testing.T) {
+	// Best-of-N returns a valid row; the deterministic simulator retires the
+	// same instruction stream every rep, so the counts must agree with a
+	// single-rep run of the same workload.
+	w := Workloads(ScaleSmall)[0]
+	row, err := RunRowBest(w, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := RunRow(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Instr != single.Instr {
+		t.Errorf("best-of-2 retired %d instructions, single run %d", row.Instr, single.Instr)
+	}
+	if row.VP.Wall <= 0 || row.VPPlus.Wall <= 0 {
+		t.Errorf("non-positive wall time: %+v", row)
+	}
+}
+
 func TestRunRowImmoTiny(t *testing.T) {
 	ws := Workloads(ScaleSmall)
 	w := ws[len(ws)-1]

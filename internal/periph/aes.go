@@ -82,8 +82,13 @@ func (a *AES) readByte(off uint32) (core.TByte, bool) {
 func (a *AES) writeByte(off uint32, b core.TByte) bool {
 	if off < AESDataOut && a.inClearanceSet && a.env.Lat != nil &&
 		!a.env.Lat.AllowedFlow(b.T, a.inClearance) {
-		a.env.Sim.Fatal(core.NewViolation(a.env.Lat, core.KindOutputClearance, b.T, a.inClearance).
-			WithPort(a.name + ".in"))
+		v := core.NewViolation(a.env.Lat, core.KindOutputClearance, b.T, a.inClearance).
+			WithPort(a.name + ".in")
+		if a.env.Obs != nil {
+			a.env.Obs.Checks.Input++
+			a.env.Obs.OnViolation(v, a.env.Obs.LastStore(), 0)
+		}
+		a.env.Sim.Fatal(v)
 		return true
 	}
 	switch {
@@ -120,6 +125,9 @@ func (a *AES) encrypt() {
 		// The declassification step: ciphertext leaves with the configured
 		// public class even though it depends on the secret key.
 		outTag = a.outClass
+		if a.env.Obs != nil {
+			a.env.Obs.OnDeclassify(a.name, AESKey, 48, AESDataOut, 16, folded, outTag)
+		}
 	}
 	for i := 0; i < 16; i++ {
 		a.out[i] = core.TByte{V: ct[i], T: outTag}

@@ -71,14 +71,31 @@ func (c *CAN) SetRxClass(t core.Tag) { c.rxClass = t }
 // Deliver queues a frame from the bus peer. Plain bytes are classified with
 // the RX class; pre-tagged frames keep their tags.
 func (c *CAN) Deliver(id uint32, data []byte) {
-	c.rxQueue = append(c.rxQueue, CANFrame{ID: id, Data: core.TagAll(data, c.rxClass)})
+	f := CANFrame{ID: id, Data: core.TagAll(data, c.rxClass)}
+	c.rxQueue = append(c.rxQueue, f)
+	c.noteDelivery(f)
 	c.updateIRQ()
 }
 
 // DeliverTagged queues a frame with explicit tags.
 func (c *CAN) DeliverTagged(f CANFrame) {
-	c.rxQueue = append(c.rxQueue, f.Clone())
+	f = f.Clone()
+	c.rxQueue = append(c.rxQueue, f)
+	c.noteDelivery(f)
 	c.updateIRQ()
+}
+
+// noteDelivery records the frame arrival as an input event covering the RX
+// payload registers, so a guest load of RXDATA links back to it.
+func (c *CAN) noteDelivery(f CANFrame) {
+	if c.env.Obs == nil {
+		return
+	}
+	t := c.env.Default
+	for _, b := range f.Data {
+		t = c.env.lub(t, b.T)
+	}
+	c.env.Obs.OnInput(c.name, CANRxData, 8, c.name+".rx", f.ID, t)
 }
 
 func (c *CAN) updateIRQ() {

@@ -125,6 +125,13 @@ func (d *DMA) start() {
 			d.env.Sim.Fatal(fmt.Errorf("%s: destination write %s at 0x%08x", d.name, p.Resp, dst))
 			return
 		}
+		if d.env.Obs != nil {
+			t := d.env.Default
+			for _, b := range buf[:chunk] {
+				t = d.env.lub(t, b.T)
+			}
+			d.env.Obs.OnDMA(d.name, src, dst, chunk, t)
+		}
 		src += chunk
 		dst += chunk
 		n -= chunk

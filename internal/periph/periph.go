@@ -25,6 +25,7 @@ package periph
 import (
 	"vpdift/internal/core"
 	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
 	"vpdift/internal/tlm"
 )
 
@@ -37,17 +38,34 @@ type Env struct {
 	Lat *core.Lattice
 	// Default is the tag for data originating in unclassified hardware.
 	Default core.Tag
+	// Obs, when non-nil, records peripheral I/O, declassification, and
+	// clearance-check events for provenance chains; nil disables all
+	// recording at zero cost (one branch per hook site).
+	Obs *obs.Observer
 }
 
 // checkOutput enforces an output port clearance on one byte, stopping the
 // simulation on violation. enabled is false when the port has no clearance
 // assigned (or the platform is the baseline).
 func (e *Env) checkOutput(port string, b core.TByte, enabled bool, required core.Tag) bool {
-	if !enabled || e.Lat == nil || e.Lat.AllowedFlow(b.T, required) {
+	if !enabled || e.Lat == nil {
 		return true
 	}
-	e.Sim.Fatal(core.NewViolation(e.Lat, core.KindOutputClearance, b.T, required).
-		WithPort(port).WithValue(uint32(b.V)))
+	if e.Lat.AllowedFlow(b.T, required) {
+		if e.Obs != nil {
+			e.Obs.OnOutput(port, b.V, b.T)
+		}
+		return true
+	}
+	v := core.NewViolation(e.Lat, core.KindOutputClearance, b.T, required).
+		WithPort(port).WithValue(uint32(b.V))
+	if e.Obs != nil {
+		// The byte just reached the port from the CPU's store (or a DMA
+		// write); chain the check through that last sink event.
+		e.Obs.Checks.Output++
+		e.Obs.OnViolation(v, e.Obs.LastStore(), 0)
+	}
+	e.Sim.Fatal(v)
 	return false
 }
 

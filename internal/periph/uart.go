@@ -102,6 +102,10 @@ func (u *UART) readByte(off uint32) (core.TByte, bool) {
 				head := u.rxFIFO[0]
 				u.rxFIFO = u.rxFIFO[1:]
 				u.rxLatch, u.rxLatchTag = uint32(head.V), head.T
+				if u.env.Obs != nil {
+					u.env.Obs.OnInput(u.name, UARTRxData, 4, u.name+".rx",
+						uint32(head.V), head.T)
+				}
 				u.updateIRQ()
 			}
 		}

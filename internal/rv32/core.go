@@ -4,8 +4,14 @@ import (
 	"vpdift/internal/core"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
+	"vpdift/internal/obs"
 	"vpdift/internal/tlm"
 )
+
+// DecodeCacheFills reports how many predecoded-cache slots have been filled
+// (i.e. slow-path decodes); the metrics exporter pairs it with Instret to
+// derive the hit rate.
+func (c *Core) DecodeCacheFills() uint64 { return c.ic.fills }
 
 // Core is the plain (baseline, "VP") RV32IM instruction-set simulator.
 // Accesses inside the RAM window use the direct memory slice (the DMI-like
@@ -20,6 +26,14 @@ type Core struct {
 
 	// Tracer, when non-nil, is invoked before each instruction executes.
 	Tracer func(pc, insn uint32)
+
+	// Obs, when non-nil, receives instruction-boundary events (EvExec). The
+	// baseline core carries no tags, so the platform wires this only when
+	// the observer requests per-retire tracing (Options.TraceExec) — the
+	// plain fetch loop is tight enough that even a guarded call per
+	// instruction is measurable, and without TraceExec the events would be
+	// dropped anyway. Taint provenance is the VP+ core's job.
+	Obs *obs.Observer
 
 	ram     []byte
 	ramBase uint32
@@ -181,10 +195,16 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 			if c.Tracer != nil {
 				c.Tracer(pc, c.fetchWord(off))
 			}
+			if c.Obs != nil {
+				c.Obs.BeginInsn(pc, c.fetchWord(off))
+			}
 		} else {
 			w := c.fetchWord(off)
 			if c.Tracer != nil {
 				c.Tracer(pc, w)
+			}
+			if c.Obs != nil {
+				c.Obs.BeginInsn(pc, w)
 			}
 			i = Decode(w)
 			e.inst = i
@@ -199,6 +219,9 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 		w := c.fetchWord(off)
 		if c.Tracer != nil {
 			c.Tracer(pc, w)
+		}
+		if c.Obs != nil {
+			c.Obs.BeginInsn(pc, w)
 		}
 		i = Decode(w)
 	}

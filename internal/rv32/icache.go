@@ -53,9 +53,10 @@ const icValid uint8 = 1
 // that ever held cached instructions (the overwhelmingly common data
 // store).
 type icache struct {
-	ents []icEntry
-	lo   uint32 // lowest filled byte offset (inclusive)
-	hi   uint32 // highest filled byte offset (exclusive); 0 when empty
+	ents  []icEntry
+	lo    uint32 // lowest filled byte offset (inclusive)
+	hi    uint32 // highest filled byte offset (exclusive); 0 when empty
+	fills uint64 // decode-cache miss count (each fill is one slow decode)
 }
 
 // newICache sizes the cache to cover a RAM of ramSize bytes.
@@ -65,6 +66,7 @@ func newICache(ramSize uint32) icache {
 
 // noteFill extends the watermark over the word at byte offset off.
 func (ic *icache) noteFill(off uint32) {
+	ic.fills++
 	if off < ic.lo {
 		ic.lo = off
 	}

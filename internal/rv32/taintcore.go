@@ -4,6 +4,7 @@ import (
 	"vpdift/internal/core"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
+	"vpdift/internal/obs"
 	"vpdift/internal/tlm"
 )
 
@@ -31,6 +32,19 @@ type TaintCore struct {
 
 	// Tracer, when non-nil, is invoked before each instruction executes.
 	Tracer func(pc, insn uint32)
+
+	// Obs, when non-nil, records taint-propagation provenance and metrics
+	// (see internal/obs). Every hook call sits behind a nil check, exactly
+	// like Tracer, so a core without an observer pays only predictable
+	// not-taken branches.
+	Obs *obs.Observer
+
+	// obsS1/obsS2 snapshot the source operands consumed by the current
+	// instruction for observeStep (the interpreter switch may overwrite
+	// them when rd aliases a source). Core fields rather than step locals
+	// so the disabled-observer hot loop does not carry two extra live
+	// values across the switch.
+	obsS1, obsS2 core.Word
 
 	// ForceBusMem disables the DMI-style direct RAM path for data
 	// accesses: every load/store becomes a full TLM transaction with
@@ -120,6 +134,11 @@ func NewTaintCore(ram *mem.Memory, ramBase uint32, bus *tlm.Bus, pol *core.Polic
 // fetch folds byte tags and decodes again. For ablation benchmarks.
 func (c *TaintCore) DisableDecodeCache() { c.ic = icache{} }
 
+// DecodeCacheFills reports how many predecoded-cache slots have been filled
+// (i.e. slow-path decodes); the metrics exporter pairs it with Instret to
+// derive the hit rate.
+func (c *TaintCore) DecodeCacheFills() uint64 { return c.ic.fills }
+
 // InvalidateDecodeCache drops predecoded entries (and their fetch-tag
 // summaries) covering RAM byte offsets [start, end). Registered as the
 // tainted RAM's write hook.
@@ -186,9 +205,18 @@ func (c *TaintCore) trap(cause, tval, epc uint32) error {
 	if c.mtvec.V == 0 {
 		return &TrapError{Cause: cause, Tval: tval, PC: epc}
 	}
-	if c.checkBranch && !c.lat.AllowedFlow(c.mtvec.T, c.branchClear) {
-		return core.NewViolation(c.lat, core.KindBranchClearance, c.mtvec.T, c.branchClear).
-			WithPC(epc).WithValue(c.mtvec.V)
+	if c.checkBranch {
+		if c.Obs != nil {
+			c.Obs.Checks.Branch++
+		}
+		if !c.lat.AllowedFlow(c.mtvec.T, c.branchClear) {
+			v := core.NewViolation(c.lat, core.KindBranchClearance, c.mtvec.T, c.branchClear).
+				WithPC(epc).WithValue(c.mtvec.V)
+			if c.Obs != nil {
+				c.Obs.OnViolation(v, 0, 0)
+			}
+			return v
+		}
 	}
 	c.mepc = core.W(epc, c.def)
 	c.mcause = core.W(cause, c.def)
@@ -206,21 +234,62 @@ func (c *TaintCore) trap(cause, tval, epc uint32) error {
 	return nil
 }
 
-// checkBranchTag enforces the branch-condition / indirect-target clearance.
-func (c *TaintCore) checkBranchTag(t core.Tag, pc uint32) error {
-	if !c.checkBranch || c.lat.AllowedFlow(t, c.branchClear) {
-		return nil
+// branchTagOK performs (and counts) the branch-condition / indirect-target
+// clearance check. The violation construction is outlined into
+// branchViolation so this stays within the inlining budget — it runs on
+// every branch, jalr and mret.
+func (c *TaintCore) branchTagOK(t core.Tag) bool {
+	if !c.checkBranch {
+		return true
 	}
-	return core.NewViolation(c.lat, core.KindBranchClearance, t, c.branchClear).WithPC(pc)
+	if c.Obs != nil {
+		c.Obs.Checks.Branch++
+	}
+	return c.lat.AllowedFlow(t, c.branchClear)
 }
 
-// checkAddrTag enforces the memory-address clearance.
-func (c *TaintCore) checkAddrTag(t core.Tag, addr, pc uint32) error {
-	if !c.checkMemAddr || c.lat.AllowedFlow(t, c.memAddrClear) {
-		return nil
+// branchViolation builds the branch-clearance violation after branchTagOK
+// failed. rs1/rs2 name the source registers for provenance (obs.RegNone
+// when the condition comes from a CSR such as mepc or mtvec).
+func (c *TaintCore) branchViolation(t core.Tag, pc uint32, rs1, rs2 uint8) *core.Violation {
+	v := core.NewViolation(c.lat, core.KindBranchClearance, t, c.branchClear).WithPC(pc)
+	if c.Obs != nil {
+		c.Obs.SetInsn(pc, c.insnWord(pc))
+		var p1, p2 uint64
+		if rs1 != obs.RegNone {
+			p1 = c.Obs.RegSource(rs1)
+		}
+		if rs2 != obs.RegNone {
+			p2 = c.Obs.RegSource(rs2)
+		}
+		c.Obs.OnViolation(v, p1, p2)
 	}
-	return core.NewViolation(c.lat, core.KindMemAddrClearance, t, c.memAddrClear).
+	return v
+}
+
+// addrTagOK performs (and counts) the memory-address clearance check; the
+// cold violation path lives in addrViolation, keeping this inlinable inside
+// load and store.
+func (c *TaintCore) addrTagOK(t core.Tag) bool {
+	if !c.checkMemAddr {
+		return true
+	}
+	if c.Obs != nil {
+		c.Obs.Checks.MemAddr++
+	}
+	return c.lat.AllowedFlow(t, c.memAddrClear)
+}
+
+// addrViolation builds the mem-address-clearance violation after addrTagOK
+// failed; base names the address-forming register for provenance.
+func (c *TaintCore) addrViolation(t core.Tag, addr, pc uint32, base uint8) *core.Violation {
+	v := core.NewViolation(c.lat, core.KindMemAddrClearance, t, c.memAddrClear).
 		WithPC(pc).WithAddr(addr)
+	if c.Obs != nil {
+		c.Obs.SetInsn(pc, c.insnWord(pc))
+		c.Obs.OnViolation(v, c.Obs.RegSource(base), 0)
+	}
+	return v
 }
 
 // fetchWord assembles the little-endian instruction word at RAM offset off;
@@ -263,8 +332,7 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			if !e.allowed {
 				// Cached fetch-clearance verdict: the word's tag summary
 				// may not flow to the execution unit.
-				return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, e.tag, c.fetchClear).
-					WithPC(pc).WithValue(c.fetchWord(off))
+				return RunOK, c.fetchViolation(pc, c.fetchWord(off), e.tag)
 			}
 		} else {
 			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
@@ -274,6 +342,9 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			}
 			e.tag, e.allowed = 0, true
 			if c.checkFetch {
+				if c.Obs != nil {
+					c.Obs.Checks.Fetch++
+				}
 				e.tag = c.foldFetchTag(b0, b1, b2, b3)
 				e.allowed = c.lat.AllowedFlow(e.tag, c.fetchClear)
 			}
@@ -282,8 +353,7 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			e.state = icValid
 			c.ic.noteFill(off)
 			if !e.allowed {
-				return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, e.tag, c.fetchClear).
-					WithPC(pc).WithValue(w)
+				return RunOK, c.fetchViolation(pc, w, e.tag)
 			}
 		}
 	} else {
@@ -297,10 +367,12 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			c.Tracer(pc, w)
 		}
 		if c.checkFetch {
+			if c.Obs != nil {
+				c.Obs.Checks.Fetch++
+			}
 			t := c.foldFetchTag(b0, b1, b2, b3)
 			if !c.lat.AllowedFlow(t, c.fetchClear) {
-				return RunOK, core.NewViolation(c.lat, core.KindFetchClearance, t, c.fetchClear).
-					WithPC(pc).WithValue(w)
+				return RunOK, c.fetchViolation(pc, w, t)
 			}
 		}
 		i = Decode(w)
@@ -308,6 +380,9 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 
 	next := pc + 4
 	r := &c.Regs
+	if c.Obs != nil {
+		c.obsS1, c.obsS2 = r[i.Rs1], r[i.Rs2]
+	}
 	switch i.Op {
 	case OpLUI:
 		c.set(i.Rd, core.W(uint32(i.Imm), c.def))
@@ -319,16 +394,16 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 	case OpJALR:
 		// Indirect jump: the target register steers control flow, so it is
 		// subject to the branch clearance.
-		if err := c.checkBranchTag(r[i.Rs1].T, pc); err != nil {
-			return RunOK, err
+		if !c.branchTagOK(r[i.Rs1].T) {
+			return RunOK, c.branchViolation(r[i.Rs1].T, pc, i.Rs1, obs.RegNone)
 		}
 		t := (r[i.Rs1].V + uint32(i.Imm)) &^ 1
 		c.set(i.Rd, core.W(next, c.def))
 		next = t
 	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
 		condTag := c.lat.LUB(r[i.Rs1].T, r[i.Rs2].T)
-		if err := c.checkBranchTag(condTag, pc); err != nil {
-			return RunOK, err
+		if !c.branchTagOK(condTag) {
+			return RunOK, c.branchViolation(condTag, pc, i.Rs1, i.Rs2)
 		}
 		a, b := r[i.Rs1].V, r[i.Rs2].V
 		var taken bool
@@ -350,65 +425,65 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			next = pc + uint32(i.Imm)
 		}
 	case OpLB:
-		v, err := c.load(r[i.Rs1], uint32(i.Imm), 1, delay, pc)
+		v, err := c.load(i, 1, delay, pc)
 		if err != nil {
 			return RunOK, err
 		}
 		c.set(i.Rd, core.W(uint32(int32(v.V<<24)>>24), v.T))
 	case OpLH:
-		v, err := c.load(r[i.Rs1], uint32(i.Imm), 2, delay, pc)
+		v, err := c.load(i, 2, delay, pc)
 		if err != nil {
 			return RunOK, err
 		}
 		c.set(i.Rd, core.W(uint32(int32(v.V<<16)>>16), v.T))
 	case OpLW:
-		v, err := c.load(r[i.Rs1], uint32(i.Imm), 4, delay, pc)
+		v, err := c.load(i, 4, delay, pc)
 		if err != nil {
 			return RunOK, err
 		}
 		c.set(i.Rd, v)
 	case OpLBU:
-		v, err := c.load(r[i.Rs1], uint32(i.Imm), 1, delay, pc)
+		v, err := c.load(i, 1, delay, pc)
 		if err != nil {
 			return RunOK, err
 		}
 		c.set(i.Rd, v)
 	case OpLHU:
-		v, err := c.load(r[i.Rs1], uint32(i.Imm), 2, delay, pc)
+		v, err := c.load(i, 2, delay, pc)
 		if err != nil {
 			return RunOK, err
 		}
 		c.set(i.Rd, v)
 	case OpSB:
-		if err := c.store(r[i.Rs1], uint32(i.Imm), r[i.Rs2], 1, delay, pc); err != nil {
+		if err := c.store(i, 1, delay, pc); err != nil {
 			return RunOK, err
 		}
 	case OpSH:
-		if err := c.store(r[i.Rs1], uint32(i.Imm), r[i.Rs2], 2, delay, pc); err != nil {
+		if err := c.store(i, 2, delay, pc); err != nil {
 			return RunOK, err
 		}
 	case OpSW:
-		if err := c.store(r[i.Rs1], uint32(i.Imm), r[i.Rs2], 4, delay, pc); err != nil {
+		if err := c.store(i, 4, delay, pc); err != nil {
 			return RunOK, err
 		}
 	case OpADDI:
-		c.set(i.Rd, core.W(r[i.Rs1].V+uint32(i.Imm), r[i.Rs1].T))
+		c.aluImm(i, r[i.Rs1].V+uint32(i.Imm))
 	case OpSLTI:
-		c.set(i.Rd, core.W(b2u(int32(r[i.Rs1].V) < i.Imm), r[i.Rs1].T))
+		c.aluImm(i, b2u(int32(r[i.Rs1].V) < i.Imm))
 	case OpSLTIU:
-		c.set(i.Rd, core.W(b2u(r[i.Rs1].V < uint32(i.Imm)), r[i.Rs1].T))
+		c.aluImm(i, b2u(r[i.Rs1].V < uint32(i.Imm)))
 	case OpXORI:
-		c.set(i.Rd, core.W(r[i.Rs1].V^uint32(i.Imm), r[i.Rs1].T))
+		c.aluImm(i, r[i.Rs1].V^uint32(i.Imm))
 	case OpORI:
-		c.set(i.Rd, core.W(r[i.Rs1].V|uint32(i.Imm), r[i.Rs1].T))
+		c.aluImm(i, r[i.Rs1].V|uint32(i.Imm))
 	case OpANDI:
-		c.set(i.Rd, core.W(r[i.Rs1].V&uint32(i.Imm), r[i.Rs1].T))
+		c.aluImm(i, r[i.Rs1].V&uint32(i.Imm))
 	case OpSLLI:
-		c.set(i.Rd, core.W(r[i.Rs1].V<<uint(i.Imm), r[i.Rs1].T))
+		c.aluImm(i, r[i.Rs1].V<<uint(i.Imm))
 	case OpSRLI:
-		c.set(i.Rd, core.W(r[i.Rs1].V>>uint(i.Imm), r[i.Rs1].T))
+		c.aluImm(i, r[i.Rs1].V>>uint(i.Imm))
 	case OpSRAI:
-		c.set(i.Rd, core.W(uint32(int32(r[i.Rs1].V)>>uint(i.Imm)), r[i.Rs1].T))
+		c.aluImm(i, uint32(int32(r[i.Rs1].V)>>uint(i.Imm)))
 	case OpADD:
 		c.alu(i, r[i.Rs1].V+r[i.Rs2].V)
 	case OpSUB:
@@ -458,8 +533,8 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 	case OpMRET:
 		// Return target comes from mepc: a control transfer steered by a
 		// register, so the branch clearance applies (like jalr).
-		if err := c.checkBranchTag(c.mepc.T, pc); err != nil {
-			return RunOK, err
+		if !c.branchTagOK(c.mepc.T) {
+			return RunOK, c.branchViolation(c.mepc.T, pc, obs.RegNone, obs.RegNone)
 		}
 		st := c.mstatus.V
 		if st&MstatusMPIE != 0 {
@@ -486,6 +561,9 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 	default:
 		return RunOK, c.trap(CauseIllegalInstr, c.fetchWord(off), pc)
 	}
+	if c.Obs != nil {
+		c.observeStep(i, pc, next)
+	}
 	if c.PC == pc {
 		c.PC = next
 	}
@@ -494,8 +572,15 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 
 // alu writes an R-type result: value computed by the caller, tag joined from
 // both sources — the paper's overloaded-operator semantics (Fig. 3 line 35).
+// Provenance recording happens post-retire in observeStep so these helpers
+// stay inlinable in the interpreter switch.
 func (c *TaintCore) alu(i Inst, v uint32) {
 	c.set(i.Rd, core.W(v, c.lat.LUB(c.Regs[i.Rs1].T, c.Regs[i.Rs2].T)))
+}
+
+// aluImm writes an I-type ALU result carrying the source register's tag.
+func (c *TaintCore) aluImm(i Inst, v uint32) {
+	c.set(i.Rd, core.W(v, c.Regs[i.Rs1].T))
 }
 
 // set writes a destination register, keeping x0 hardwired to zero with the
@@ -506,39 +591,112 @@ func (c *TaintCore) set(rd uint8, w core.Word) {
 	}
 }
 
+// insnWord refetches the instruction word at pc for cold diagnostic paths
+// (violation reports, deferred provenance recording).
+func (c *TaintCore) insnWord(pc uint32) uint32 {
+	off := pc - c.ramBase
+	if off < c.ramSize && off+4 <= c.ramSize {
+		return c.fetchWord(off)
+	}
+	return 0
+}
+
+// observeStep records the retired instruction's provenance: the
+// instruction-boundary bookkeeping (BeginInsn), op events for ALU results,
+// load events and the register assignments that consume them, and
+// indirect-jump PC provenance. Called from step behind a single
+// `c.Obs != nil` guard; the *pre-execution* source operands are snapshot in
+// c.obsS1/c.obsS2 before the switch (which may overwrite them when rd
+// aliases a source) rather than passed as arguments, so the
+// disabled-observer path carries no extra live values. Deferring all
+// recording to one post-retire call keeps alu/aluImm/set and the fetch fast
+// path free of per-instruction observer branches — the disabled-observer
+// hot loop compiles to the pre-observability code plus one check. Store
+// events are the exception: they must be emitted inside store, before the
+// bus transaction triggers a peripheral's output-clearance check.
+func (c *TaintCore) observeStep(i Inst, pc, next uint32) {
+	o := c.Obs
+	s1, s2 := c.obsS1, c.obsS2
+	o.BeginInsn(pc, c.insnWord(pc))
+	switch i.Op {
+	case OpJALR:
+		// Order matters: OnJump reads rs1's provenance before AssignReg can
+		// clear it (jalr ra, ra, 0 aliases rd and rs1).
+		o.OnJump(next, i.Rs1, s1.T)
+		o.AssignReg(i.Rd)
+	case OpMRET:
+		o.OnJump(next, obs.RegNone, c.mepc.T)
+	case OpLB, OpLBU:
+		o.OnLoad(s1.V+uint32(i.Imm), 1, c.Regs[i.Rd])
+		o.AssignReg(i.Rd)
+	case OpLH, OpLHU:
+		o.OnLoad(s1.V+uint32(i.Imm), 2, c.Regs[i.Rd])
+		o.AssignReg(i.Rd)
+	case OpLW:
+		o.OnLoad(s1.V+uint32(i.Imm), 4, c.Regs[i.Rd])
+		o.AssignReg(i.Rd)
+	case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpSLLI, OpSRLI, OpSRAI:
+		o.OnOp(i.Rs1, obs.RegNone, c.Regs[i.Rd].V, s1.T)
+		o.AssignReg(i.Rd)
+	case OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR, OpAND,
+		OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU:
+		o.OnOp(i.Rs1, i.Rs2, c.Regs[i.Rd].V, c.lat.LUB(s1.T, s2.T))
+		o.AssignReg(i.Rd)
+	case OpLUI, OpAUIPC, OpJAL,
+		OpCSRRW, OpCSRRS, OpCSRRC, OpCSRRWI, OpCSRRSI, OpCSRRCI:
+		o.AssignReg(i.Rd) // untracked writers sever rd's old provenance
+	}
+}
+
+// fetchViolation builds a fetch-clearance violation, attaching provenance
+// through both the fetched word (freshly injected code) and the indirect
+// jump that steered the PC there (an overwritten return address).
+func (c *TaintCore) fetchViolation(pc, w uint32, t core.Tag) *core.Violation {
+	v := core.NewViolation(c.lat, core.KindFetchClearance, t, c.fetchClear).
+		WithPC(pc).WithValue(w)
+	if c.Obs != nil {
+		c.Obs.SetInsn(pc, w)
+		c.Obs.OnViolation(v, c.Obs.MemSource(pc), c.Obs.PCSource())
+	}
+	return v
+}
+
 // load reads size bytes little-endian, zero-extended, folding byte tags.
-func (c *TaintCore) load(base core.Word, imm, size uint32, delay *kernel.Time, pc uint32) (core.Word, error) {
-	addr := base.V + imm
-	if err := c.checkAddrTag(base.T, addr, pc); err != nil {
-		return core.Word{}, err
+func (c *TaintCore) load(i Inst, size uint32, delay *kernel.Time, pc uint32) (core.Word, error) {
+	base := c.Regs[i.Rs1]
+	addr := base.V + uint32(i.Imm)
+	if !c.addrTagOK(base.T) {
+		return core.Word{}, c.addrViolation(base.T, addr, pc, i.Rs1)
 	}
 	off := addr - c.ramBase
 	if !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize {
 		// Tag folding short-circuits when all accessed bytes carry the same
 		// tag (the overwhelmingly common case — whole words written by sw
 		// carry one tag), avoiding the per-byte LUB chain.
+		var w core.Word
 		switch size {
 		case 1:
 			b := c.ram[off]
-			return core.W(uint32(b.V), b.T), nil
+			w = core.W(uint32(b.V), b.T)
 		case 2:
 			b0, b1 := c.ram[off], c.ram[off+1]
 			t := b0.T
 			if b1.T != t {
 				t = c.lat.LUB(b0.T, b1.T)
 			}
-			return core.W(uint32(b0.V)|uint32(b1.V)<<8, t), nil
+			w = core.W(uint32(b0.V)|uint32(b1.V)<<8, t)
 		default:
 			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
 			t := b0.T
 			if b1.T != t || b2.T != t || b3.T != t {
 				t = c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T))
 			}
-			return core.W(
+			w = core.W(
 				uint32(b0.V)|uint32(b1.V)<<8|uint32(b2.V)<<16|uint32(b3.V)<<24,
 				t,
-			), nil
+			)
 		}
+		return w, nil
 	}
 	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size]}
 	c.bus.Transport(&p, delay)
@@ -556,18 +714,33 @@ func (c *TaintCore) load(base core.Word, imm, size uint32, delay *kernel.Time, p
 
 // store writes size bytes little-endian, each carrying the value's tag,
 // after the memory-address and region store-clearance checks.
-func (c *TaintCore) store(base core.Word, imm uint32, val core.Word, size uint32, delay *kernel.Time, pc uint32) error {
-	addr := base.V + imm
-	if err := c.checkAddrTag(base.T, addr, pc); err != nil {
-		return err
+func (c *TaintCore) store(i Inst, size uint32, delay *kernel.Time, pc uint32) error {
+	base, val := c.Regs[i.Rs1], c.Regs[i.Rs2]
+	addr := base.V + uint32(i.Imm)
+	if !c.addrTagOK(base.T) {
+		return c.addrViolation(base.T, addr, pc, i.Rs1)
 	}
 	if c.hasRegions {
+		if c.Obs != nil {
+			c.Obs.Checks.Store++
+		}
 		if err := c.pol.CheckStore(addr, val.T); err != nil {
 			if v, ok := err.(*core.Violation); ok {
 				v.PC = pc
+				if c.Obs != nil {
+					c.Obs.SetInsn(pc, c.insnWord(pc))
+					c.Obs.OnViolation(v, c.Obs.RegSource(i.Rs2), 0)
+				}
 			}
 			return err
 		}
+	}
+	if c.Obs != nil {
+		// Emitted here, not in observeStep: the bus write below may trigger a
+		// peripheral's output-clearance check, which links to this event via
+		// LastStore.
+		c.Obs.SetInsn(pc, c.insnWord(pc))
+		c.Obs.OnStore(addr, size, i.Rs2, val)
 	}
 	off := addr - c.ramBase
 	if !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize {

@@ -20,6 +20,7 @@ import (
 	"vpdift/internal/core"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
+	"vpdift/internal/obs"
 	"vpdift/internal/periph"
 	"vpdift/internal/rv32"
 	"vpdift/internal/tlm"
@@ -76,6 +77,11 @@ type Config struct {
 	// core the platform builds — every fetch decodes (and, on the VP+,
 	// tag-folds) from RAM again. For ablation benchmarks.
 	NoDecodeCache bool
+	// Obs, when non-nil, is attached to the platform and wired through every
+	// layer: core hooks, peripheral I/O, load-time classification roots, and
+	// bus monitors on the data-carrying peripherals. Nil (the default) keeps
+	// all hook sites on their one-branch fast path.
+	Obs *obs.Observer
 }
 
 // Platform is a constructed virtual prototype.
@@ -165,6 +171,34 @@ func New(cfg Config) (*Platform, error) {
 		}
 	}
 
+	// Observability: attach the observer to simulated time and the security
+	// context, register peripheral base addresses for MMIO provenance, and
+	// route the lattice's LUB counter into the metrics.
+	if o := cfg.Obs; o != nil {
+		var lat *core.Lattice
+		var def core.Tag
+		if pol != nil {
+			lat, def = pol.L, pol.Default
+			pol.L.SetLUBCounter(o.LUBCounter())
+		}
+		o.Attach(func() uint64 { return uint64(pl.Sim.Now()) }, lat, def)
+		env.Obs = o
+		if pl.Core != nil {
+			// The baseline core has no taint to record; its only hook is the
+			// per-retire EvExec event, so wire it only when tracing is on.
+			if o.TracesExec() {
+				pl.Core.Obs = o
+			}
+		} else {
+			pl.TaintCore.Obs = o
+		}
+		o.RegisterPort("uart0", UARTBase)
+		o.RegisterPort("can0", CANBase)
+		o.RegisterPort("sensor0", SensorBase)
+		o.RegisterPort("aes0", AESBase)
+		o.RegisterPort("dma0", DMABase)
+	}
+
 	// Interrupt fabric.
 	pl.CLINT = periph.NewCLINT(env,
 		func(lv bool) { setIRQ(rv32.IntMTI, lv) },
@@ -208,15 +242,25 @@ func New(cfg Config) (*Platform, error) {
 		pl.AES.SetOutputClass(pol.InputClass("aes0.out"))
 	}
 
-	// Memory map.
+	// Memory map. With an observer attached, the data-carrying peripherals
+	// get a TLM monitor in front so their transactions land in the event
+	// stream; the interrupt fabric and SysCtrl stay unwrapped (pure control).
+	mapData := func(name string, base, size uint32, t tlm.Target) {
+		if cfg.Obs != nil {
+			m := tlm.NewMonitor(t, pl.Sim, 1)
+			m.OnTransaction = cfg.Obs.BusSink(name)
+			t = m
+		}
+		pl.Bus.MustMap(name, base, size, t)
+	}
 	pl.Bus.MustMap("clint", CLINTBase, periph.CLINTSize, pl.CLINT)
 	pl.Bus.MustMap("intc", IntCBase, periph.IntCSize, pl.IntC)
-	pl.Bus.MustMap("uart0", UARTBase, periph.UARTSize, pl.UART)
+	mapData("uart0", UARTBase, periph.UARTSize, pl.UART)
 	pl.Bus.MustMap("sysctrl", SysCtrlBase, periph.SysCtrlSize, pl.SysCtrl)
-	pl.Bus.MustMap("can0", CANBase, periph.CANSize, pl.CAN)
-	pl.Bus.MustMap("sensor0", SensorBase, periph.SensorSize, pl.Sensor)
-	pl.Bus.MustMap("aes0", AESBase, periph.AESSize, pl.AES)
-	pl.Bus.MustMap("dma0", DMABase, periph.DMASize, pl.DMA)
+	mapData("can0", CANBase, periph.CANSize, pl.CAN)
+	mapData("sensor0", SensorBase, periph.SensorSize, pl.Sensor)
+	mapData("aes0", AESBase, periph.AESSize, pl.AES)
+	mapData("dma0", DMABase, periph.DMASize, pl.DMA)
 	if pol == nil {
 		pl.Bus.MustMap("ram", RAMBase, cfg.RAMSize, pl.plainRAM)
 	} else {
@@ -322,6 +366,17 @@ func (pl *Platform) Load(img *asm.Image) error {
 			}
 		}
 	}
+	// Load-time classification is where every provenance chain begins: pin
+	// one never-evicted root event per classified region so chains survive
+	// arbitrarily long runs.
+	if pl.cfg.Obs != nil {
+		for i := range pol.Regions {
+			r := &pol.Regions[i]
+			if r.Classify && r.Class != pol.Default {
+				pl.cfg.Obs.PinClassify(r.Name, r.Start, r.End, r.Class)
+			}
+		}
+	}
 	// The image and classification rules were written through the raw Data()
 	// slice, which bypasses the RAM write hooks; drop any predecoded
 	// entries explicitly.
@@ -358,6 +413,30 @@ func (pl *Platform) Instret() uint64 {
 
 // IsDIFT reports whether this is the VP+ (taint-tracking) flavour.
 func (pl *Platform) IsDIFT() bool { return pl.TaintCore != nil }
+
+// MetricsSnapshot returns the platform's simulation gauges merged with the
+// observer's counters (when one is attached): instructions retired,
+// simulated nanoseconds, decode-cache fills, plus every obs.* / checks.* /
+// bus.* / violations.* counter.
+func (pl *Platform) MetricsSnapshot() map[string]uint64 {
+	var m map[string]uint64
+	if pl.cfg.Obs != nil {
+		m = pl.cfg.Obs.MetricsSnapshot()
+	} else {
+		m = make(map[string]uint64, 3)
+	}
+	m["sim.instret"] = pl.Instret()
+	m["sim.time_ns"] = uint64(pl.Sim.Now())
+	if pl.Core != nil {
+		m["sim.decode_cache_fills"] = pl.Core.DecodeCacheFills()
+	} else {
+		m["sim.decode_cache_fills"] = pl.TaintCore.DecodeCacheFills()
+	}
+	return m
+}
+
+// Observer returns the attached observer, nil when observability is off.
+func (pl *Platform) Observer() *obs.Observer { return pl.cfg.Obs }
 
 // TaintSummary counts RAM bytes per security class — a debugging aid for
 // policy development ("how far did the secret spread?"). It returns nil on

@@ -29,6 +29,7 @@ import (
 	"vpdift/internal/core"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
 	"vpdift/internal/soc"
 )
 
@@ -604,24 +605,34 @@ func Policy(img *asm.Image) *core.Policy {
 // Table I outcome; with dift disabled it verifies the overflow actually
 // hijacks control (exit code 99), returning Missed.
 func Run(a *Attack, dift bool) (Result, error) {
+	res, _, err := RunObserved(a, dift, nil)
+	return res, err
+}
+
+// RunObserved is Run with an optional observer wired into the platform; the
+// returned violation (nil unless Detected) then carries the provenance chain
+// from the tainted input through the overflowed code pointer to the failed
+// fetch-clearance check. The observer must be fresh — it binds to the
+// attack's platform.
+func RunObserved(a *Attack, dift bool, o *obs.Observer) (Result, *core.Violation, error) {
 	if !a.Applicable() {
-		return NA, nil
+		return NA, nil, nil
 	}
 	img, err := a.Build()
 	if err != nil {
-		return NA, err
+		return NA, nil, err
 	}
 	var pol *core.Policy
 	if dift {
 		pol = Policy(img)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol})
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: o})
 	if err != nil {
-		return NA, err
+		return NA, nil, err
 	}
 	defer pl.Shutdown()
 	if err := pl.Load(img); err != nil {
-		return NA, err
+		return NA, nil, err
 	}
 	pl.UART.Inject(a.Payload(img))
 	runErr := pl.Run(kernel.S)
@@ -629,24 +640,24 @@ func Run(a *Attack, dift bool) (Result, error) {
 	var v *core.Violation
 	if errors.As(runErr, &v) {
 		if v.Kind != core.KindFetchClearance {
-			return Detected, fmt.Errorf("wk: attack %d raised %v, expected fetch clearance", a.Num, v)
+			return Detected, v, fmt.Errorf("wk: attack %d raised %v, expected fetch clearance", a.Num, v)
 		}
 		if v.PC != img.MustSymbol("attack_code") {
-			return Detected, fmt.Errorf("wk: attack %d violated at pc=0x%x, expected payload entry", a.Num, v.PC)
+			return Detected, v, fmt.Errorf("wk: attack %d violated at pc=0x%x, expected payload entry", a.Num, v.PC)
 		}
-		return Detected, nil
+		return Detected, v, nil
 	}
 	if runErr != nil {
-		return Missed, runErr
+		return Missed, nil, runErr
 	}
 	exited, code := pl.Exited()
 	if !exited {
-		return Missed, fmt.Errorf("wk: attack %d did not terminate", a.Num)
+		return Missed, nil, fmt.Errorf("wk: attack %d did not terminate", a.Num)
 	}
 	if code == ExitAttackSucceeded {
-		return Missed, nil
+		return Missed, nil, nil
 	}
-	return Missed, fmt.Errorf("wk: attack %d exited with %d; the overflow did not hijack control", a.Num, code)
+	return Missed, nil, fmt.Errorf("wk: attack %d exited with %d; the overflow did not hijack control", a.Num, code)
 }
 
 // Table runs the whole suite under the policy and renders Table I.

@@ -3,6 +3,9 @@ package wk
 import (
 	"strings"
 	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/obs"
 )
 
 // paperResults is Table I of the paper, verbatim.
@@ -103,5 +106,78 @@ func TestTableMatchesPaper(t *testing.T) {
 func TestResultString(t *testing.T) {
 	if NA.String() != "N/A" || Detected.String() != "Detected" || Missed.String() != "MISSED" {
 		t.Error("result strings")
+	}
+}
+
+func TestAttack3ProvenanceCrossesReturnAddress(t *testing.T) {
+	// Attack 3 (Stack / Return Address / Direct): the provenance chain of
+	// the fetch-clearance violation must cross the overflowed return
+	// address — input from the UART, the store that smashed the saved ra,
+	// the indirect jump through it, then the failed check at the payload.
+	suite := Suite()
+	var a *Attack
+	for i := range suite {
+		if suite[i].Num == 3 {
+			a = &suite[i]
+		}
+	}
+	if a == nil || !a.Applicable() {
+		t.Fatal("attack 3 must be applicable")
+	}
+	res, v, err := RunObserved(a, true, obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Detected || v == nil {
+		t.Fatalf("result %v, violation %v; want Detected with a violation", res, v)
+	}
+	if v.Kind != core.KindFetchClearance {
+		t.Fatalf("violation kind %v, want fetch clearance", v.Kind)
+	}
+	chain := v.Provenance
+	if len(chain) == 0 {
+		t.Fatal("detected attack must carry a provenance chain")
+	}
+	have := map[core.TaintEventKind]bool{}
+	for _, ev := range chain {
+		have[ev.Kind] = true
+	}
+	for _, want := range []core.TaintEventKind{
+		core.EvClassify, core.EvInput, core.EvStore, core.EvJump, core.EvCheck,
+	} {
+		if !have[want] {
+			t.Errorf("chain is missing a %v event", want)
+		}
+	}
+	if last := chain[len(chain)-1]; last.Kind != core.EvCheck {
+		t.Errorf("chain ends with %v, want the failed fetch check", last.Kind)
+	}
+	// The jump event must immediately precede the check in sequence terms:
+	// the check's secondary link is the PC provenance set by the ret.
+	var jumpSeq uint64
+	for _, ev := range chain {
+		if ev.Kind == core.EvJump {
+			jumpSeq = ev.Seq
+		}
+	}
+	if last := chain[len(chain)-1]; last.Prev2 != jumpSeq && last.Prev != jumpSeq {
+		t.Errorf("failed check (prev=%d prev2=%d) is not linked to the jump event %d",
+			last.Prev, last.Prev2, jumpSeq)
+	}
+}
+
+func TestRunObservedWithoutObserver(t *testing.T) {
+	// RunObserved with a nil observer degrades to Run: still Detected, but
+	// no provenance attached.
+	suite := Suite()
+	res, v, err := RunObserved(&suite[2], true, nil) // attack 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Detected || v == nil {
+		t.Fatalf("result %v, want Detected", res)
+	}
+	if len(v.Provenance) != 0 {
+		t.Errorf("nil observer: %d provenance events, want 0", len(v.Provenance))
 	}
 }

@@ -29,17 +29,25 @@
 //	lat := vpdift.IFP1()
 //	pol := vpdift.NewPolicy(lat, lat.MustTag(vpdift.ClassLC)).
 //	    WithOutput("uart0.tx", lat.MustTag(vpdift.ClassLC))
-//	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+//	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol))
 //	...
 //	err = pl.Load(img)
-//	err = pl.Run(vpdift.Forever) // *Violation on policy violations
+//	res, err := pl.Run(vpdift.Forever) // res.Violation on policy violations
+//
+// Attach an Observer (vpdift.WithObserver(vpdift.NewObserver())) to record
+// taint-propagation provenance: a violation then carries the ordered event
+// chain from the classification site to the failed clearance check.
 package vpdift
 
 import (
+	"errors"
+	"fmt"
+
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
 	"vpdift/internal/periph"
 	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
@@ -142,11 +150,6 @@ func BuildProgram(body string) (*Image, error) { return guest.Program(body) }
 
 // Platform types.
 type (
-	// Platform is a constructed virtual prototype (VP or VP+).
-	Platform = soc.Platform
-	// Config parameterizes platform construction; a nil Policy selects the
-	// untracked baseline VP.
-	Config = soc.Config
 	// UART is the console peripheral.
 	UART = periph.UART
 	// Sensor is the paper's Fig. 4 sensor peripheral.
@@ -180,6 +183,200 @@ const (
 	SysCtrlBase = soc.SysCtrlBase
 )
 
-// NewPlatform builds a virtual prototype. A nil cfg.Policy yields the plain
-// baseline VP; a policy yields the DIFT-enabled VP+.
-func NewPlatform(cfg Config) (*Platform, error) { return soc.New(cfg) }
+// Observability types.
+type (
+	// Observer records tag-propagation provenance, peripheral I/O, bus
+	// transactions, and simulation metrics. Construct with NewObserver and
+	// attach via WithObserver; a nil observer costs nothing.
+	Observer = obs.Observer
+	// ObserverOptions tunes ring capacity, chain depth, and exec tracing.
+	ObserverOptions = obs.Options
+	// TaintEvent is one recorded provenance event.
+	TaintEvent = core.TaintEvent
+	// TaintEventKind discriminates provenance events.
+	TaintEventKind = core.TaintEventKind
+)
+
+// NewObserver creates an observability recorder with default options.
+func NewObserver() *Observer { return obs.New() }
+
+// NewObserverWithOptions creates a recorder with explicit options.
+func NewObserverWithOptions(o ObserverOptions) *Observer { return obs.NewWithOptions(o) }
+
+// Platform is a constructed virtual prototype (VP or VP+). It embeds the SoC
+// platform — peripherals, memory, and introspection helpers are promoted —
+// and redefines Run to return a structured *Result.
+type Platform struct {
+	*soc.Platform
+}
+
+// Option configures NewPlatform. Options are applied in order; later options
+// override earlier ones. The deprecated Config struct also satisfies Option.
+type Option interface {
+	applyOption(*soc.Config)
+}
+
+type optionFunc func(*soc.Config)
+
+func (f optionFunc) applyOption(c *soc.Config) { f(c) }
+
+// WithPolicy enables DIFT (the VP+ flavour) under the given policy. Without
+// it the platform is the untracked baseline VP.
+func WithPolicy(p *Policy) Option {
+	return optionFunc(func(c *soc.Config) { c.Policy = p })
+}
+
+// WithObserver attaches an observability recorder to every layer of the
+// platform: core hooks, peripheral I/O, bus monitors, and load-time
+// classification roots.
+func WithObserver(o *Observer) Option {
+	return optionFunc(func(c *soc.Config) { c.Obs = o })
+}
+
+// Scale selects a platform sizing preset (RAM and TLM quantum).
+type Scale int
+
+// Platform sizing presets.
+const (
+	// ScaleSmall: 1 MiB RAM, 1024-instruction quantum — unit-test sized.
+	ScaleSmall Scale = iota
+	// ScaleMedium: the defaults (8 MiB RAM, 4096-instruction quantum).
+	ScaleMedium
+	// ScaleLarge: 32 MiB RAM, 16384-instruction quantum — long benchmarks.
+	ScaleLarge
+)
+
+// WithScale applies a sizing preset. Individual WithRAMSize / WithQuantum
+// options applied after it still override the preset.
+func WithScale(s Scale) Option {
+	return optionFunc(func(c *soc.Config) {
+		switch s {
+		case ScaleSmall:
+			c.RAMSize, c.Quantum = 1<<20, 1024
+		case ScaleLarge:
+			c.RAMSize, c.Quantum = 32<<20, 16384
+		default:
+			c.RAMSize, c.Quantum = soc.DefaultRAMSize, soc.DefaultQuantum
+		}
+	})
+}
+
+// WithRAMSize overrides the RAM size in bytes.
+func WithRAMSize(bytes uint32) Option {
+	return optionFunc(func(c *soc.Config) { c.RAMSize = bytes })
+}
+
+// WithQuantum overrides the TLM quantum (instructions between kernel
+// synchronizations).
+func WithQuantum(instructions uint64) Option {
+	return optionFunc(func(c *soc.Config) { c.Quantum = instructions })
+}
+
+// WithInstrTime overrides the modeled per-instruction time.
+func WithInstrTime(t Time) Option {
+	return optionFunc(func(c *soc.Config) { c.InstrTime = t })
+}
+
+// WithTLMMemory routes every VP+ data access through full TLM transactions
+// instead of the direct memory path (the paper's memory organization).
+func WithTLMMemory() Option {
+	return optionFunc(func(c *soc.Config) { c.TaintMemViaTLM = true })
+}
+
+// WithoutDecodeCache disables the predecoded-instruction cache (ablation).
+func WithoutDecodeCache() Option {
+	return optionFunc(func(c *soc.Config) { c.NoDecodeCache = true })
+}
+
+// Config parameterizes platform construction as one struct literal.
+//
+// Deprecated: pass functional options to NewPlatform instead —
+// NewPlatform(WithPolicy(pol), WithObserver(o)). Config implements Option,
+// so existing NewPlatform(Config{...}) calls keep compiling; note that it
+// assigns every field and therefore overrides any option applied before it.
+type Config struct {
+	// Policy enables DIFT (VP+) when non-nil.
+	Policy *Policy
+	// RAMSize in bytes; 0 means the default (8 MiB).
+	RAMSize uint32
+	// Quantum in instructions; 0 means the default (4096).
+	Quantum uint64
+	// InstrTime per instruction; 0 means the default (10 ns).
+	InstrTime Time
+	// TaintMemViaTLM routes VP+ data accesses through full TLM transactions.
+	TaintMemViaTLM bool
+	// NoDecodeCache disables the predecoded-instruction cache.
+	NoDecodeCache bool
+	// Obs attaches an observability recorder.
+	Obs *Observer
+}
+
+func (cfg Config) applyOption(c *soc.Config) {
+	*c = soc.Config{
+		Policy:         cfg.Policy,
+		RAMSize:        cfg.RAMSize,
+		Quantum:        cfg.Quantum,
+		InstrTime:      cfg.InstrTime,
+		TaintMemViaTLM: cfg.TaintMemViaTLM,
+		NoDecodeCache:  cfg.NoDecodeCache,
+		Obs:            cfg.Obs,
+	}
+}
+
+// NewPlatform builds a virtual prototype. With no WithPolicy option it is
+// the plain baseline VP; with one it is the DIFT-enabled VP+.
+func NewPlatform(opts ...Option) (*Platform, error) {
+	var cfg soc.Config
+	for _, o := range opts {
+		o.applyOption(&cfg)
+	}
+	pl, err := soc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{pl}, nil
+}
+
+// Result is what a simulation run produced: exit status, simulation gauges,
+// a full metrics snapshot, and — when the run was stopped by a policy
+// violation — the violation itself, carrying its provenance chain if an
+// observer was attached.
+type Result struct {
+	// Exited reports a guest power-off (SysCtrl), with its exit code.
+	Exited   bool
+	ExitCode uint32
+	// Instret is the number of instructions retired.
+	Instret uint64
+	// SimTime is the simulated time reached.
+	SimTime Time
+	// Metrics is the platform's counter snapshot (sim.* gauges always;
+	// obs.*, checks.*, bus.*, violations.* when an observer is attached).
+	Metrics map[string]uint64
+	// Violation is non-nil when the run stopped on a policy violation.
+	Violation *Violation
+}
+
+// Run advances the simulation until the guest exits, a violation or error
+// stops it, or the horizon passes. The returned Result is always non-nil;
+// the error (when non-nil) wraps any *Violation so errors.As works:
+//
+//	res, err := pl.Run(vpdift.Forever)
+//	var v *vpdift.Violation
+//	if errors.As(err, &v) { fmt.Print(v.ProvenanceReport(nil)) }
+func (pl *Platform) Run(horizon Time) (*Result, error) {
+	err := pl.Platform.Run(horizon)
+	res := &Result{
+		Instret: pl.Instret(),
+		SimTime: pl.Sim.Now(),
+		Metrics: pl.MetricsSnapshot(),
+	}
+	res.Exited, res.ExitCode = pl.Exited()
+	if err != nil {
+		var v *Violation
+		if errors.As(err, &v) {
+			res.Violation = v
+			err = fmt.Errorf("vpdift: run stopped: %w", v)
+		}
+	}
+	return res, err
+}

@@ -34,7 +34,10 @@ secret:
 			Name: "secret", Start: secret, End: secret + 4,
 			Classify: true, Class: hc,
 		})
-	pl, err := vpdift.NewPlatform(vpdift.Config{Policy: pol})
+	pl, err := vpdift.NewPlatform(
+		vpdift.WithPolicy(pol),
+		vpdift.WithObserver(vpdift.NewObserver()),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,13 +45,22 @@ secret:
 	if err := pl.Load(img); err != nil {
 		t.Fatal(err)
 	}
-	runErr := pl.Run(vpdift.Forever)
+	res, runErr := pl.Run(vpdift.Forever)
 	var v *vpdift.Violation
 	if !errors.As(runErr, &v) {
 		t.Fatalf("want violation, got %v", runErr)
 	}
 	if v.Kind != vpdift.KindOutputClearance {
 		t.Errorf("kind = %v", v.Kind)
+	}
+	if res.Violation != v {
+		t.Error("Result.Violation must be the wrapped violation")
+	}
+	if len(v.Provenance) == 0 {
+		t.Error("observer attached: violation must carry a provenance chain")
+	}
+	if res.Metrics["checks.output"] == 0 {
+		t.Error("metrics must count the failed output check")
 	}
 }
 
@@ -69,6 +81,8 @@ msg:	.asciz "public api"
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Deliberately uses the deprecated Config shim: it must keep compiling
+	// and behaving until the transition finishes.
 	pl, err := vpdift.NewPlatform(vpdift.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -77,14 +91,18 @@ msg:	.asciz "public api"
 	if err := pl.Load(img); err != nil {
 		t.Fatal(err)
 	}
-	if err := pl.Run(vpdift.Forever); err != nil {
+	res, err := pl.Run(vpdift.Forever)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got := string(pl.UART.Output()); got != "public api" {
 		t.Errorf("uart = %q", got)
 	}
-	if _, code := pl.Exited(); code != 5 {
-		t.Errorf("code = %d", code)
+	if !res.Exited || res.ExitCode != 5 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Instret == 0 || res.Metrics["sim.instret"] != res.Instret {
+		t.Errorf("instret gauge = %d vs %d", res.Metrics["sim.instret"], res.Instret)
 	}
 	if pl.IsDIFT() {
 		t.Error("baseline must not be DIFT")
@@ -189,7 +207,7 @@ blob:
 	if err := pl.Load(img); err != nil {
 		t.Fatal(err)
 	}
-	runErr := pl.Run(vpdift.S)
+	_, runErr := pl.Run(vpdift.S)
 	if runErr == nil || !strings.Contains(runErr.Error(), "LI -> HI") {
 		t.Errorf("violation text = %v", runErr)
 	}
