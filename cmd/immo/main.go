@@ -12,20 +12,103 @@
 //  6. the per-byte-class policy detects the entropy attack.
 package main
 
+// The trace flags (-vcd, -profile, -folded, -chrome, -kernel-trace) attach
+// the simulation-side observability layer to the step-1 authentication run
+// and export its waveform, hot-path profile, and merged event timeline.
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 
 	"vpdift/internal/core"
 	"vpdift/internal/immo"
+	"vpdift/internal/obs"
+	"vpdift/internal/soc"
+	"vpdift/internal/trace"
+)
+
+var (
+	vcdOut     = flag.String("vcd", "", "write a GTKWave-compatible waveform of the authentication run to this file")
+	profileOut = flag.String("profile", "", "write the firmware hot-path profile top table to this file ('-' for stderr)")
+	foldedOut  = flag.String("folded", "", "write folded call stacks (flamegraph input) to this file")
+	chromeOut  = flag.String("chrome", "", "write taint, kernel and bus events as one merged Chrome trace to this file")
+	ktOut      = flag.String("kernel-trace", "", "write kernel scheduler and bus events as JSONL to this file")
 )
 
 func main() {
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// traceSetup builds the observer and trace bundle the command-line flags ask
+// for (both nil when no flag is set).
+func traceSetup() (*obs.Observer, *trace.Trace) {
+	var o *obs.Observer
+	if *chromeOut != "" {
+		o = obs.New()
+	}
+	var tr *trace.Trace
+	needKernel := *ktOut != "" || *chromeOut != ""
+	if needKernel || *vcdOut != "" || *profileOut != "" || *foldedOut != "" {
+		tr = &trace.Trace{}
+		if needKernel {
+			tr.Kernel = trace.NewKernelTrace(0)
+		}
+		if *vcdOut != "" {
+			tr.VCD = trace.NewVCD()
+		}
+		if *profileOut != "" || *foldedOut != "" {
+			tr.Prof = trace.NewProfiler(soc.RAMBase, soc.DefaultRAMSize)
+		}
+	}
+	return o, tr
+}
+
+// exportTo writes one export, reporting errors without aborting the rest.
+func exportTo(path string, fn func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f := os.Stderr
+	if path != "-" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// writeTraceExports dumps the requested views of the traced run.
+func writeTraceExports(e *immo.ECU, o *obs.Observer, tr *trace.Trace) {
+	if tr == nil && o == nil {
+		return
+	}
+	if tr != nil && tr.VCD != nil {
+		tr.VCD.Sample(uint64(e.Platform.Sim.Now()))
+	}
+	if tr != nil {
+		exportTo(*vcdOut, func(f *os.File) error { return tr.VCD.Dump(f) })
+		exportTo(*profileOut, func(f *os.File) error { return tr.Prof.WriteTop(f, 30) })
+		exportTo(*foldedOut, func(f *os.File) error { return tr.Prof.WriteFolded(f) })
+		exportTo(*ktOut, func(f *os.File) error { return tr.Kernel.WriteJSONL(f) })
+	}
+	exportTo(*chromeOut, func(f *os.File) error {
+		var kt *trace.KernelTrace
+		if tr != nil {
+			kt = tr.Kernel
+		}
+		return trace.WriteChromeTrace(f, kt, o)
+	})
 }
 
 func step(n int, what string) {
@@ -48,7 +131,8 @@ func run() error {
 	challenge := [8]byte{0xCA, 0xFE, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06}
 
 	step(1, "challenge/response authentication under the base policy")
-	e, err := immo.NewECU(immo.VariantFixed, immo.PolicyBase)
+	observer, tr := traceSetup()
+	e, err := immo.NewECUTraced(immo.VariantFixed, immo.PolicyBase, observer, tr)
 	if err != nil {
 		return err
 	}
@@ -61,6 +145,7 @@ func run() error {
 		return fmt.Errorf("response mismatch")
 	}
 	fmt.Println("    engine ECU verifies the response: OK (AES declassification at work)")
+	writeTraceExports(e, observer, tr)
 	e.Close()
 
 	step(2, "debug memory dump on the original firmware (the vulnerability)")

@@ -26,6 +26,7 @@ func main() {
 	baseline := flag.String("baseline", "", "compare against an archived report and fail on MIPS regression (the CI perf guard)")
 	regress := flag.Float64("regress", 0.10, "allowed fractional MIPS drop vs -baseline before failing")
 	reps := flag.Int("reps", 1, "run each flavour this many times and keep the fastest (denoises shared runners; the guard uses 3)")
+	profileSmoke := flag.Bool("profile", false, "also run one workload with the trace layer attached and print its hot-path top table (trace smoke test)")
 	flag.Parse()
 
 	scale, err := perf.ParseScale(*scaleFlag)
@@ -80,5 +81,26 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "perf guard: all workloads within %.0f%% of %s\n",
 			*regress*100, *baseline)
+	}
+	if *profileSmoke {
+		w := perf.Workloads(scale)[0]
+		fmt.Fprintf(os.Stderr, "profile smoke: %s on the VP+ with kernel trace and profiler attached\n", w.Name)
+		prof, m, err := perf.ProfileSmoke(w, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := prof.WriteTop(os.Stdout, 10); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		hot, _ := prof.Hottest()
+		att := prof.Attributed()
+		fmt.Fprintf(os.Stderr, "profile smoke: %.1f MIPS traced, hottest %q, %.1f%% of cycles attributed\n",
+			m.MIPS(), hot, att*100)
+		if hot == "" || att < 0.9 {
+			fmt.Fprintln(os.Stderr, "profile smoke FAILED: attribution below 90% or no hottest function")
+			os.Exit(1)
+		}
 	}
 }

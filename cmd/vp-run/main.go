@@ -31,6 +31,7 @@ import (
 	"vpdift/internal/obs"
 	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
+	"vpdift/internal/trace"
 )
 
 func main() {
@@ -39,12 +40,17 @@ func main() {
 	stdin := flag.String("stdin", "", "bytes injected into the UART before the run")
 	horizonMS := flag.Uint64("horizon", 10000, "simulation horizon in milliseconds")
 	mapFlag := flag.Bool("map", false, "print the platform memory map before running")
-	trace := flag.Uint64("trace", 0, "disassemble the first N executed instructions to stderr")
+	disasN := flag.Uint64("trace", 0, "disassemble the first N executed instructions to stderr")
 	taintMap := flag.Bool("taintmap", false, "print the per-class RAM census and tainted ranges after the run")
 	why := flag.Bool("why", false, "on violation, print the taint-provenance chain (classification site to failed check)")
 	metricsOut := flag.String("metrics", "", "write the metrics snapshot as JSON to this file ('-' for stderr)")
 	eventsOut := flag.String("events", "", "write the recorded taint events as JSONL to this file")
-	chromeOut := flag.String("chrome", "", "write the recorded taint events as a Chrome trace to this file")
+	chromeOut := flag.String("chrome", "", "write taint, kernel and bus events as one merged Chrome trace to this file")
+	vcdOut := flag.String("vcd", "", "write a GTKWave-compatible waveform of CPU/peripheral probes to this file")
+	watch := flag.String("watch", "", "comma-separated symbol[:probe-name] RAM words added as waveform probes (with -vcd)")
+	profileOut := flag.String("profile", "", "write the guest hot-path profile top table to this file ('-' for stderr)")
+	foldedOut := flag.String("folded", "", "write folded call stacks (flamegraph input) to this file")
+	ktOut := flag.String("kernel-trace", "", "write kernel scheduler and bus events as JSONL to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -104,7 +110,23 @@ func main() {
 	if *why || *metricsOut != "" || *eventsOut != "" || *chromeOut != "" {
 		observer = obs.New()
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer})
+	// Simulation-side tracing: -chrome implies kernel tracing so the merged
+	// timeline carries scheduler and bus rows next to the taint events.
+	var tr *trace.Trace
+	needKernel := *ktOut != "" || *chromeOut != ""
+	if needKernel || *vcdOut != "" || *profileOut != "" || *foldedOut != "" {
+		tr = &trace.Trace{}
+		if needKernel {
+			tr.Kernel = trace.NewKernelTrace(0)
+		}
+		if *vcdOut != "" {
+			tr.VCD = trace.NewVCD()
+		}
+		if *profileOut != "" || *foldedOut != "" {
+			tr.Prof = trace.NewProfiler(soc.RAMBase, soc.DefaultRAMSize)
+		}
+	}
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer, Trace: tr})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -120,8 +142,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *trace > 0 {
-		remaining := *trace
+	for _, spec := range splitNonEmpty(*watch) {
+		name, probe := spec, spec
+		if i := strings.IndexByte(spec, ':'); i >= 0 {
+			name, probe = spec[:i], spec[i+1:]
+		}
+		addr, ok := img.Symbol(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown symbol %q\n", name)
+			os.Exit(2)
+		}
+		if err := pl.AddMemProbe(probe, addr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if pl.IsDIFT() {
+			if err := pl.AddTagProbe(probe+"_tag", addr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+	if *disasN > 0 {
+		remaining := *disasN
 		tracer := func(pc, insn uint32) {
 			if remaining == 0 {
 				return
@@ -164,6 +207,7 @@ func main() {
 	}
 
 	writeExports(pl, observer, *metricsOut, *eventsOut, *chromeOut)
+	writeTraceExports(pl, tr, *vcdOut, *profileOut, *foldedOut, *ktOut)
 
 	var v *core.Violation
 	switch {
@@ -196,50 +240,69 @@ func main() {
 	}
 }
 
+// openOut opens an export destination; "-" means stderr.
+func openOut(path string) (*os.File, bool) {
+	if path == "-" {
+		return os.Stderr, false
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return f, true
+}
+
+// exportTo writes one export through fn, reporting errors without aborting
+// the remaining exports.
+func exportTo(path string, fn func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f, closeit := openOut(path)
+	if err := fn(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if closeit {
+		f.Close()
+	}
+}
+
 // writeExports dumps the observer's metrics and event stream in the formats
-// requested on the command line.
+// requested on the command line. The Chrome export merges the kernel/bus
+// records when kernel tracing is active.
 func writeExports(pl *soc.Platform, o *obs.Observer, metricsOut, eventsOut, chromeOut string) {
 	if o == nil {
 		return
 	}
-	openOut := func(path string) (*os.File, bool) {
-		if path == "-" {
-			return os.Stderr, false
+	exportTo(metricsOut, func(f *os.File) error {
+		return obs.WriteMetricsJSON(f, pl.MetricsSnapshot())
+	})
+	exportTo(eventsOut, func(f *os.File) error { return o.WriteJSONL(f) })
+	exportTo(chromeOut, func(f *os.File) error {
+		var kt *trace.KernelTrace
+		if t := pl.Trace(); t != nil {
+			kt = t.Kernel
 		}
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return f, true
+		return trace.WriteChromeTrace(f, kt, o)
+	})
+}
+
+// writeTraceExports dumps the simulation-side trace views: waveform, profile
+// top table, folded stacks, and the kernel event stream.
+func writeTraceExports(pl *soc.Platform, tr *trace.Trace, vcdOut, profileOut, foldedOut, ktOut string) {
+	if tr == nil {
+		return
 	}
-	if metricsOut != "" {
-		f, closeit := openOut(metricsOut)
-		if err := obs.WriteMetricsJSON(f, pl.MetricsSnapshot()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-		if closeit {
-			f.Close()
-		}
+	if tr.VCD != nil {
+		// Capture the final state so the waveform extends to the end of the
+		// run.
+		tr.VCD.Sample(uint64(pl.Sim.Now()))
 	}
-	if eventsOut != "" {
-		f, closeit := openOut(eventsOut)
-		if err := o.WriteJSONL(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-		if closeit {
-			f.Close()
-		}
-	}
-	if chromeOut != "" {
-		f, closeit := openOut(chromeOut)
-		if err := o.WriteChromeTrace(f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-		}
-		if closeit {
-			f.Close()
-		}
-	}
+	exportTo(vcdOut, func(f *os.File) error { return tr.VCD.Dump(f) })
+	exportTo(profileOut, func(f *os.File) error { return tr.Prof.WriteTop(f, 30) })
+	exportTo(foldedOut, func(f *os.File) error { return tr.Prof.WriteFolded(f) })
+	exportTo(ktOut, func(f *os.File) error { return tr.Kernel.WriteJSONL(f) })
 }
 
 func splitNonEmpty(s string) []string {

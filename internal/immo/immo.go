@@ -10,6 +10,7 @@ import (
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 	"vpdift/internal/soc"
+	"vpdift/internal/trace"
 )
 
 // PolicyKind selects the security policy under validation.
@@ -137,6 +138,12 @@ func NewECU(v Variant, kind PolicyKind) (*ECU, error) {
 // NewECUObserved is NewECU with a taint-provenance observer wired into the
 // platform; o may be nil.
 func NewECUObserved(v Variant, kind PolicyKind, o *obs.Observer) (*ECU, error) {
+	return NewECUTraced(v, kind, o, nil)
+}
+
+// NewECUTraced is NewECUObserved with the simulation-side trace layer also
+// attached; either of o and tr may be nil.
+func NewECUTraced(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace) (*ECU, error) {
 	img := Firmware(v)
 	var pol *core.Policy
 	switch kind {
@@ -152,7 +159,7 @@ func NewECUObserved(v Variant, kind PolicyKind, o *obs.Observer) (*ECU, error) {
 	default:
 		return nil, fmt.Errorf("immo: unknown policy kind %d", kind)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: o})
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: o, Trace: tr})
 	if err != nil {
 		return nil, err
 	}

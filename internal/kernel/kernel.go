@@ -78,6 +78,29 @@ func (q *workQueue) Pop() any {
 	return it
 }
 
+// Tracer observes kernel scheduling: process lifecycle, event
+// notifications, and simulated-clock advances. All callbacks run
+// synchronously inside the scheduler, so implementations must not call back
+// into the simulator. A nil tracer costs one predictable branch per hook
+// site, the same discipline as the cores' Tracer/Obs hooks.
+type Tracer interface {
+	// ThreadSpawn: a thread was created (its first run is scheduled at `at`).
+	ThreadSpawn(name string, at Time)
+	// ThreadRun: the scheduler dispatched the thread at the current time.
+	ThreadRun(name string, at Time)
+	// ThreadPause: the thread yielded back to the scheduler (Wait, WaitEvent,
+	// or body return).
+	ThreadPause(name string, at Time)
+	// ThreadWake: the thread was scheduled to resume at wakeAt.
+	ThreadWake(name string, at, wakeAt Time)
+	// EventNotify: an event fired at `at`, waking `waiters` threads at
+	// deliverAt.
+	EventNotify(event string, at, deliverAt Time, waiters int)
+	// TimeAdvance: the simulated clock moved from `from` to `to`. Work items
+	// executing between two advances at the same timestamp are delta cycles.
+	TimeAdvance(from, to Time)
+}
+
 // Simulator owns the simulated clock and the work queue.
 type Simulator struct {
 	now     Time
@@ -87,7 +110,11 @@ type Simulator struct {
 	stopped bool
 	err     error
 	running bool
+	trace   Tracer
 }
+
+// SetTracer attaches a scheduling tracer (nil detaches). Zero cost when nil.
+func (s *Simulator) SetTracer(t Tracer) { s.trace = t }
 
 // New creates an empty simulator at time 0.
 func New() *Simulator { return &Simulator{} }
@@ -149,6 +176,9 @@ func (s *Simulator) Run(until Time) error {
 			break
 		}
 		heap.Pop(&s.queue)
+		if s.trace != nil && next.at != s.now {
+			s.trace.TimeAdvance(s.now, next.at)
+		}
 		s.now = next.at
 		if next.thread != nil {
 			next.thread.dispatch()
@@ -158,6 +188,9 @@ func (s *Simulator) Run(until Time) error {
 	}
 	if !s.stopped && s.now < until && until != Forever {
 		// Idle until the horizon, like sc_start with no pending activity.
+		if s.trace != nil && until != s.now {
+			s.trace.TimeAdvance(s.now, until)
+		}
 		s.now = until
 	}
 	return s.err
@@ -199,6 +232,9 @@ func (e *Event) Name() string { return e.name }
 func (e *Event) Notify(delay Time) {
 	waiters := e.waiters
 	e.waiters = nil
+	if e.s.trace != nil {
+		e.s.trace.EventNotify(e.name, e.s.now, e.s.now+delay, len(waiters))
+	}
 	for _, t := range waiters {
 		t.scheduleWake(e.s.now + delay)
 	}
@@ -237,6 +273,9 @@ func (s *Simulator) Spawn(name string, body func(p *Proc)) *Thread {
 	}
 	t.proc = &Proc{t: t}
 	s.threads = append(s.threads, t)
+	if s.trace != nil {
+		s.trace.ThreadSpawn(name, s.now)
+	}
 	go func() {
 		if !<-t.resume {
 			t.done = true
@@ -271,6 +310,9 @@ func (t *Thread) scheduleWake(at Time) {
 		return
 	}
 	t.queued = true
+	if t.s.trace != nil {
+		t.s.trace.ThreadWake(t.name, t.s.now, at)
+	}
 	t.s.push(&workItem{at: at, thread: t})
 }
 
@@ -280,8 +322,14 @@ func (t *Thread) dispatch() {
 		return
 	}
 	t.queued = false
+	if t.s.trace != nil {
+		t.s.trace.ThreadRun(t.name, t.s.now)
+	}
 	t.resume <- true
 	<-t.yield
+	if t.s.trace != nil {
+		t.s.trace.ThreadPause(t.name, t.s.now)
+	}
 }
 
 // kill unwinds the thread goroutine if it is still alive.

@@ -22,24 +22,31 @@ func (o *Observer) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// chromeEvent is one entry of the Chrome trace_event JSON array format
-// (load the output at chrome://tracing or https://ui.perfetto.dev).
-type chromeEvent struct {
+// ChromeEvent is one entry of the Chrome trace_event JSON array format
+// (load the output at chrome://tracing or https://ui.perfetto.dev). It is
+// exported so internal/trace can merge kernel and bus records with the
+// observer's taint events onto one shared timeline.
+type ChromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace exports the live events in Chrome trace_event format,
-// keyed by simulated time (1 trace µs == 1 simulated µs). Each event kind
-// gets its own thread row so propagation, I/O, and checks separate visually.
-func (o *Observer) WriteChromeTrace(w io.Writer) error {
+// ChromePidTaint is the Chrome-trace process id under which taint events are
+// emitted; internal/trace places kernel and bus rows under their own pids.
+const ChromePidTaint = 1
+
+// ChromeEvents renders the live events as Chrome trace entries, keyed by
+// simulated time (1 trace µs == 1 simulated µs). Each event kind gets its
+// own thread row so propagation, I/O, and checks separate visually.
+func (o *Observer) ChromeEvents() []ChromeEvent {
 	events := o.Events()
-	out := make([]chromeEvent, 0, len(events))
+	out := make([]ChromeEvent, 0, len(events))
 	for _, ev := range events {
 		args := map[string]any{
 			"seq":   ev.Seq,
@@ -69,18 +76,25 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		if ev.Port != "" {
 			name += " " + ev.Port
 		}
-		out = append(out, chromeEvent{
+		out = append(out, ChromeEvent{
 			Name: name,
 			Ph:   "i",
 			Ts:   float64(ev.Time) / 1000.0,
-			Pid:  1,
+			Pid:  ChromePidTaint,
 			Tid:  int(ev.Kind),
 			S:    "t",
 			Args: args,
 		})
 	}
+	return out
+}
+
+// WriteChromeTrace exports the live events in Chrome trace_event format. Use
+// trace.WriteChromeTrace to additionally merge kernel and bus records onto
+// the same timeline.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return enc.Encode(o.ChromeEvents())
 }
 
 // FormatEvents renders events one per line with class names resolved

@@ -19,6 +19,7 @@ import (
 	"vpdift/internal/immo"
 	"vpdift/internal/kernel"
 	"vpdift/internal/soc"
+	"vpdift/internal/trace"
 )
 
 // Scale selects workload sizes. ScaleSmall keeps the full table under a few
@@ -169,6 +170,11 @@ type Options struct {
 	// ablation: it isolates how much of the platform's speed comes from
 	// caching decode work versus the rest of the interpreter.
 	NoDecodeCache bool
+	// Trace attaches the simulation-side trace layer (profiler, waveform
+	// probes, kernel trace) to the measured platform; nil measures the
+	// undisturbed fast path. Used by the -profile smoke run of the CI perf
+	// guard.
+	Trace *trace.Trace
 }
 
 // RunOnce executes the workload on one platform flavour (dift selects VP+)
@@ -194,7 +200,7 @@ func RunOnceOpts(w Workload, o Options) (Measurement, error) {
 			pol = codeInjectionPolicy(img)
 		}
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, NoDecodeCache: o.NoDecodeCache})
+	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, NoDecodeCache: o.NoDecodeCache, Trace: o.Trace})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -222,6 +228,19 @@ func RunOnceOpts(w Workload, o Options) (Measurement, error) {
 		return Measurement{}, fmt.Errorf("perf: %s failed its self-check (exit %d)", w.Name, code)
 	}
 	return Measurement{Instr: pl.Instret(), Wall: wall}, nil
+}
+
+// ProfileSmoke runs one workload with the trace layer (kernel trace +
+// profiler) attached and returns the profiler for inspection. It is the CI
+// guard's check that tracing coexists with the hot loop: the run must exit
+// cleanly and the profiler must attribute the retired cycles.
+func ProfileSmoke(w Workload, dift bool) (*trace.Profiler, Measurement, error) {
+	tr := &trace.Trace{
+		Kernel: trace.NewKernelTrace(0),
+		Prof:   trace.NewProfiler(soc.RAMBase, soc.DefaultRAMSize),
+	}
+	m, err := RunOnceOpts(w, Options{DIFT: dift, Trace: tr})
+	return tr.Prof, m, err
 }
 
 // Row is one completed Table II row.

@@ -50,6 +50,12 @@ func (d *DMA) Transport(p *tlm.Payload, delay *kernel.Time) {
 	transport(d, p, 10*kernel.NS, delay)
 }
 
+// Busy reports whether a transfer is in flight; a waveform probe point.
+func (d *DMA) Busy() bool { return d.busy }
+
+// Transfers returns the completed transfer count; a waveform probe point.
+func (d *DMA) Transfers() uint32 { return d.done }
+
 func (d *DMA) readByte(off uint32) (core.TByte, bool) {
 	def := d.env.Default
 	switch {
@@ -113,13 +119,13 @@ func (d *DMA) start() {
 		if n < chunk {
 			chunk = n
 		}
-		p := tlm.Payload{Cmd: tlm.Read, Addr: src, Data: buf[:chunk]}
+		p := tlm.Payload{Cmd: tlm.Read, Addr: src, Data: buf[:chunk], From: d.name}
 		d.bus.Transport(&p, &delay)
 		if p.Resp != tlm.OK {
 			d.env.Sim.Fatal(fmt.Errorf("%s: source read %s at 0x%08x", d.name, p.Resp, src))
 			return
 		}
-		p = tlm.Payload{Cmd: tlm.Write, Addr: dst, Data: buf[:chunk]}
+		p = tlm.Payload{Cmd: tlm.Write, Addr: dst, Data: buf[:chunk], From: d.name}
 		d.bus.Transport(&p, &delay)
 		if p.Resp != tlm.OK {
 			d.env.Sim.Fatal(fmt.Errorf("%s: destination write %s at 0x%08x", d.name, p.Resp, dst))

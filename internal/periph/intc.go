@@ -58,6 +58,12 @@ func (ic *IntC) Source(n int) func(bool) {
 	return func(level bool) { ic.SetSource(n, level) }
 }
 
+// Pending returns the pending source bits; a waveform probe point.
+func (ic *IntC) Pending() uint32 { return ic.pending }
+
+// Enabled returns the enabled source bits; a waveform probe point.
+func (ic *IntC) Enabled() uint32 { return ic.enable }
+
 func (ic *IntC) updateMEIP() {
 	if ic.setMEIP != nil {
 		ic.setMEIP(ic.pending&ic.enable != 0)

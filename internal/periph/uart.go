@@ -78,6 +78,23 @@ func (u *UART) OutputTagged() []core.TByte { return append([]core.TByte(nil), u.
 // ClearOutput discards the TX log.
 func (u *UART) ClearOutput() { u.tx = u.tx[:0] }
 
+// RxPending returns the number of injected bytes the guest has not read yet;
+// a waveform probe point.
+func (u *UART) RxPending() int { return len(u.rxFIFO) }
+
+// TxCount returns the number of bytes transmitted so far; a waveform probe
+// point.
+func (u *UART) TxCount() int { return len(u.tx) }
+
+// LastTx returns the most recently transmitted byte (0 before any TX); a
+// waveform probe point.
+func (u *UART) LastTx() byte {
+	if len(u.tx) == 0 {
+		return 0
+	}
+	return u.tx[len(u.tx)-1].V
+}
+
 func (u *UART) updateIRQ() {
 	if u.irq != nil {
 		u.irq(len(u.rxFIFO) > 0)

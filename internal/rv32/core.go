@@ -13,6 +13,12 @@ import (
 // derive the hit rate.
 func (c *Core) DecodeCacheFills() uint64 { return c.ic.fills }
 
+// DecodeCacheStats reports the decode-cache miss breakdown: fills (slow
+// decodes that populated a slot) and uncached fetches (misaligned PC or the
+// cache disabled — decoded without filling a slot). Hits are derived as
+// Instret minus both.
+func (c *Core) DecodeCacheStats() (fills, uncached uint64) { return c.ic.fills, c.uncachedFetch }
+
 // Core is the plain (baseline, "VP") RV32IM instruction-set simulator.
 // Accesses inside the RAM window use the direct memory slice (the DMI-like
 // fast path); everything else is routed over the TLM bus.
@@ -62,6 +68,19 @@ type Core struct {
 	mscratch uint32
 
 	mmioBuf [4]core.TByte
+
+	// Retire, when non-nil, is invoked once per executed instruction with
+	// its pc and raw word — the guest profiler's hook (internal/trace).
+	// Separate from Tracer so profiling composes with disassembly tracing;
+	// like every hook it costs one predictable branch when nil. New fields
+	// live at the end of the struct: inserting them higher up shifts the
+	// hot fields (Regs, ram, ic) across cache lines, which costs the tight
+	// interpreter loop measurably.
+	Retire func(pc, insn uint32)
+
+	// uncachedFetch counts fetches that bypassed the decode cache (misaligned
+	// PC or cache disabled) — the non-fill half of the miss count.
+	uncachedFetch uint64
 }
 
 // NewCore builds a baseline core over plain RAM and a bus for MMIO. The
@@ -195,6 +214,9 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 			if c.Tracer != nil {
 				c.Tracer(pc, c.fetchWord(off))
 			}
+			if c.Retire != nil {
+				c.Retire(pc, c.fetchWord(off))
+			}
 			if c.Obs != nil {
 				c.Obs.BeginInsn(pc, c.fetchWord(off))
 			}
@@ -202,6 +224,9 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 			w := c.fetchWord(off)
 			if c.Tracer != nil {
 				c.Tracer(pc, w)
+			}
+			if c.Retire != nil {
+				c.Retire(pc, w)
 			}
 			if c.Obs != nil {
 				c.Obs.BeginInsn(pc, w)
@@ -216,9 +241,13 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 		if off >= c.ramSize || off+4 > c.ramSize {
 			return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
 		}
+		c.uncachedFetch++
 		w := c.fetchWord(off)
 		if c.Tracer != nil {
 			c.Tracer(pc, w)
+		}
+		if c.Retire != nil {
+			c.Retire(pc, w)
 		}
 		if c.Obs != nil {
 			c.Obs.BeginInsn(pc, w)
@@ -466,7 +495,7 @@ func (c *Core) load(addr uint32, size uint32, delay *kernel.Time, pc uint32) (ui
 				uint32(c.ram[off+2])<<16 | uint32(c.ram[off+3])<<24, nil
 		}
 	}
-	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size]}
+	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size], From: "cpu"}
 	c.bus.Transport(&p, delay)
 	if p.Resp != tlm.OK {
 		return 0, &BusError{What: "load " + p.Resp.String(), Addr: addr, PC: pc}
@@ -495,7 +524,7 @@ func (c *Core) store(addr, val uint32, size uint32, delay *kernel.Time, pc uint3
 	for j := uint32(0); j < size; j++ {
 		c.mmioBuf[j] = core.TByte{V: byte(val >> (8 * j))}
 	}
-	p := tlm.Payload{Cmd: tlm.Write, Addr: addr, Data: c.mmioBuf[:size]}
+	p := tlm.Payload{Cmd: tlm.Write, Addr: addr, Data: c.mmioBuf[:size], From: "cpu"}
 	c.bus.Transport(&p, delay)
 	if p.Resp != tlm.OK {
 		return &BusError{What: "store " + p.Resp.String(), Addr: addr, PC: pc}

@@ -91,6 +91,17 @@ type TaintCore struct {
 	mscratch core.Word
 
 	mmioBuf [4]core.TByte
+
+	// Retire, when non-nil, is invoked once per executed instruction with
+	// its pc and raw word — the guest profiler's hook (internal/trace).
+	// New fields live at the end of the struct: inserting them higher up
+	// shifts the hot fields (Regs, ram, ic) across cache lines, which
+	// costs the tight interpreter loop measurably.
+	Retire func(pc, insn uint32)
+
+	// uncachedFetch counts fetches bypassing the decode cache; see
+	// Core.uncachedFetch.
+	uncachedFetch uint64
 }
 
 // NewTaintCore builds a DIFT core over tainted RAM, enforcing the policy.
@@ -138,6 +149,12 @@ func (c *TaintCore) DisableDecodeCache() { c.ic = icache{} }
 // (i.e. slow-path decodes); the metrics exporter pairs it with Instret to
 // derive the hit rate.
 func (c *TaintCore) DecodeCacheFills() uint64 { return c.ic.fills }
+
+// DecodeCacheStats reports the decode-cache miss breakdown; see
+// Core.DecodeCacheStats.
+func (c *TaintCore) DecodeCacheStats() (fills, uncached uint64) {
+	return c.ic.fills, c.uncachedFetch
+}
 
 // InvalidateDecodeCache drops predecoded entries (and their fetch-tag
 // summaries) covering RAM byte offsets [start, end). Registered as the
@@ -329,6 +346,9 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			if c.Tracer != nil {
 				c.Tracer(pc, c.fetchWord(off))
 			}
+			if c.Retire != nil {
+				c.Retire(pc, c.fetchWord(off))
+			}
 			if !e.allowed {
 				// Cached fetch-clearance verdict: the word's tag summary
 				// may not flow to the execution unit.
@@ -339,6 +359,9 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
 			if c.Tracer != nil {
 				c.Tracer(pc, w)
+			}
+			if c.Retire != nil {
+				c.Retire(pc, w)
 			}
 			e.tag, e.allowed = 0, true
 			if c.checkFetch {
@@ -361,10 +384,14 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 		if off >= c.ramSize || off+4 > c.ramSize {
 			return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
 		}
+		c.uncachedFetch++
 		b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
 		w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
 		if c.Tracer != nil {
 			c.Tracer(pc, w)
+		}
+		if c.Retire != nil {
+			c.Retire(pc, w)
 		}
 		if c.checkFetch {
 			if c.Obs != nil {
@@ -698,7 +725,7 @@ func (c *TaintCore) load(i Inst, size uint32, delay *kernel.Time, pc uint32) (co
 		}
 		return w, nil
 	}
-	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size]}
+	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size], From: "cpu"}
 	c.bus.Transport(&p, delay)
 	if p.Resp != tlm.OK {
 		return core.Word{}, &BusError{What: "load " + p.Resp.String(), Addr: addr, PC: pc}
@@ -766,7 +793,7 @@ func (c *TaintCore) store(i Inst, size uint32, delay *kernel.Time, pc uint32) er
 	for j := uint32(0); j < size; j++ {
 		c.mmioBuf[j] = core.TByte{V: byte(val.V >> (8 * j)), T: val.T}
 	}
-	p := tlm.Payload{Cmd: tlm.Write, Addr: addr, Data: c.mmioBuf[:size]}
+	p := tlm.Payload{Cmd: tlm.Write, Addr: addr, Data: c.mmioBuf[:size], From: "cpu"}
 	c.bus.Transport(&p, delay)
 	if p.Resp != tlm.OK {
 		return &BusError{What: "store " + p.Resp.String(), Addr: addr, PC: pc}

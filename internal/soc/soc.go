@@ -24,6 +24,7 @@ import (
 	"vpdift/internal/periph"
 	"vpdift/internal/rv32"
 	"vpdift/internal/tlm"
+	"vpdift/internal/trace"
 )
 
 // Memory map of the platform.
@@ -82,6 +83,12 @@ type Config struct {
 	// bus monitors on the data-carrying peripherals. Nil (the default) keeps
 	// all hook sites on their one-branch fast path.
 	Obs *obs.Observer
+	// Trace, when non-nil with at least one view enabled, wires the
+	// simulation-side observability layer: kernel/bus event recording
+	// (Trace.Kernel), waveform probes over CPU and peripheral state
+	// (Trace.VCD), and the guest hot-path profiler (Trace.Prof). Nil keeps
+	// every hook site on its one-branch fast path.
+	Trace *trace.Trace
 }
 
 // Platform is a constructed virtual prototype.
@@ -111,6 +118,16 @@ type Platform struct {
 	exited   bool
 	exitCode uint32
 	loaded   bool
+
+	// monitors are the TLM monitors wrapped around data-carrying peripherals
+	// when an observer is attached, kept so MetricsSnapshot can report how
+	// many transactions each one dropped past its log limit.
+	monitors []namedMonitor
+}
+
+type namedMonitor struct {
+	name string
+	m    *tlm.Monitor
 }
 
 // New builds a platform. The baseline VP is built when cfg.Policy is nil.
@@ -130,6 +147,16 @@ func New(cfg Config) (*Platform, error) {
 		cfg: cfg,
 	}
 	pl.irqEvent = pl.Sim.NewEvent("irq")
+
+	// Simulation-side tracing hooks in before any process spawns so thread
+	// creation is part of the record; the bus hook lands every transaction on
+	// the same stream.
+	if cfg.Trace.Active() {
+		pl.Sim.SetTracer(cfg.Trace)
+		if kt := cfg.Trace.Kernel; kt != nil {
+			pl.Bus.Trace = kt.BusHook(pl.Sim)
+		}
+	}
 
 	env := &periph.Env{Sim: pl.Sim}
 	pol := cfg.Policy
@@ -168,6 +195,13 @@ func New(cfg Config) (*Platform, error) {
 			if level {
 				pl.irqEvent.Notify(0)
 			}
+		}
+	}
+	if cfg.Trace != nil && cfg.Trace.Prof != nil {
+		if pl.Core != nil {
+			pl.Core.Retire = cfg.Trace.Prof.OnRetire
+		} else {
+			pl.TaintCore.Retire = cfg.Trace.Prof.OnRetire
 		}
 	}
 
@@ -249,6 +283,7 @@ func New(cfg Config) (*Platform, error) {
 		if cfg.Obs != nil {
 			m := tlm.NewMonitor(t, pl.Sim, 1)
 			m.OnTransaction = cfg.Obs.BusSink(name)
+			pl.monitors = append(pl.monitors, namedMonitor{name: name, m: m})
 			t = m
 		}
 		pl.Bus.MustMap(name, base, size, t)
@@ -267,8 +302,82 @@ func New(cfg Config) (*Platform, error) {
 		pl.Bus.MustMap("ram", RAMBase, cfg.RAMSize, pl.ram)
 	}
 
+	// Default waveform probes: the CPU program counter plus the externally
+	// visible peripheral state. Guests add memory and tag probes via
+	// AddMemProbe / AddTagProbe before Run.
+	if cfg.Trace != nil && cfg.Trace.VCD != nil {
+		v := cfg.Trace.VCD
+		if pl.Core != nil {
+			v.AddProbe("cpu_pc", 32, func() uint64 { return uint64(pl.Core.PC) })
+		} else {
+			v.AddProbe("cpu_pc", 32, func() uint64 { return uint64(pl.TaintCore.PC) })
+		}
+		v.AddProbe("uart0_rx_pending", 8, func() uint64 { return uint64(pl.UART.RxPending()) })
+		v.AddProbe("uart0_tx_count", 16, func() uint64 { return uint64(pl.UART.TxCount()) })
+		v.AddProbe("uart0_last_tx", 8, func() uint64 { return uint64(pl.UART.LastTx()) })
+		v.AddProbe("sensor0_frames", 16, func() uint64 { return pl.Sensor.Frames() })
+		v.AddProbe("intc_pending", 32, func() uint64 { return uint64(pl.IntC.Pending()) })
+		v.AddProbe("intc_enable", 32, func() uint64 { return uint64(pl.IntC.Enabled()) })
+		v.AddProbe("dma0_busy", 1, func() uint64 {
+			if pl.DMA.Busy() {
+				return 1
+			}
+			return 0
+		})
+		v.AddProbe("dma0_transfers", 16, func() uint64 { return uint64(pl.DMA.Transfers()) })
+	}
+
 	pl.spawnCPU()
 	return pl, nil
+}
+
+// Trace returns the attached trace bundle, nil when simulation-side tracing
+// is off.
+func (pl *Platform) Trace() *trace.Trace { return pl.cfg.Trace }
+
+// AddMemProbe registers a waveform probe on the 32-bit little-endian RAM
+// word at bus address addr. Call before Run; requires an attached VCD view.
+func (pl *Platform) AddMemProbe(name string, addr uint32) error {
+	if pl.cfg.Trace == nil || pl.cfg.Trace.VCD == nil {
+		return fmt.Errorf("soc: no VCD view attached")
+	}
+	off := addr - RAMBase
+	if addr < RAMBase || uint64(off)+4 > uint64(pl.cfg.RAMSize) {
+		return fmt.Errorf("soc: mem probe 0x%08x outside RAM", addr)
+	}
+	read := func() uint64 {
+		var w uint32
+		if pl.Core != nil {
+			d := pl.plainRAM.Data()
+			w = uint32(d[off]) | uint32(d[off+1])<<8 | uint32(d[off+2])<<16 | uint32(d[off+3])<<24
+		} else {
+			d := pl.ram.Data()
+			w = uint32(d[off].V) | uint32(d[off+1].V)<<8 | uint32(d[off+2].V)<<16 | uint32(d[off+3].V)<<24
+		}
+		return uint64(w)
+	}
+	pl.cfg.Trace.VCD.AddProbe(name, 32, read)
+	return nil
+}
+
+// AddTagProbe registers a waveform probe on the security tag of the RAM
+// byte at bus address addr — the per-location DIFT state as a waveform. VP+
+// only; call before Run.
+func (pl *Platform) AddTagProbe(name string, addr uint32) error {
+	if pl.cfg.Trace == nil || pl.cfg.Trace.VCD == nil {
+		return fmt.Errorf("soc: no VCD view attached")
+	}
+	if pl.ram == nil {
+		return fmt.Errorf("soc: tag probes need the VP+ (taint) platform")
+	}
+	off := addr - RAMBase
+	if addr < RAMBase || uint64(off) >= uint64(pl.cfg.RAMSize) {
+		return fmt.Errorf("soc: tag probe 0x%08x outside RAM", addr)
+	}
+	pl.cfg.Trace.VCD.AddProbe(name, 8, func() uint64 {
+		return uint64(pl.ram.Data()[off].T)
+	})
+	return nil
 }
 
 // MustNew is New that panics on error.
@@ -336,6 +445,10 @@ func (pl *Platform) Load(img *asm.Image) error {
 		return fmt.Errorf("soc: image base 0x%x below RAM base 0x%x", img.Base, RAMBase)
 	}
 	offset := img.Base - RAMBase
+	// The profiler symbolizes its report against the loaded image.
+	if pl.cfg.Trace != nil && pl.cfg.Trace.Prof != nil {
+		pl.cfg.Trace.Prof.SetImage(img)
+	}
 	if pl.Core != nil {
 		if err := pl.plainRAM.Load(offset, flat); err != nil {
 			return err
@@ -416,21 +529,71 @@ func (pl *Platform) IsDIFT() bool { return pl.TaintCore != nil }
 
 // MetricsSnapshot returns the platform's simulation gauges merged with the
 // observer's counters (when one is attached): instructions retired,
-// simulated nanoseconds, decode-cache fills, plus every obs.* / checks.* /
-// bus.* / violations.* counter.
+// simulated nanoseconds, decode-cache hit/miss statistics, per-monitor
+// dropped-transaction counts, trace-subsystem gauges, plus every obs.* /
+// checks.* / bus.* / violations.* counter. The decode-cache and monitor
+// gauges are also pushed into the observer's Metrics registry so they ride
+// along wherever that registry is exported.
 func (pl *Platform) MetricsSnapshot() map[string]uint64 {
 	var m map[string]uint64
 	if pl.cfg.Obs != nil {
 		m = pl.cfg.Obs.MetricsSnapshot()
 	} else {
-		m = make(map[string]uint64, 3)
+		m = make(map[string]uint64, 8)
 	}
 	m["sim.instret"] = pl.Instret()
 	m["sim.time_ns"] = uint64(pl.Sim.Now())
+
+	// Decode-cache statistics. Hits are derived, not counted on the hot
+	// path: every retired instruction fetched through the cache except the
+	// fills and the uncached fetches. IRQ-taken steps retire without a
+	// fetch, so clamp the difference.
+	var fills, uncached uint64
 	if pl.Core != nil {
-		m["sim.decode_cache_fills"] = pl.Core.DecodeCacheFills()
+		fills, uncached = pl.Core.DecodeCacheStats()
 	} else {
-		m["sim.decode_cache_fills"] = pl.TaintCore.DecodeCacheFills()
+		fills, uncached = pl.TaintCore.DecodeCacheStats()
+	}
+	misses := fills + uncached
+	var hits uint64
+	if total := pl.Instret(); total > misses {
+		hits = total - misses
+	}
+	m["sim.decode_cache_fills"] = fills
+	m["sim.decode_cache_hits"] = hits
+	m["sim.decode_cache_misses"] = misses
+
+	// Bus-monitor drop counts (observer-attached platforms only).
+	var dropped uint64
+	for _, nm := range pl.monitors {
+		d := nm.m.Dropped()
+		m["bus.monitor_dropped."+nm.name] = d
+		dropped += d
+	}
+	if pl.monitors != nil {
+		m["bus.monitor_dropped"] = dropped
+	}
+
+	if t := pl.cfg.Trace; t.Active() {
+		if t.Kernel != nil {
+			m["trace.kernel_events"] = t.Kernel.EventCount()
+			m["trace.kernel_dropped"] = t.Kernel.Dropped()
+		}
+		if t.VCD != nil {
+			m["trace.vcd_changes"] = uint64(t.VCD.Changes())
+		}
+		if t.Prof != nil {
+			m["trace.prof_retired"] = t.Prof.Total()
+		}
+	}
+
+	// Mirror the derived gauges into the observer's registry.
+	if o := pl.cfg.Obs; o != nil {
+		reg := o.Metrics()
+		*reg.Counter("sim.decode_cache_fills") = fills
+		*reg.Counter("sim.decode_cache_hits") = hits
+		*reg.Counter("sim.decode_cache_misses") = misses
+		*reg.Counter("bus.monitor_dropped") = dropped
 	}
 	return m
 }

@@ -31,10 +31,11 @@ func (t Transaction) String() string {
 //
 // Keep records small: every transaction copies its payload.
 type Monitor struct {
-	target Target
-	sim    *kernel.Simulator
-	limit  int
-	log    []Transaction
+	target  Target
+	sim     *kernel.Simulator
+	limit   int
+	log     []Transaction
+	dropped uint64
 	// OnTransaction, when set, is invoked for every completed access.
 	OnTransaction func(Transaction)
 }
@@ -59,6 +60,7 @@ func (m *Monitor) Transport(p *Payload, delay *kernel.Time) {
 	}
 	m.log = append(m.log, tr)
 	if m.limit > 0 && len(m.log) > m.limit {
+		m.dropped += uint64(len(m.log) - m.limit)
 		m.log = m.log[len(m.log)-m.limit:]
 	}
 	if m.OnTransaction != nil {
@@ -69,5 +71,10 @@ func (m *Monitor) Transport(p *Payload, delay *kernel.Time) {
 // Log returns the recorded transactions, oldest first.
 func (m *Monitor) Log() []Transaction { return append([]Transaction(nil), m.log...) }
 
-// Reset clears the record.
+// Dropped reports how many transactions were silently discarded because the
+// log exceeded its limit — nonzero means Log is a truncated view.
+func (m *Monitor) Dropped() uint64 { return m.dropped }
+
+// Reset clears the record. The dropped counter survives: it counts lifetime
+// truncation, not current log state.
 func (m *Monitor) Reset() { m.log = m.log[:0] }

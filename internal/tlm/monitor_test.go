@@ -68,6 +68,38 @@ func TestMonitorRecordsTransactions(t *testing.T) {
 	}
 }
 
+func TestMonitorDropped(t *testing.T) {
+	dev := TargetFunc(func(p *Payload, d *kernel.Time) { p.Resp = OK })
+	mon := NewMonitor(dev, nil, 2)
+	var delay kernel.Time
+	issue := func(n int) {
+		for i := 0; i < n; i++ {
+			p := Payload{Cmd: Read, Data: make([]core.TByte, 1)}
+			mon.Transport(&p, &delay)
+		}
+	}
+	issue(2)
+	if got := mon.Dropped(); got != 0 {
+		t.Fatalf("dropped = %d before exceeding the limit", got)
+	}
+	issue(5)
+	if got := mon.Dropped(); got != 5 {
+		t.Fatalf("dropped = %d, want 5", got)
+	}
+	if len(mon.Log()) != 2 {
+		t.Fatalf("log length = %d, want capped 2", len(mon.Log()))
+	}
+	// Dropped is a lifetime counter: Reset clears the log, not the count.
+	mon.Reset()
+	if got := mon.Dropped(); got != 5 {
+		t.Fatalf("dropped = %d after Reset, want 5", got)
+	}
+	issue(3)
+	if got := mon.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d after refill, want 6", got)
+	}
+}
+
 func TestMonitorUnlimited(t *testing.T) {
 	dev := TargetFunc(func(p *Payload, d *kernel.Time) { p.Resp = OK })
 	mon := NewMonitor(dev, nil, 0)

@@ -74,6 +74,9 @@ type Payload struct {
 	Addr uint32
 	Data []core.TByte
 	Resp Response
+	// From optionally names the initiator ("cpu", "dma0") for bus tracing —
+	// the analog of the TLM extension a transaction recorder would read.
+	From string
 }
 
 // Target is a TLM target socket: anything reachable over the bus implements
@@ -104,6 +107,10 @@ type mapping struct {
 // cascaded. Routing is a binary search over the sorted ranges.
 type Bus struct {
 	maps []mapping
+	// Trace, when non-nil, is invoked after every routed transaction with
+	// the decoded range name ("" for unmapped addresses) and the completed
+	// payload, its global address restored. One predictable branch when nil.
+	Trace func(rangeName string, p *Payload)
 }
 
 // NewBus creates an empty bus.
@@ -169,17 +176,26 @@ func (b *Bus) Transport(p *Payload, delay *kernel.Time) {
 	m := b.route(p.Addr)
 	if m == nil {
 		p.Resp = AddressError
+		if b.Trace != nil {
+			b.Trace("", p)
+		}
 		return
 	}
 	// The full transfer must stay inside the range.
 	if uint64(p.Addr)+uint64(len(p.Data)) > m.end {
 		p.Resp = AddressError
+		if b.Trace != nil {
+			b.Trace(m.name, p)
+		}
 		return
 	}
 	global := p.Addr
 	p.Addr -= m.start
 	m.target.Transport(p, delay)
 	p.Addr = global
+	if b.Trace != nil {
+		b.Trace(m.name, p)
+	}
 }
 
 // RangeOf returns the name and bounds of the mapping covering addr, for

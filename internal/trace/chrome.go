@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vpdift/internal/obs"
+)
+
+// Chrome-trace process ids: obs.ChromePidTaint (1) carries taint events; the
+// kernel and bus rows use their own processes so the three views separate
+// cleanly in the viewer while sharing one time axis.
+const (
+	ChromePidKernel = 0
+	ChromePidBus    = 2
+)
+
+// kernelChromeEvents converts recorded kernel/bus events into Chrome trace
+// entries: thread run..pause windows become complete spans, notifications
+// and wakes become instants on their thread rows, and bus transactions
+// become instants on one row per decoded range. Metadata entries name the
+// processes and threads.
+func kernelChromeEvents(kt *KernelTrace) []obs.ChromeEvent {
+	events := kt.Events()
+	out := make([]obs.ChromeEvent, 0, len(events)+8)
+	out = append(out,
+		obs.ChromeEvent{Name: "process_name", Ph: "M", Pid: ChromePidKernel,
+			Args: map[string]any{"name": "kernel"}},
+		obs.ChromeEvent{Name: "process_name", Ph: "M", Pid: ChromePidBus,
+			Args: map[string]any{"name": "bus"}},
+	)
+
+	// Stable small ids per thread / bus range, in order of first appearance.
+	threadTid := map[string]int{}
+	tidOf := func(pid int, name string, m map[string]int) int {
+		id, ok := m[name]
+		if !ok {
+			id = len(m) + 1
+			m[name] = id
+			out = append(out, obs.ChromeEvent{Name: "thread_name", Ph: "M",
+				Pid: pid, Tid: id, Args: map[string]any{"name": name}})
+		}
+		return id
+	}
+	busTid := map[string]int{}
+
+	us := func(ns uint64) float64 { return float64(ns) / 1000.0 }
+	running := map[string]uint64{} // thread -> run start (ns)
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvThreadSpawn:
+			out = append(out, obs.ChromeEvent{Name: "spawn", Ph: "i", Ts: us(ev.At),
+				Pid: ChromePidKernel, Tid: tidOf(ChromePidKernel, ev.Name, threadTid), S: "t",
+				Args: map[string]any{"seq": ev.Seq}})
+		case EvThreadRun:
+			running[ev.Name] = ev.At
+		case EvThreadPause:
+			if start, ok := running[ev.Name]; ok {
+				delete(running, ev.Name)
+				out = append(out, obs.ChromeEvent{Name: "run", Ph: "X", Ts: us(start),
+					Dur: us(ev.At - start),
+					Pid: ChromePidKernel, Tid: tidOf(ChromePidKernel, ev.Name, threadTid)})
+			}
+		case EvThreadWake:
+			out = append(out, obs.ChromeEvent{Name: "wake", Ph: "i", Ts: us(ev.At),
+				Pid: ChromePidKernel, Tid: tidOf(ChromePidKernel, ev.Name, threadTid), S: "t",
+				Args: map[string]any{"seq": ev.Seq, "resume_at_ns": ev.To}})
+		case EvNotify:
+			out = append(out, obs.ChromeEvent{Name: "notify " + ev.Name, Ph: "i", Ts: us(ev.At),
+				Pid: ChromePidKernel, Tid: 0, S: "p",
+				Args: map[string]any{"seq": ev.Seq, "deliver_at_ns": ev.To, "waiters": ev.Waiters}})
+		case EvTimeAdvance:
+			// The time axis itself; no entry needed.
+		case EvBusTxn:
+			row := ev.Name
+			if row == "" {
+				row = "(unmapped)"
+			}
+			out = append(out, obs.ChromeEvent{
+				Name: fmt.Sprintf("%s %s", ev.From, ev.Cmd), Ph: "i", Ts: us(ev.At),
+				Pid: ChromePidBus, Tid: tidOf(ChromePidBus, row, busTid), S: "t",
+				Args: map[string]any{
+					"seq": ev.Seq, "addr": fmt.Sprintf("0x%08x", ev.Addr),
+					"len": ev.Len, "resp": ev.Resp,
+				},
+			})
+		}
+	}
+	// Threads still running at trace end: emit an open span of zero length
+	// at the start point so the dispatch remains visible.
+	for name, start := range running {
+		out = append(out, obs.ChromeEvent{Name: "run (open)", Ph: "i", Ts: us(start),
+			Pid: ChromePidKernel, Tid: tidOf(ChromePidKernel, name, threadTid), S: "t"})
+	}
+	return out
+}
+
+// WriteChromeTrace writes one Chrome trace_event JSON array combining the
+// kernel/bus records with the observer's taint events, so scheduler
+// activity, bus transactions and information flow line up on a single
+// timeline (1 trace µs == 1 simulated µs). Either source may be nil.
+func WriteChromeTrace(w io.Writer, kt *KernelTrace, o *obs.Observer) error {
+	var all []obs.ChromeEvent
+	if kt != nil {
+		all = append(all, kernelChromeEvents(kt)...)
+	}
+	if o != nil {
+		all = append(all,
+			obs.ChromeEvent{Name: "process_name", Ph: "M", Pid: obs.ChromePidTaint,
+				Args: map[string]any{"name": "taint"}})
+		all = append(all, o.ChromeEvents()...)
+	}
+	if all == nil {
+		all = []obs.ChromeEvent{}
+	}
+	return json.NewEncoder(w).Encode(all)
+}

@@ -1,0 +1,92 @@
+// Package trace is the simulation-side observability layer of the virtual
+// prototype: where internal/obs answers "where did tainted data flow?",
+// this package answers "what did the simulator do, and where did the guest
+// spend its time?". It provides three coordinated views:
+//
+//   - KernelTrace: scheduler and TLM bus event recording — the SystemC
+//     kernel's process trace, exportable as JSONL or merged with taint
+//     events into one Chrome trace timeline (WriteChromeTrace).
+//   - VCD: an sc_trace analogue sampling registered probes (peripheral
+//     registers, memory words, taint tags) on change into a
+//     GTKWave-compatible value change dump keyed by simulated time.
+//   - Profiler: a retire-hook histogram attributing guest cycles to
+//     functions via the image symbol table, with self/cumulative counts
+//     and folded stacks for flamegraphs.
+//
+// All three follow the nil-hook discipline: a platform built without a
+// Trace (or with unused views left nil) pays one predictable branch per
+// hook site and nothing else.
+package trace
+
+import (
+	"vpdift/internal/kernel"
+)
+
+// Trace bundles the enabled views. Leave a field nil to disable that view;
+// a zero Trace is valid and records nothing. Trace implements kernel.Tracer
+// by forwarding to Kernel and piggybacking VCD sampling on scheduler
+// activity: probes are polled whenever a process pauses and whenever the
+// simulated clock advances, which brackets every state change a guest or
+// callback can make.
+type Trace struct {
+	Kernel *KernelTrace
+	VCD    *VCD
+	Prof   *Profiler
+}
+
+// Active reports whether any view is enabled.
+func (t *Trace) Active() bool {
+	return t != nil && (t.Kernel != nil || t.VCD != nil || t.Prof != nil)
+}
+
+// ThreadSpawn implements kernel.Tracer.
+func (t *Trace) ThreadSpawn(name string, at kernel.Time) {
+	if t.Kernel != nil {
+		t.Kernel.ThreadSpawn(name, at)
+	}
+}
+
+// ThreadRun implements kernel.Tracer.
+func (t *Trace) ThreadRun(name string, at kernel.Time) {
+	if t.Kernel != nil {
+		t.Kernel.ThreadRun(name, at)
+	}
+}
+
+// ThreadPause implements kernel.Tracer. Pausing is the moment a process has
+// finished mutating platform state at the current time, so the VCD samples
+// here.
+func (t *Trace) ThreadPause(name string, at kernel.Time) {
+	if t.Kernel != nil {
+		t.Kernel.ThreadPause(name, at)
+	}
+	if t.VCD != nil {
+		t.VCD.Sample(uint64(at))
+	}
+}
+
+// ThreadWake implements kernel.Tracer.
+func (t *Trace) ThreadWake(name string, at, wakeAt kernel.Time) {
+	if t.Kernel != nil {
+		t.Kernel.ThreadWake(name, at, wakeAt)
+	}
+}
+
+// EventNotify implements kernel.Tracer.
+func (t *Trace) EventNotify(event string, at, deliverAt kernel.Time, waiters int) {
+	if t.Kernel != nil {
+		t.Kernel.EventNotify(event, at, deliverAt, waiters)
+	}
+}
+
+// TimeAdvance implements kernel.Tracer. Sampling at the old timestamp
+// catches changes made by timed callbacks (which run between dispatches,
+// after the last pause at that time).
+func (t *Trace) TimeAdvance(from, to kernel.Time) {
+	if t.Kernel != nil {
+		t.Kernel.TimeAdvance(from, to)
+	}
+	if t.VCD != nil {
+		t.VCD.Sample(uint64(from))
+	}
+}

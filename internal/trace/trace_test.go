@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/kernel"
+)
+
+func TestVCDIdentifiers(t *testing.T) {
+	if got := vcdID(0); got != "!" {
+		t.Fatalf("vcdID(0) = %q", got)
+	}
+	if got := vcdID(93); got != "~" {
+		t.Fatalf("vcdID(93) = %q", got)
+	}
+	// Two-character codes start past the single-character range and must not
+	// collide with it.
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("vcdID collision at %d: %q", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestVCDSampleOnChange(t *testing.T) {
+	v := NewVCD()
+	var a, b uint64
+	v.AddProbe("sig a", 8, func() uint64 { return a })
+	v.AddProbe("flag", 1, func() uint64 { return b })
+
+	v.Sample(0) // initial dump
+	a = 0x42
+	v.Sample(10)
+	v.Sample(20) // no change: nothing recorded
+	a, b = 0x43, 1
+	v.Sample(30)
+
+	if v.Changes() != 3 {
+		t.Fatalf("changes = %d, want 3", v.Changes())
+	}
+	var out bytes.Buffer
+	if err := v.Dump(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 8 ! sig_a [7:0] $end", // space sanitized
+		"$var wire 1 \" flag $end",
+		"$dumpvars",
+		"#10\nb1000010 !",
+		"#30\nb1000011 !\n1\"",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("VCD output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "#20") {
+		t.Fatalf("VCD recorded a timestamp with no changes:\n%s", s)
+	}
+}
+
+func TestVCDWidthMask(t *testing.T) {
+	v := NewVCD()
+	val := uint64(0x1ff)
+	v.AddProbe("narrow", 8, func() uint64 { return val })
+	v.Sample(0)
+	val = 0x2ff // same low 8 bits: masked, so no change
+	v.Sample(5)
+	if v.Changes() != 0 {
+		t.Fatalf("masked value recorded a change")
+	}
+}
+
+func TestKernelTraceRing(t *testing.T) {
+	k := NewKernelTrace(4)
+	for i := 0; i < 7; i++ {
+		k.ThreadRun("t", kernel.Time(i))
+	}
+	if k.EventCount() != 7 || k.Dropped() != 3 {
+		t.Fatalf("count=%d dropped=%d", k.EventCount(), k.Dropped())
+	}
+	evs := k.Events()
+	if len(evs) != 4 {
+		t.Fatalf("live events = %d", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(4 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestKernelTraceJSONLDeterminism(t *testing.T) {
+	emit := func() []byte {
+		k := NewKernelTrace(0)
+		k.ThreadSpawn("cpu", 0)
+		k.EventNotify("irq", 5, 5, 1)
+		k.ThreadWake("cpu", 5, 5)
+		k.TimeAdvance(0, 5)
+		k.ThreadRun("cpu", 5)
+		k.ThreadPause("cpu", 45)
+		var b bytes.Buffer
+		if err := k.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("identical event sequences produced different JSONL")
+	}
+}
+
+// retire feeds the profiler a straight-line run of n instructions starting
+// at pc, returning the next pc.
+func retire(p *Profiler, pc uint32, n int) uint32 {
+	for i := 0; i < n; i++ {
+		p.OnRetire(pc, 0x13) // addi x0,x0,0
+		pc += 4
+	}
+	return pc
+}
+
+const (
+	insnJALRA   = 0x000000ef // jal ra, 0
+	insnRet     = 0x00008067 // jalr x0, 0(ra)
+	insnJALRRA1 = 0x000080e7 // jalr ra, 0(ra)
+)
+
+func TestProfilerCallReturn(t *testing.T) {
+	p := NewProfiler(0x1000, 0x1000)
+	img := &asm.Image{Symbols: map[string]uint32{
+		"main": 0x1000, "leaf": 0x1800,
+	}}
+	p.SetImage(img)
+
+	// main: 3 straight insns, a call, 2 more, then halt-ish padding.
+	pc := retire(p, 0x1000, 3)
+	p.OnRetire(pc, insnJALRA) // call
+	// leaf body: 5 insns then return.
+	lpc := retire(p, 0x1800, 5)
+	p.OnRetire(lpc, insnRet)
+	// back in main
+	retire(p, pc+4, 4)
+
+	if p.Total() != 14 {
+		t.Fatalf("total = %d", p.Total())
+	}
+	stats := p.Stats()
+	byName := map[string]FuncStat{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	if byName["main"].Flat != 8 {
+		t.Fatalf("main flat = %d, want 8", byName["main"].Flat)
+	}
+	if byName["leaf"].Flat != 6 {
+		t.Fatalf("leaf flat = %d, want 6", byName["leaf"].Flat)
+	}
+	// leaf's cumulative span covers its 5 body insns plus the return jalr.
+	if byName["leaf"].Cum != 6 {
+		t.Fatalf("leaf cum = %d, want 6", byName["leaf"].Cum)
+	}
+	if att := p.Attributed(); att != 1.0 {
+		t.Fatalf("attributed = %v, want 1.0", att)
+	}
+	var folded bytes.Buffer
+	if err := p.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	fs := folded.String()
+	if !strings.Contains(fs, "(root);leaf 6") {
+		t.Fatalf("folded output missing leaf frame:\n%s", fs)
+	}
+}
+
+func TestProfilerRecursionGuard(t *testing.T) {
+	p := NewProfiler(0x1000, 0x1000)
+	// f calls itself twice, then unwinds. The recursive re-entries must not
+	// double-count the cumulative span.
+	p.OnRetire(0x1000, insnJALRA) // enter via call marker
+	p.OnRetire(0x1100, insnJALRA) // f entry; immediately recurses
+	p.OnRetire(0x1100, insnJALRA) // f entry (depth 2)
+	p.OnRetire(0x1100, insnRet)   // f entry (depth 3), returns
+	p.OnRetire(0x1104, insnRet)   // depth 2 resumes, returns
+	p.OnRetire(0x1104, insnRet)   // depth 1 resumes, returns
+	p.OnRetire(0x1008, 0x13)      // top level resumes
+	cum := p.finalize()
+	if cum[0x1100] > p.Total() {
+		t.Fatalf("recursive cum %d exceeds total %d", cum[0x1100], p.Total())
+	}
+}
+
+func TestProfilerIndirectCall(t *testing.T) {
+	p := NewProfiler(0x1000, 0x1000)
+	img := &asm.Image{Symbols: map[string]uint32{"main": 0x1000, "handler": 0x1c00}}
+	p.SetImage(img)
+	retire(p, 0x1000, 2)
+	p.OnRetire(0x1008, insnJALRRA1) // indirect call through ra
+	retire(p, 0x1c00, 3)            // lands in handler
+	var b bytes.Buffer
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(root);handler") {
+		t.Fatalf("indirect call not attributed:\n%s", b.String())
+	}
+}
+
+func TestTraceNilViews(t *testing.T) {
+	// A zero Trace must be safe as a kernel.Tracer and report inactive.
+	tr := &Trace{}
+	if tr.Active() {
+		t.Fatal("zero Trace is active")
+	}
+	var nilTr *Trace
+	if nilTr.Active() {
+		t.Fatal("nil Trace is active")
+	}
+	tr.ThreadSpawn("x", 0)
+	tr.ThreadRun("x", 0)
+	tr.ThreadPause("x", 1)
+	tr.ThreadWake("x", 1, 2)
+	tr.EventNotify("e", 1, 2, 0)
+	tr.TimeAdvance(1, 2)
+}
+
+func TestWriteChromeTraceMergesSources(t *testing.T) {
+	k := NewKernelTrace(0)
+	k.ThreadSpawn("cpu", 0)
+	k.ThreadRun("cpu", 0)
+	k.ThreadPause("cpu", 40)
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, k, nil); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	for _, want := range []string{`"ph":"X"`, `"name":"kernel"`, `"dur":`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chrome output missing %s:\n%s", want, s)
+		}
+	}
+	// Nil sources still produce a valid (empty) JSON array.
+	b.Reset()
+	if err := WriteChromeTrace(&b, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Fatalf("empty trace = %q", b.String())
+	}
+}

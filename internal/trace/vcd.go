@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Probe is one traced signal: a name, a bit width, and a sampling function
+// reading the current value from the platform (a peripheral register, a
+// memory word, a per-location taint tag). The analog of one sc_trace call.
+type Probe struct {
+	Name  string
+	Width int // 1..64 bits
+	Read  func() uint64
+}
+
+// vcdChange is one recorded value change.
+type vcdChange struct {
+	t     uint64 // simulated ns
+	probe int
+	value uint64
+}
+
+// VCD collects value changes from registered probes and writes a
+// GTKWave-compatible Value Change Dump. Probes are polled by Sample — the
+// platform calls it at every scheduler pause and clock advance, so any state
+// change made by guest code or simulation callbacks is captured at its
+// simulated timestamp. Only changes are recorded, like sc_trace: a probe
+// that holds its value costs nothing after the initial dump.
+//
+// The header carries no date or tool-version stamp, so two identical
+// simulations produce byte-identical files.
+type VCD struct {
+	probes []Probe
+	last   []uint64
+	init   []uint64
+	primed bool
+	chgs   []vcdChange
+}
+
+// NewVCD creates an empty waveform collector.
+func NewVCD() *VCD { return &VCD{} }
+
+// AddProbe registers a signal. Width is clamped to [1, 64]. Must be called
+// before the first Sample; names are sanitized for the VCD identifier
+// grammar (whitespace becomes '_').
+func (v *VCD) AddProbe(name string, width int, read func() uint64) {
+	if width < 1 {
+		width = 1
+	}
+	if width > 64 {
+		width = 64
+	}
+	v.probes = append(v.probes, Probe{Name: sanitizeVCDName(name), Width: width, Read: read})
+	v.last = append(v.last, 0)
+}
+
+// ProbeCount returns the number of registered probes.
+func (v *VCD) ProbeCount() int { return len(v.probes) }
+
+// Changes returns the number of recorded value changes (initial dump
+// excluded).
+func (v *VCD) Changes() int { return len(v.chgs) }
+
+// Sample polls every probe at simulated time t (ns) and records the ones
+// whose value changed. The first call records all probe values as the
+// initial dump.
+func (v *VCD) Sample(t uint64) {
+	if !v.primed {
+		v.init = make([]uint64, len(v.probes))
+		for i := range v.probes {
+			val := v.probes[i].Read() & widthMask(v.probes[i].Width)
+			v.init[i] = val
+			v.last[i] = val
+		}
+		v.primed = true
+		return
+	}
+	for i := range v.probes {
+		val := v.probes[i].Read() & widthMask(v.probes[i].Width)
+		if val != v.last[i] {
+			v.last[i] = val
+			v.chgs = append(v.chgs, vcdChange{t: t, probe: i, value: val})
+		}
+	}
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// sanitizeVCDName keeps probe names inside the VCD identifier grammar.
+func sanitizeVCDName(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// vcdID returns the short identifier code for probe i: printable ASCII
+// '!'..'~' in a little-endian base-94 encoding, as GTKWave expects.
+func vcdID(i int) string {
+	var b []byte
+	for {
+		b = append(b, byte('!'+i%94))
+		i /= 94
+		if i == 0 {
+			return string(b)
+		}
+		i--
+	}
+}
+
+// writeValue renders a value change in VCD syntax: scalars as "0!"/"1!",
+// vectors as "b1010 !".
+func writeValue(w *bufio.Writer, width int, val uint64, id string) {
+	if width == 1 {
+		w.WriteByte(byte('0' + val&1))
+		w.WriteString(id)
+		w.WriteByte('\n')
+		return
+	}
+	w.WriteByte('b')
+	w.WriteString(fmt.Sprintf("%b", val))
+	w.WriteByte(' ')
+	w.WriteString(id)
+	w.WriteByte('\n')
+}
+
+// Dump writes the collected waveform as a VCD file with a 1 ns timescale.
+// Call after the simulation finishes (and after a final Sample if the last
+// state matters).
+func (v *VCD) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("$timescale 1ns $end\n")
+	bw.WriteString("$scope module vp $end\n")
+	for i, p := range v.probes {
+		kind := "wire"
+		if p.Width > 1 {
+			fmt.Fprintf(bw, "$var %s %d %s %s [%d:0] $end\n", kind, p.Width, vcdID(i), p.Name, p.Width-1)
+		} else {
+			fmt.Fprintf(bw, "$var %s 1 %s %s $end\n", kind, vcdID(i), p.Name)
+		}
+	}
+	bw.WriteString("$upscope $end\n")
+	bw.WriteString("$enddefinitions $end\n")
+	bw.WriteString("$dumpvars\n")
+	for i, p := range v.probes {
+		var val uint64
+		if v.primed {
+			val = v.init[i]
+		}
+		writeValue(bw, p.Width, val, vcdID(i))
+	}
+	bw.WriteString("$end\n")
+	lastT := ^uint64(0)
+	for _, c := range v.chgs {
+		if c.t != lastT {
+			fmt.Fprintf(bw, "#%d\n", c.t)
+			lastT = c.t
+		}
+		writeValue(bw, v.probes[c.probe].Width, c.value, vcdID(c.probe))
+	}
+	return bw.Flush()
+}

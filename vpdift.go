@@ -42,6 +42,7 @@ package vpdift
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
@@ -52,6 +53,7 @@ import (
 	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
 	"vpdift/internal/tlm"
+	"vpdift/internal/trace"
 )
 
 // Security-policy types.
@@ -203,6 +205,40 @@ func NewObserver() *Observer { return obs.New() }
 // NewObserverWithOptions creates a recorder with explicit options.
 func NewObserverWithOptions(o ObserverOptions) *Observer { return obs.NewWithOptions(o) }
 
+// Simulation-side tracing types (package internal/trace). Where the Observer
+// answers "where did tainted data flow?", these answer "what did the
+// simulator do, and where did the guest spend its time?".
+type (
+	// Trace bundles the enabled simulation-side views; leave fields nil to
+	// disable them. Attach via WithTrace.
+	Trace = trace.Trace
+	// KernelTrace records scheduler and TLM bus events.
+	KernelTrace = trace.KernelTrace
+	// VCD collects waveform probes into a GTKWave-compatible value change
+	// dump.
+	VCD = trace.VCD
+	// Profiler is the guest hot-path profiler fed by the cores' retire hook.
+	Profiler = trace.Profiler
+)
+
+// NewKernelTrace creates a kernel/bus event recorder keeping at most limit
+// events (<= 0 means the default ring size).
+func NewKernelTrace(limit int) *KernelTrace { return trace.NewKernelTrace(limit) }
+
+// NewVCD creates an empty waveform collector.
+func NewVCD() *VCD { return trace.NewVCD() }
+
+// NewProfiler creates a guest profiler covering the default RAM window.
+func NewProfiler() *Profiler { return trace.NewProfiler(RAMBase, soc.DefaultRAMSize) }
+
+// WriteChromeTrace writes one Chrome trace_event JSON array combining
+// kernel/bus records with the observer's taint events — scheduler activity,
+// bus transactions and information flow on a single timeline. Either source
+// may be nil.
+func WriteChromeTrace(w io.Writer, kt *KernelTrace, o *Observer) error {
+	return trace.WriteChromeTrace(w, kt, o)
+}
+
 // Platform is a constructed virtual prototype (VP or VP+). It embeds the SoC
 // platform — peripherals, memory, and introspection helpers are promoted —
 // and redefines Run to return a structured *Result.
@@ -231,6 +267,20 @@ func WithPolicy(p *Policy) Option {
 // classification roots.
 func WithObserver(o *Observer) Option {
 	return optionFunc(func(c *soc.Config) { c.Obs = o })
+}
+
+// WithTrace attaches the simulation-side observability layer: kernel/bus
+// event recording, waveform probes, and the guest profiler, per the views
+// enabled in t. A typical full setup:
+//
+//	tr := &vpdift.Trace{
+//	    Kernel: vpdift.NewKernelTrace(0),
+//	    VCD:    vpdift.NewVCD(),
+//	    Prof:   vpdift.NewProfiler(),
+//	}
+//	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol), vpdift.WithTrace(tr))
+func WithTrace(t *Trace) Option {
+	return optionFunc(func(c *soc.Config) { c.Trace = t })
 }
 
 // Scale selects a platform sizing preset (RAM and TLM quantum).
@@ -309,6 +359,8 @@ type Config struct {
 	NoDecodeCache bool
 	// Obs attaches an observability recorder.
 	Obs *Observer
+	// Trace attaches the simulation-side observability layer.
+	Trace *Trace
 }
 
 func (cfg Config) applyOption(c *soc.Config) {
@@ -320,6 +372,7 @@ func (cfg Config) applyOption(c *soc.Config) {
 		TaintMemViaTLM: cfg.TaintMemViaTLM,
 		NoDecodeCache:  cfg.NoDecodeCache,
 		Obs:            cfg.Obs,
+		Trace:          cfg.Trace,
 	}
 }
 

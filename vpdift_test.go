@@ -212,3 +212,65 @@ blob:
 		t.Errorf("violation text = %v", runErr)
 	}
 }
+
+func TestPublicTraceFacade(t *testing.T) {
+	img, err := vpdift.BuildProgram(`
+main:
+	la a0, msg
+	tail uart_puts
+	.data
+msg:	.asciz "traced\n"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &vpdift.Trace{
+		Kernel: vpdift.NewKernelTrace(0),
+		VCD:    vpdift.NewVCD(),
+		Prof:   vpdift.NewProfiler(),
+	}
+	pl, err := vpdift.NewPlatform(
+		vpdift.WithObserver(vpdift.NewObserver()),
+		vpdift.WithTrace(tr),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Run(vpdift.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kernel.EventCount() == 0 {
+		t.Error("kernel trace recorded nothing")
+	}
+	if tr.Prof.Total() == 0 {
+		t.Error("profiler recorded nothing")
+	}
+	if hot, _ := tr.Prof.Hottest(); hot == "" {
+		t.Error("no hottest function")
+	}
+	if res.Metrics["trace.kernel_events"] == 0 || res.Metrics["trace.prof_retired"] == 0 {
+		t.Errorf("trace gauges missing from metrics: %v", res.Metrics)
+	}
+	var chrome strings.Builder
+	if err := vpdift.WriteChromeTrace(&chrome, tr.Kernel, pl.Observer()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"kernel"`, `"name":"bus"`, `"name":"taint"`} {
+		if !strings.Contains(chrome.String(), want) {
+			t.Errorf("merged chrome trace missing process %s", want)
+		}
+	}
+	tr.VCD.Sample(uint64(pl.Sim.Now()))
+	var vcd strings.Builder
+	if err := tr.VCD.Dump(&vcd); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(vcd.String(), "$enddefinitions $end") {
+		t.Error("VCD header incomplete")
+	}
+}
