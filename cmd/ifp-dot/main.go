@@ -5,17 +5,31 @@
 //
 //	ifp-dot [ifp1|ifp2|ifp3|perbyte]     # default: all four
 //	ifp-dot ifp3 | dot -Tsvg > ifp3.svg
+//
+// With -cover, the covering edges of ONE lattice are annotated with the flow
+// hit counts of a policy-audit JSON export (vp-run/immo -policy-audit-json):
+// hot edges are colored by traffic, edges the run never queried are dashed —
+// making dead lattice structure visible at a glance:
+//
+//	immo -policy-audit-json audit.json
+//	ifp-dot -cover audit.json ifp3 | dot -Tsvg > ifp3-heat.svg
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"vpdift/internal/core"
 )
 
 func main() {
+	coverPath := flag.String("cover", "", "policy-audit JSON file; annotate the lattice's covering edges with its flow hit counts")
+	flag.Parse()
+
 	lattices := map[string]func() (*core.Lattice, error){
 		"ifp1": func() (*core.Lattice, error) { return core.IFP1(), nil },
 		"ifp2": func() (*core.Lattice, error) { return core.IFP2(), nil },
@@ -29,10 +43,31 @@ func main() {
 		},
 	}
 	order := []string{"ifp1", "ifp2", "ifp3", "perbyte"}
-	args := os.Args[1:]
+	args := flag.Args()
 	if len(args) == 0 {
 		args = order
 	}
+
+	if *coverPath != "" {
+		if len(args) != 1 {
+			log.Fatalf("-cover annotates exactly one lattice (have %v)", args)
+		}
+		build, ok := lattices[args[0]]
+		if !ok {
+			log.Fatalf("unknown lattice %q (have: %v)", args[0], order)
+		}
+		l, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dot, err := coverDOT(l, args[0], *coverPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(dot)
+		return
+	}
+
 	for _, name := range args {
 		build, ok := lattices[name]
 		if !ok {
@@ -43,5 +78,99 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(l.DOT(name))
+	}
+}
+
+// auditCounts is the slice of the policy-audit JSON export the annotation
+// needs: the class list (defining matrix order) and the flow-query matrix.
+type auditCounts struct {
+	Classes []string   `json:"classes"`
+	Flow    [][]uint64 `json:"flow"`
+}
+
+// coverDOT renders the lattice like Lattice.DOT but annotates every covering
+// edge with the audit's flow hit count for that class pair: labeled and
+// heat-colored when exercised, dashed grey when the run never queried it.
+func coverDOT(l *core.Lattice, name, path string) (string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var audit auditCounts
+	if err := json.Unmarshal(raw, &audit); err != nil {
+		return "", fmt.Errorf("%s: %v", path, err)
+	}
+	classes := l.Classes()
+	n := len(classes)
+	if len(audit.Classes) != n {
+		return "", fmt.Errorf("%s: audit has %d classes, lattice %q has %d — wrong lattice?",
+			path, len(audit.Classes), name, n)
+	}
+	for i, c := range audit.Classes {
+		if c != classes[i] {
+			return "", fmt.Errorf("%s: audit class %d is %q, lattice %q has %q — wrong lattice?",
+				path, i, c, name, classes[i])
+		}
+	}
+	if len(audit.Flow) != n {
+		return "", fmt.Errorf("%s: flow matrix is %dx?, want %dx%d", path, len(audit.Flow), n, n)
+	}
+
+	tag := func(i int) core.Tag { return core.Tag(i) }
+	covering := func(i, j int) bool {
+		if i == j || !l.AllowedFlow(tag(i), tag(j)) {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			if k != i && k != j && l.AllowedFlow(tag(i), tag(k)) && l.AllowedFlow(tag(k), tag(j)) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var max uint64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if covering(i, j) && audit.Flow[i][j] > max {
+				max = audit.Flow[i][j]
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n  node [shape=box];\n", name+"-cover")
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  %q;\n", c)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !covering(i, j) {
+				continue
+			}
+			hits := audit.Flow[i][j]
+			if hits == 0 {
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed, color=\"#999999\", label=\"0\"];\n",
+					classes[i], classes[j])
+				continue
+			}
+			fmt.Fprintf(&b, "  %q -> %q [color=%q, penwidth=%.1f, label=\"%d\"];\n",
+				classes[i], classes[j], heatColor(hits, max), 1.0+2.0*float64(hits)/float64(max), hits)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// heatColor maps a hit count onto a cold-to-hot edge color relative to the
+// busiest covering edge.
+func heatColor(hits, max uint64) string {
+	switch {
+	case hits*3 <= max:
+		return "#fdbe85" // cool: light orange
+	case hits*3 <= 2*max:
+		return "#fd8d3c" // warm: orange
+	default:
+		return "#d94701" // hot: dark red
 	}
 }

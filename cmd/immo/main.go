@@ -14,7 +14,11 @@ package main
 
 // The trace flags (-vcd, -profile, -folded, -chrome, -kernel-trace) attach
 // the simulation-side observability layer to the step-1 authentication run
-// and export its waveform, hot-path profile, and merged event timeline.
+// and export its waveform, hot-path profile, and merged event timeline. The
+// coverage flags (-cover, -heatmap, -policy-audit, -policy-audit-json)
+// likewise attach the coverage subsystem to that run; the policy-audit
+// report shows which rules of the base policy a single authentication
+// exercise — and which stay dead until the later attack steps.
 import (
 	"errors"
 	"flag"
@@ -22,8 +26,10 @@ import (
 	"os"
 
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/immo"
 	"vpdift/internal/obs"
+	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
 	"vpdift/internal/trace"
 )
@@ -34,6 +40,11 @@ var (
 	foldedOut  = flag.String("folded", "", "write folded call stacks (flamegraph input) to this file")
 	chromeOut  = flag.String("chrome", "", "write taint, kernel and bus events as one merged Chrome trace to this file")
 	ktOut      = flag.String("kernel-trace", "", "write kernel scheduler and bus events as JSONL to this file")
+
+	coverOut     = flag.String("cover", "", "write the firmware coverage report of the authentication run to this file ('-' for stderr)")
+	heatOut      = flag.String("heatmap", "", "write the taint heatmap of the authentication run to this file ('-' for stderr)")
+	auditOut     = flag.String("policy-audit", "", "write the policy-audit report of the authentication run to this file ('-' for stderr)")
+	auditJSONOut = flag.String("policy-audit-json", "", "write the policy-audit counters of the authentication run as JSON to this file")
 )
 
 func main() {
@@ -66,6 +77,48 @@ func traceSetup() (*obs.Observer, *trace.Trace) {
 		}
 	}
 	return o, tr
+}
+
+// coverSetup builds the coverage views the command-line flags ask for (nil
+// when none are set).
+func coverSetup() *cover.Cover {
+	if *coverOut == "" && *heatOut == "" && *auditOut == "" && *auditJSONOut == "" {
+		return nil
+	}
+	cov := &cover.Cover{}
+	if *coverOut != "" {
+		cov.Guest = cover.NewGuest()
+	}
+	if *heatOut != "" {
+		cov.Taint = cover.NewTaint()
+	}
+	if *auditOut != "" || *auditJSONOut != "" {
+		cov.Audit = cover.NewAudit()
+	}
+	return cov
+}
+
+// writeCoverExports dumps the requested coverage views of the traced run.
+func writeCoverExports(e *immo.ECU, cov *cover.Cover) {
+	if cov == nil {
+		return
+	}
+	if g := cov.Guest; g != nil {
+		exportTo(*coverOut, func(f *os.File) error { return g.WriteReport(f, rv32.Disassemble) })
+	}
+	if t := cov.Taint; t != nil {
+		symAt := func(addr uint32) string {
+			if name, off, ok := e.Image.SymbolAt(addr); ok {
+				return fmt.Sprintf("%s+0x%x", name, off)
+			}
+			return ""
+		}
+		exportTo(*heatOut, func(f *os.File) error { return t.WriteHeat(f, symAt) })
+	}
+	if a := cov.Audit; a != nil && a.Configured() {
+		exportTo(*auditOut, func(f *os.File) error { return a.WriteReport(f) })
+		exportTo(*auditJSONOut, func(f *os.File) error { return a.WriteJSON(f) })
+	}
 }
 
 // exportTo writes one export, reporting errors without aborting the rest.
@@ -132,7 +185,8 @@ func run() error {
 
 	step(1, "challenge/response authentication under the base policy")
 	observer, tr := traceSetup()
-	e, err := immo.NewECUTraced(immo.VariantFixed, immo.PolicyBase, observer, tr)
+	cov := coverSetup()
+	e, err := immo.NewECUCovered(immo.VariantFixed, immo.PolicyBase, observer, tr, cov)
 	if err != nil {
 		return err
 	}
@@ -146,6 +200,7 @@ func run() error {
 	}
 	fmt.Println("    engine ECU verifies the response: OK (AES declassification at work)")
 	writeTraceExports(e, observer, tr)
+	writeCoverExports(e, cov)
 	e.Close()
 
 	step(2, "debug memory dump on the original firmware (the vulnerability)")

@@ -27,6 +27,7 @@ func main() {
 	regress := flag.Float64("regress", 0.10, "allowed fractional MIPS drop vs -baseline before failing")
 	reps := flag.Int("reps", 1, "run each flavour this many times and keep the fastest (denoises shared runners; the guard uses 3)")
 	profileSmoke := flag.Bool("profile", false, "also run one workload with the trace layer attached and print its hot-path top table (trace smoke test)")
+	coverSmoke := flag.Bool("cover", false, "also run one workload with the coverage subsystem attached and check it stays within the Table II band of -baseline (coverage smoke test)")
 	flag.Parse()
 
 	scale, err := perf.ParseScale(*scaleFlag)
@@ -101,6 +102,48 @@ func main() {
 		if hot == "" || att < 0.9 {
 			fmt.Fprintln(os.Stderr, "profile smoke FAILED: attribution below 90% or no hottest function")
 			os.Exit(1)
+		}
+	}
+	if *coverSmoke {
+		w := perf.Workloads(scale)[0]
+		fmt.Fprintf(os.Stderr, "cover smoke: %s on the VP+ with guest coverage, taint heatmap and policy audit attached\n", w.Name)
+		cv, m, err := perf.CoverSmoke(w, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		stats := cv.Guest.Stats()
+		fmt.Fprintf(os.Stderr, "cover smoke: %.1f MIPS covered; %s; %d bytes ever tainted; %d fetch checks\n",
+			m.MIPS(), cv.Guest.Summary(), cv.Taint.EverTainted(), cv.Audit.Fetch.Checks)
+		if stats.InsnsCovered == 0 || stats.EdgesCovered == 0 ||
+			cv.Taint.EverTainted() == 0 || cv.Audit.Fetch.Checks == 0 {
+			fmt.Fprintln(os.Stderr, "cover smoke FAILED: a coverage view recorded nothing")
+			os.Exit(1)
+		}
+		if *baseline != "" {
+			base, err := perf.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			for _, b := range base.Rows {
+				if b.Name != w.Name || b.VPPlusMIPS <= 0 {
+					continue
+				}
+				// Coverage adds per-retire work comparable to tag tracking
+				// itself, so the band is deliberately generous: the smoke only
+				// catches pathological slowdowns (an accidental scan per
+				// retire), not ordinary noise.
+				const band = 0.25
+				if m.MIPS() < b.VPPlusMIPS*band {
+					fmt.Fprintf(os.Stderr,
+						"cover smoke FAILED: %.1f MIPS is below %.0f%% of the archived VP+ %.1f MIPS\n",
+						m.MIPS(), band*100, b.VPPlusMIPS)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "cover smoke: within the Table II band (>= %.0f%% of VP+ %.1f MIPS)\n",
+					band*100, b.VPPlusMIPS)
+			}
 		}
 	}
 }

@@ -25,7 +25,9 @@ import (
 	"os"
 	"strings"
 
+	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
@@ -51,6 +53,11 @@ func main() {
 	profileOut := flag.String("profile", "", "write the guest hot-path profile top table to this file ('-' for stderr)")
 	foldedOut := flag.String("folded", "", "write folded call stacks (flamegraph input) to this file")
 	ktOut := flag.String("kernel-trace", "", "write kernel scheduler and bus events as JSONL to this file")
+	coverOut := flag.String("cover", "", "write the guest coverage report (blocks/edges, annotated disassembly) to this file ('-' for stderr)")
+	lcovOut := flag.String("lcov", "", "write guest line coverage in lcov .info format to this file")
+	heatOut := flag.String("heatmap", "", "write the taint heatmap report (requires a policy) to this file ('-' for stderr)")
+	auditOut := flag.String("policy-audit", "", "write the policy-audit report (requires a policy) to this file ('-' for stderr)")
+	auditJSONOut := flag.String("policy-audit-json", "", "write the policy-audit counters as JSON to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -126,7 +133,26 @@ func main() {
 			tr.Prof = trace.NewProfiler(soc.RAMBase, soc.DefaultRAMSize)
 		}
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer, Trace: tr})
+	// Coverage views are built on demand; the taint heatmap and policy audit
+	// only make sense on the DIFT platform.
+	var cov *cover.Cover
+	if *coverOut != "" || *lcovOut != "" || *heatOut != "" || *auditOut != "" || *auditJSONOut != "" {
+		cov = &cover.Cover{}
+		if *coverOut != "" || *lcovOut != "" {
+			cov.Guest = cover.NewGuest()
+		}
+		if pol == nil && (*heatOut != "" || *auditOut != "" || *auditJSONOut != "") {
+			fmt.Fprintln(os.Stderr, "-heatmap/-policy-audit need a policy (see -policy)")
+			os.Exit(2)
+		}
+		if *heatOut != "" {
+			cov.Taint = cover.NewTaint()
+		}
+		if *auditOut != "" || *auditJSONOut != "" {
+			cov.Audit = cover.NewAudit()
+		}
+	}
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer, Trace: tr, Cover: cov})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -208,6 +234,7 @@ func main() {
 
 	writeExports(pl, observer, *metricsOut, *eventsOut, *chromeOut)
 	writeTraceExports(pl, tr, *vcdOut, *profileOut, *foldedOut, *ktOut)
+	writeCoverExports(cov, img, flag.Arg(0), *coverOut, *lcovOut, *heatOut, *auditOut, *auditJSONOut)
 
 	var v *core.Violation
 	switch {
@@ -303,6 +330,31 @@ func writeTraceExports(pl *soc.Platform, tr *trace.Trace, vcdOut, profileOut, fo
 	exportTo(profileOut, func(f *os.File) error { return tr.Prof.WriteTop(f, 30) })
 	exportTo(foldedOut, func(f *os.File) error { return tr.Prof.WriteFolded(f) })
 	exportTo(ktOut, func(f *os.File) error { return tr.Kernel.WriteJSONL(f) })
+}
+
+// writeCoverExports dumps the coverage views: guest coverage report, lcov
+// line coverage, taint heatmap, and the policy audit (text and JSON).
+func writeCoverExports(cov *cover.Cover, img *asm.Image, srcName, coverOut, lcovOut, heatOut, auditOut, auditJSONOut string) {
+	if cov == nil {
+		return
+	}
+	if g := cov.Guest; g != nil {
+		exportTo(coverOut, func(f *os.File) error { return g.WriteReport(f, rv32.Disassemble) })
+		exportTo(lcovOut, func(f *os.File) error { return g.WriteLcov(f, srcName) })
+	}
+	if t := cov.Taint; t != nil {
+		symAt := func(addr uint32) string {
+			if name, off, ok := img.SymbolAt(addr); ok {
+				return fmt.Sprintf("%s+0x%x", name, off)
+			}
+			return ""
+		}
+		exportTo(heatOut, func(f *os.File) error { return t.WriteHeat(f, symAt) })
+	}
+	if a := cov.Audit; a != nil && a.Configured() {
+		exportTo(auditOut, func(f *os.File) error { return a.WriteReport(f) })
+		exportTo(auditJSONOut, func(f *os.File) error { return a.WriteJSON(f) })
+	}
 }
 
 func splitNonEmpty(s string) []string {

@@ -5,6 +5,11 @@
 //
 // With -verify, every applicable attack is additionally run WITHOUT the
 // DIFT engine to confirm the overflow genuinely hijacks control flow.
+//
+// With -matrix, the suite instead emits the detection matrix: every attack
+// crossed with every clearance point the engine implements, marking which
+// check fired. -matrix-json additionally writes the matrix as JSON for
+// machine checking (CI compares it against the Table I golden).
 package main
 
 import (
@@ -19,7 +24,41 @@ import (
 func main() {
 	verify := flag.Bool("verify", false, "also run each attack without DIFT to confirm it works")
 	why := flag.Bool("why", false, "print each detected attack's taint-provenance chain")
+	matrix := flag.Bool("matrix", false, "emit the attack x clearance-point detection matrix instead of Table I")
+	matrixJSON := flag.String("matrix-json", "", "also write the detection matrix as JSON to this file (implies -matrix)")
 	flag.Parse()
+
+	if *matrix || *matrixJSON != "" {
+		m, err := wk.RunMatrix()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("Table I detection matrix: attack x clearance point (X = check fired)")
+		m.WriteText(os.Stdout)
+		if *matrixJSON != "" {
+			f, err := os.Create(*matrixJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := m.WriteJSON(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if m.Detected != 10 || m.NA != 8 || m.Missed != 0 {
+			fmt.Fprintf(os.Stderr, "matrix deviates from Table I: Detected=%d N-A=%d Missed=%d (want 10/8/0)\n",
+				m.Detected, m.NA, m.Missed)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *why {
 		for _, a := range wk.Suite() {

@@ -25,6 +25,14 @@ type Lattice struct {
 	// simulation starts); nil in normal operation so the hot path pays only
 	// a predictable not-taken branch.
 	lubCount *uint64
+
+	// lubPair/flowPair, when non-nil, are n*n per-edge hit-count matrices
+	// maintained by the coverage subsystem's policy audit: lubPair[a*n+b]
+	// counts LUB(a, b) calls and flowPair[from*n+to] counts AllowedFlow
+	// queries. Like lubCount they are installed once at wiring time and nil
+	// in normal operation (one predictable not-taken branch per call).
+	lubPair  []uint64
+	flowPair []uint64
 }
 
 // NewLattice builds an IFP from named security classes and directed flow
@@ -190,19 +198,42 @@ func (l *Lattice) LUB(a, b Tag) Tag {
 		*l.lubCount++
 	}
 	n := len(l.names)
+	if l.lubPair != nil {
+		l.lubPair[int(a)*n+int(b)]++
+	}
 	return l.lub[int(a)*n+int(b)]
 }
 
 // SetLUBCounter installs (or, with nil, removes) the join-operation counter.
-// It must be called before the simulation starts and is the one permitted
-// post-construction mutation of a Lattice.
+// It must be called before the simulation starts; counter installation is
+// the only permitted post-construction mutation of a Lattice.
 func (l *Lattice) SetLUBCounter(c *uint64) { l.lubCount = c }
+
+// SetAuditCounters installs (or, with nil, removes) the policy audit's
+// per-pair hit matrices: lubPair[a*n+b] counts LUB(a, b) calls and
+// flowPair[from*n+to] counts AllowedFlow(from, to) queries. Each slice must
+// be nil or of length Size()*Size(). Like SetLUBCounter it must be called
+// before the simulation starts.
+func (l *Lattice) SetAuditCounters(lubPair, flowPair []uint64) {
+	n := len(l.names)
+	if lubPair != nil && len(lubPair) != n*n {
+		panic(fmt.Sprintf("lattice: lubPair length %d, want %d", len(lubPair), n*n))
+	}
+	if flowPair != nil && len(flowPair) != n*n {
+		panic(fmt.Sprintf("lattice: flowPair length %d, want %d", len(flowPair), n*n))
+	}
+	l.lubPair = lubPair
+	l.flowPair = flowPair
+}
 
 // AllowedFlow reports whether data of class from may flow to a sink with
 // clearance to — the paper's allowedFlow(X, Y) predicate. It holds iff there
 // is a (possibly empty) directed path from `from` to `to` in the IFP.
 func (l *Lattice) AllowedFlow(from, to Tag) bool {
 	n := len(l.names)
+	if l.flowPair != nil {
+		l.flowPair[int(from)*n+int(to)]++
+	}
 	return l.allowed[int(from)*n+int(to)]
 }
 

@@ -1,0 +1,383 @@
+package cover
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vpdift/internal/asm"
+)
+
+// GuestCov records guest code coverage from the cores' retire hook: a
+// per-word execution count over the RAM window (like the trace profiler's
+// histogram) plus a dynamic control-flow edge set. Basic blocks and their
+// totals are derived at report time by a static scan of the image text, so
+// the hot hook stays two array operations and a map update on control
+// transfers.
+type GuestCov struct {
+	base   uint32
+	counts []uint64
+	edges  map[uint64]uint64 // pc<<32|next -> traversal count
+	img    *asm.Image
+}
+
+// NewGuest returns an unconfigured guest-coverage view; the platform sizes
+// it via Configure at wiring time.
+func NewGuest() *GuestCov {
+	return &GuestCov{edges: make(map[uint64]uint64)}
+}
+
+// Configure sizes the execution-count window to the RAM window, mirroring
+// the profiler: one counter per 32-bit word.
+func (g *GuestCov) Configure(base, size uint32) {
+	g.base = base
+	g.counts = make([]uint64, (size+3)/4)
+}
+
+// SetImage attaches the loaded program so reports can attribute coverage to
+// functions and annotate disassembly.
+func (g *GuestCov) SetImage(img *asm.Image) { g.img = img }
+
+// OnRetire records one retired instruction and, when the successor is not
+// the fall-through (or the instruction is a conditional branch, whose
+// not-taken edge matters for edge coverage), the control-flow edge.
+func (g *GuestCov) OnRetire(pc, insn, next uint32) {
+	if idx := (pc - g.base) >> 2; int(idx) < len(g.counts) {
+		g.counts[idx]++
+	}
+	if next != pc+4 || insn&0x7f == opBranch {
+		g.edges[uint64(pc)<<32|uint64(next)]++
+	}
+}
+
+// Count returns the execution count recorded for pc.
+func (g *GuestCov) Count(pc uint32) uint64 {
+	if idx := (pc - g.base) >> 2; int(idx) < len(g.counts) {
+		return g.counts[idx]
+	}
+	return 0
+}
+
+// EdgeCount returns the traversal count of the control-flow edge from -> to.
+func (g *GuestCov) EdgeCount(from, to uint32) uint64 {
+	return g.edges[uint64(from)<<32|uint64(to)]
+}
+
+// Raw RISC-V opcode fields; cover decodes control flow from raw bits (the
+// profiler's technique) so it does not depend on internal/rv32.
+const (
+	opBranch = 0x63
+	opJAL    = 0x6f
+	opJALR   = 0x67
+	opSystem = 0x73
+)
+
+// bImm extracts the sign-extended B-type branch offset.
+func bImm(w uint32) int32 {
+	imm := (w>>31&1)<<12 | (w>>7&1)<<11 | (w>>25&0x3f)<<5 | (w>>8&0xf)<<1
+	return int32(imm<<19) >> 19
+}
+
+// jImm extracts the sign-extended J-type jump offset.
+func jImm(w uint32) int32 {
+	imm := (w>>31&1)<<20 | (w>>12&0xff)<<12 | (w>>20&1)<<11 | (w>>21&0x3ff)<<1
+	return int32(imm<<11) >> 11
+}
+
+// textWord returns the instruction word at pc from the image text.
+func textWord(img *asm.Image, pc uint32) uint32 {
+	off := pc - img.Base
+	return uint32(img.Text[off]) | uint32(img.Text[off+1])<<8 |
+		uint32(img.Text[off+2])<<16 | uint32(img.Text[off+3])<<24
+}
+
+// fn is a function resolved from the image symbol table: label-like symbols
+// inside .text, each extending to the next symbol or the end of text.
+type fn struct {
+	name       string
+	start, end uint32
+}
+
+// functions lists the image's text functions in address order.
+func functions(img *asm.Image) []fn {
+	textEnd := img.Base + uint32(len(img.Text))
+	var fns []fn
+	for name, addr := range img.Symbols {
+		if addr < img.Base || addr >= textEnd || isConstSym(name) {
+			continue
+		}
+		fns = append(fns, fn{name: name, start: addr})
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].start != fns[j].start {
+			return fns[i].start < fns[j].start
+		}
+		return fns[i].name < fns[j].name
+	})
+	// Collapse same-address aliases (keep the first by name) and close ranges.
+	out := fns[:0]
+	for _, f := range fns {
+		if len(out) > 0 && out[len(out)-1].start == f.start {
+			continue
+		}
+		out = append(out, f)
+	}
+	for i := range out {
+		if i+1 < len(out) {
+			out[i].end = out[i+1].start
+		} else {
+			out[i].end = textEnd
+		}
+	}
+	return out
+}
+
+// isConstSym mirrors the image's ALL_CAPS-constant heuristic.
+func isConstSym(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'a' && c <= 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// staticCFG is the statically-derivable control-flow structure of the image
+// text: basic-block leaders and the edge set of direct branches and jumps.
+// Indirect transfers (jalr, mret, traps) contribute dynamic edges only.
+type staticCFG struct {
+	leaders map[uint32]bool
+	edges   map[uint64]bool // pc<<32|target for branch taken/fall-through and jal
+}
+
+func buildCFG(img *asm.Image) *staticCFG {
+	cfg := &staticCFG{leaders: make(map[uint32]bool), edges: make(map[uint64]bool)}
+	textEnd := img.Base + uint32(len(img.Text))
+	inText := func(a uint32) bool { return a >= img.Base && a < textEnd }
+	cfg.leaders[img.Entry] = true
+	for _, f := range functions(img) {
+		cfg.leaders[f.start] = true
+	}
+	for pc := img.Base; pc+4 <= textEnd; pc += 4 {
+		w := textWord(img, pc)
+		switch w & 0x7f {
+		case opBranch:
+			t := pc + uint32(bImm(w))
+			if inText(t) {
+				cfg.leaders[t] = true
+				cfg.edges[uint64(pc)<<32|uint64(t)] = true
+			}
+			cfg.leaders[pc+4] = true
+			cfg.edges[uint64(pc)<<32|uint64(pc+4)] = true
+		case opJAL:
+			t := pc + uint32(jImm(w))
+			if inText(t) {
+				cfg.leaders[t] = true
+				cfg.edges[uint64(pc)<<32|uint64(t)] = true
+			}
+			cfg.leaders[pc+4] = true
+		case opJALR, opSystem:
+			cfg.leaders[pc+4] = true
+		}
+	}
+	delete(cfg.leaders, textEnd)
+	return cfg
+}
+
+// GuestStats summarizes guest coverage for the metrics registry and report
+// headers.
+type GuestStats struct {
+	Insns, InsnsCovered   int
+	Blocks, BlocksCovered int
+	Edges, EdgesCovered   int
+	DynOnlyEdges          int // executed edges outside the static set (indirect)
+}
+
+func pct(cov, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(cov) / float64(total)
+}
+
+// Stats computes coverage totals against the attached image; zero without
+// one.
+func (g *GuestCov) Stats() GuestStats {
+	var s GuestStats
+	if g.img == nil {
+		return s
+	}
+	textEnd := g.img.Base + uint32(len(g.img.Text))
+	for pc := g.img.Base; pc+4 <= textEnd; pc += 4 {
+		s.Insns++
+		if g.Count(pc) > 0 {
+			s.InsnsCovered++
+		}
+	}
+	cfg := buildCFG(g.img)
+	for leader := range cfg.leaders {
+		s.Blocks++
+		if g.Count(leader) > 0 {
+			s.BlocksCovered++
+		}
+	}
+	for e := range cfg.edges {
+		s.Edges++
+		if g.edges[e] > 0 {
+			s.EdgesCovered++
+		}
+	}
+	for e := range g.edges {
+		if !cfg.edges[e] {
+			s.DynOnlyEdges++
+		}
+	}
+	return s
+}
+
+// WriteLcov emits coverage in the lcov .info format (one DA record per
+// instruction word, FN/FNDA records per function), mapping instruction words
+// to lines as (pc-base)/4+1 — the convention genhtml and IDE gutters accept
+// for flat assembly listings. srcName names the SF record.
+func (g *GuestCov) WriteLcov(w io.Writer, srcName string) error {
+	if g.img == nil {
+		return fmt.Errorf("cover: no image attached; cannot export lcov")
+	}
+	img := g.img
+	line := func(pc uint32) uint32 { return (pc-img.Base)/4 + 1 }
+	if _, err := fmt.Fprintf(w, "TN:\nSF:%s\n", srcName); err != nil {
+		return err
+	}
+	fns := functions(img)
+	hit := 0
+	for _, f := range fns {
+		fmt.Fprintf(w, "FN:%d,%s\n", line(f.start), f.name)
+	}
+	for _, f := range fns {
+		c := g.Count(f.start)
+		if c > 0 {
+			hit++
+		}
+		fmt.Fprintf(w, "FNDA:%d,%s\n", c, f.name)
+	}
+	fmt.Fprintf(w, "FNF:%d\nFNH:%d\n", len(fns), hit)
+	textEnd := img.Base + uint32(len(img.Text))
+	lf, lh := 0, 0
+	for pc := img.Base; pc+4 <= textEnd; pc += 4 {
+		c := g.Count(pc)
+		lf++
+		if c > 0 {
+			lh++
+		}
+		fmt.Fprintf(w, "DA:%d,%d\n", line(pc), c)
+	}
+	_, err := fmt.Fprintf(w, "LF:%d\nLH:%d\nend_of_record\n", lf, lh)
+	return err
+}
+
+// WriteReport renders the human-readable coverage report: overall and
+// per-function percentages, an annotated disassembly of the image text
+// (execution count per instruction, uncovered lines marked), and any
+// executed address ranges outside the image — injected code a WK attack
+// managed to run shows up here. disasm may be nil; when non-nil it renders
+// each instruction word (callers pass rv32.Disassemble).
+func (g *GuestCov) WriteReport(w io.Writer, disasm func(insn, pc uint32) string) error {
+	if g.img == nil {
+		_, err := fmt.Fprintln(w, "guest coverage: no image attached")
+		return err
+	}
+	img := g.img
+	s := g.Stats()
+	fmt.Fprintf(w, "guest coverage: %d/%d instructions (%.1f%%), %d/%d blocks (%.1f%%), %d/%d edges (%.1f%%)",
+		s.InsnsCovered, s.Insns, pct(s.InsnsCovered, s.Insns),
+		s.BlocksCovered, s.Blocks, pct(s.BlocksCovered, s.Blocks),
+		s.EdgesCovered, s.Edges, pct(s.EdgesCovered, s.Edges))
+	if s.DynOnlyEdges > 0 {
+		fmt.Fprintf(w, " (+%d indirect edges)", s.DynOnlyEdges)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "per-function coverage:")
+	for _, f := range functions(img) {
+		total, cov := 0, 0
+		var execs uint64
+		for pc := f.start; pc+4 <= f.end; pc += 4 {
+			total++
+			if c := g.Count(pc); c > 0 {
+				cov++
+				execs += c
+			}
+		}
+		fmt.Fprintf(w, "  %-24s %3d/%3d insns %6.1f%%  %10d executions\n",
+			f.name, cov, total, pct(cov, total), execs)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "annotated disassembly (count | pc | insn):")
+	textEnd := img.Base + uint32(len(img.Text))
+	cfg := buildCFG(img)
+	for pc := img.Base; pc+4 <= textEnd; pc += 4 {
+		if cfg.leaders[pc] {
+			if name, off, ok := img.SymbolAt(pc); ok && off == 0 && !isConstSym(name) {
+				fmt.Fprintf(w, "%s:\n", name)
+			}
+		}
+		insn := textWord(img, pc)
+		c := g.Count(pc)
+		mark := fmt.Sprintf("%10d", c)
+		if c == 0 {
+			mark = "         -"
+		}
+		dis := fmt.Sprintf(".word 0x%08x", insn)
+		if disasm != nil {
+			dis = disasm(insn, pc)
+		}
+		fmt.Fprintf(w, "  %s  0x%08x  %s\n", mark, pc, dis)
+	}
+
+	if ranges := g.executedOutside(); len(ranges) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "executed outside the image (injected or stale code):")
+		for _, r := range ranges {
+			fmt.Fprintf(w, "  [0x%08x, 0x%08x)  %d executions\n", r.start, r.end, r.execs)
+		}
+	}
+	return nil
+}
+
+type execRange struct {
+	start, end uint32
+	execs      uint64
+}
+
+// executedOutside lists contiguous executed ranges not covered by the image
+// text.
+func (g *GuestCov) executedOutside() []execRange {
+	var out []execRange
+	textEnd := g.img.Base + uint32(len(g.img.Text))
+	for idx, c := range g.counts {
+		if c == 0 {
+			continue
+		}
+		pc := g.base + uint32(idx)*4
+		if pc >= g.img.Base && pc < textEnd {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].end == pc {
+			out[n-1].end = pc + 4
+			out[n-1].execs += c
+		} else {
+			out = append(out, execRange{start: pc, end: pc + 4, execs: c})
+		}
+	}
+	return out
+}
+
+// Summary returns a one-line coverage summary for log output.
+func (g *GuestCov) Summary() string {
+	s := g.Stats()
+	return strings.TrimSpace(fmt.Sprintf("insns %.1f%% blocks %.1f%% edges %.1f%%",
+		pct(s.InsnsCovered, s.Insns), pct(s.BlocksCovered, s.Blocks), pct(s.EdgesCovered, s.Edges)))
+}

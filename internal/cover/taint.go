@@ -1,0 +1,240 @@
+package cover
+
+import (
+	"fmt"
+	"io"
+
+	"vpdift/internal/core"
+)
+
+// TaintCov records where taint went: a per-byte ever-tainted bitmap and
+// churn counter over the RAM window, per-class tainted-write counts, and
+// per-register taint-occupancy statistics. It is fed from three sites that
+// together see every tag the platform writes: the VP+ core's store fast
+// path (OnStore), the tainted memory's write hook for bus-initiated writes
+// (OnMemWrite — DMA and TLM transactions bypass the core), and the
+// load-time classification scan (InitFromRAM).
+type TaintCov struct {
+	base uint32
+	size uint32
+	def  core.Tag
+	lat  *core.Lattice
+
+	ever        []uint64   // 1 bit per RAM byte: ever held a non-default tag
+	shadow      []core.Tag // last observed tag per byte, for churn detection
+	churn       []uint32   // per-word count of byte tag changes
+	classWrites []uint64   // per-class tainted byte-write counts
+
+	regOcc  [32]uint64 // retires during which the register held a non-default tag
+	retires uint64
+}
+
+// NewTaint returns an unconfigured taint-coverage view; the platform sizes
+// it via Configure at wiring time.
+func NewTaint() *TaintCov { return &TaintCov{} }
+
+// Configure sizes the heatmap buffers to the RAM window and binds the
+// policy's lattice and default class.
+func (t *TaintCov) Configure(base, size uint32, lat *core.Lattice, def core.Tag) {
+	t.base, t.size, t.lat, t.def = base, size, lat, def
+	t.ever = make([]uint64, (size+63)/64)
+	t.shadow = make([]core.Tag, size)
+	t.churn = make([]uint32, (size+3)/4)
+	t.classWrites = make([]uint64, lat.Size())
+	for i := range t.shadow {
+		t.shadow[i] = def
+	}
+}
+
+// noteByte records one tag written to RAM offset off.
+func (t *TaintCov) noteByte(off uint32, tag core.Tag) {
+	if off >= t.size {
+		return
+	}
+	if tag != t.def {
+		t.ever[off>>6] |= 1 << (off & 63)
+		if int(tag) < len(t.classWrites) {
+			t.classWrites[tag]++
+		}
+	}
+	if t.shadow[off] != tag {
+		t.churn[off>>2]++
+		t.shadow[off] = tag
+	}
+}
+
+// OnStore records a CPU store of size bytes carrying tag at addr. Called
+// from the VP+ core's post-retire cover hook (the direct-RAM store path does
+// not pass through the memory's write hooks).
+func (t *TaintCov) OnStore(addr, size uint32, tag core.Tag) {
+	for j := uint32(0); j < size; j++ {
+		t.noteByte(addr+j-t.base, tag)
+	}
+}
+
+// OnMemWrite records a bus-initiated write (DMA descriptor fill, TLM
+// transaction): data holds the bytes just written starting at RAM offset
+// startOff, tags included.
+func (t *TaintCov) OnMemWrite(data []core.TByte, startOff uint32) {
+	for j, b := range data {
+		t.noteByte(startOff+uint32(j), b.T)
+	}
+}
+
+// InitFromRAM seeds the shadow tags from the freshly loaded and classified
+// RAM: classification roots (the immobilizer PIN region, HI text) count as
+// ever-tainted, but seeding does not count as churn.
+func (t *TaintCov) InitFromRAM(data []core.TByte) {
+	n := uint32(len(data))
+	if n > t.size {
+		n = t.size
+	}
+	for off := uint32(0); off < n; off++ {
+		tag := data[off].T
+		t.shadow[off] = tag
+		if tag != t.def {
+			t.ever[off>>6] |= 1 << (off & 63)
+		}
+	}
+}
+
+// OnRetireRegs samples register-file taint occupancy at one retired
+// instruction.
+func (t *TaintCov) OnRetireRegs(regs *[32]core.Word) {
+	t.retires++
+	for i := 1; i < 32; i++ {
+		if regs[i].T != t.def {
+			t.regOcc[i]++
+		}
+	}
+}
+
+// EverTainted counts RAM bytes that ever held a non-default tag.
+func (t *TaintCov) EverTainted() uint64 {
+	var n uint64
+	for _, w := range t.ever {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ChurnTotal sums all per-word tag-change counts.
+func (t *TaintCov) ChurnTotal() uint64 {
+	var n uint64
+	for _, c := range t.churn {
+		n += uint64(c)
+	}
+	return n
+}
+
+// residency counts bytes currently holding each class, from the shadow tags.
+func (t *TaintCov) residency() []uint64 {
+	out := make([]uint64, len(t.classWrites))
+	for _, tag := range t.shadow {
+		if int(tag) < len(out) {
+			out[tag]++
+		}
+	}
+	return out
+}
+
+type taintRange struct {
+	start, end uint32 // offsets
+	churn      uint64
+}
+
+// taintedRanges walks the ever-tainted bitmap into contiguous byte ranges.
+func (t *TaintCov) taintedRanges() []taintRange {
+	var out []taintRange
+	for off := uint32(0); off < t.size; off++ {
+		if t.ever[off>>6]&(1<<(off&63)) == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].end == off {
+			out[n-1].end = off + 1
+		} else {
+			out = append(out, taintRange{start: off, end: off + 1})
+		}
+	}
+	for i := range out {
+		for w := out[i].start &^ 3; w < out[i].end; w += 4 {
+			out[i].churn += uint64(t.churn[w>>2])
+		}
+	}
+	return out
+}
+
+// heatBar renders churn-per-byte as a coarse five-step heat scale.
+func heatBar(churn uint64, bytes uint32) string {
+	if bytes == 0 {
+		return ""
+	}
+	per := float64(churn) / float64(bytes)
+	switch {
+	case per == 0:
+		return "."
+	case per < 1:
+		return "▁"
+	case per < 4:
+		return "▃"
+	case per < 16:
+		return "▅"
+	default:
+		return "█"
+	}
+}
+
+// WriteHeat renders the compact address-range heat report: ever-tainted
+// ranges with churn heat, per-class residency, and register taint
+// occupancy. symAt may be nil; when non-nil it annotates range starts
+// (callers pass a closure over the image's SymbolAt).
+func (t *TaintCov) WriteHeat(w io.Writer, symAt func(addr uint32) string) error {
+	if t.shadow == nil {
+		_, err := fmt.Fprintln(w, "taint coverage: not configured")
+		return err
+	}
+	fmt.Fprintf(w, "taint heatmap: %d bytes ever tainted, %d tag changes over %d retires\n\n",
+		t.EverTainted(), t.ChurnTotal(), t.retires)
+
+	fmt.Fprintln(w, "tainted address ranges (heat = tag changes per byte):")
+	for _, r := range t.taintedRanges() {
+		start, end := t.base+r.start, t.base+r.end
+		sym := ""
+		if symAt != nil {
+			if s := symAt(start); s != "" {
+				sym = "  <" + s + ">"
+			}
+		}
+		fmt.Fprintf(w, "  %s [0x%08x, 0x%08x) %6d bytes  churn %-8d%s\n",
+			heatBar(r.churn, r.end-r.start), start, end, r.end-r.start, r.churn, sym)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "per-class residency (current) and tainted writes (lifetime):")
+	res := t.residency()
+	for i, n := range res {
+		if core.Tag(i) == t.def && t.classWrites[i] == 0 {
+			continue // the default class covers everything else; skip unless written
+		}
+		fmt.Fprintf(w, "  %-12s %10d bytes resident  %10d bytes written\n",
+			t.lat.Name(core.Tag(i)), n, t.classWrites[i])
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "register taint occupancy (fraction of retires with a non-default tag):")
+	any := false
+	for i := 1; i < 32; i++ {
+		if t.regOcc[i] == 0 {
+			continue
+		}
+		any = true
+		fmt.Fprintf(w, "  x%-3d %6.2f%%  (%d/%d retires)\n",
+			i, 100*float64(t.regOcc[i])/float64(t.retires), t.regOcc[i], t.retires)
+	}
+	if !any {
+		fmt.Fprintln(w, "  (no register ever held tainted data)")
+	}
+	return nil
+}

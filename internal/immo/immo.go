@@ -7,6 +7,7 @@ import (
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 	"vpdift/internal/soc"
@@ -144,6 +145,14 @@ func NewECUObserved(v Variant, kind PolicyKind, o *obs.Observer) (*ECU, error) {
 // NewECUTraced is NewECUObserved with the simulation-side trace layer also
 // attached; either of o and tr may be nil.
 func NewECUTraced(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace) (*ECU, error) {
+	return NewECUCovered(v, kind, o, tr, nil)
+}
+
+// NewECUCovered is NewECUTraced with the coverage subsystem also attached;
+// any of o, tr and cov may be nil. The policy-audit view makes the ECU the
+// paper's policy-validation workbench: after a run, cov.Audit reports which
+// rules of the immobilizer policy were never exercised.
+func NewECUCovered(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace, cov *cover.Cover) (*ECU, error) {
 	img := Firmware(v)
 	var pol *core.Policy
 	switch kind {
@@ -159,7 +168,7 @@ func NewECUTraced(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace) 
 	default:
 		return nil, fmt.Errorf("immo: unknown policy kind %d", kind)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: o, Trace: tr})
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: o, Trace: tr, Cover: cov})
 	if err != nil {
 		return nil, err
 	}

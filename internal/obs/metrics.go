@@ -3,7 +3,6 @@ package obs
 import (
 	"encoding/json"
 	"io"
-	"sort"
 )
 
 // Metrics is a named-counter registry. Counters are created on first use;
@@ -47,18 +46,11 @@ func (m *Metrics) Snapshot() map[string]uint64 {
 }
 
 // WriteMetricsJSON writes a counter map as stable, indented JSON — the
-// format cmd/perf consumes and the CI perf guard archives.
+// format cmd/perf consumes and the CI perf guard archives. encoding/json
+// already marshals map keys in sorted order, so the output is deterministic
+// without any pre-sorting.
 func WriteMetricsJSON(w io.Writer, counters map[string]uint64) error {
-	keys := make([]string, 0, len(counters))
-	for k := range counters {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	ordered := make(map[string]uint64, len(counters))
-	for _, k := range keys {
-		ordered[k] = counters[k]
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(ordered)
+	return enc.Encode(counters)
 }

@@ -255,6 +255,33 @@ func TestWriteMetricsJSON(t *testing.T) {
 	}
 }
 
+func TestWriteMetricsJSONDeterministic(t *testing.T) {
+	// The export must be byte-identical across snapshots of the same state:
+	// the CI perf guard diffs archived metrics files, so map-iteration order
+	// must never leak into the output.
+	m := NewMetrics()
+	for _, name := range []string{"z.last", "a.first", "m.middle", "core.instret", "cover.edges"} {
+		m.Add(name, 7)
+	}
+	var first, second bytes.Buffer
+	if err := WriteMetricsJSON(&first, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsJSON(&second, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("two snapshots of the same state render differently:\n%s\nvs\n%s",
+			first.String(), second.String())
+	}
+	// Keys must appear in sorted order, not insertion order.
+	idx := func(sub string) int { return bytes.Index(first.Bytes(), []byte(sub)) }
+	if !(idx("a.first") < idx("cover.edges") && idx("cover.edges") < idx("m.middle") &&
+		idx("m.middle") < idx("z.last")) {
+		t.Errorf("keys are not sorted:\n%s", first.String())
+	}
+}
+
 func TestMetricsRegistry(t *testing.T) {
 	m := NewMetrics()
 	c := m.Counter("x")

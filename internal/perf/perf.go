@@ -15,6 +15,7 @@ import (
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/guest"
 	"vpdift/internal/immo"
 	"vpdift/internal/kernel"
@@ -175,6 +176,10 @@ type Options struct {
 	// undisturbed fast path. Used by the -profile smoke run of the CI perf
 	// guard.
 	Trace *trace.Trace
+	// Cover attaches the coverage subsystem (guest coverage, taint heatmap,
+	// policy audit) to the measured platform; nil measures the undisturbed
+	// fast path. Used by the -cover smoke run of the CI perf guard.
+	Cover *cover.Cover
 }
 
 // RunOnce executes the workload on one platform flavour (dift selects VP+)
@@ -200,7 +205,7 @@ func RunOnceOpts(w Workload, o Options) (Measurement, error) {
 			pol = codeInjectionPolicy(img)
 		}
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, NoDecodeCache: o.NoDecodeCache, Trace: o.Trace})
+	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, NoDecodeCache: o.NoDecodeCache, Trace: o.Trace, Cover: o.Cover})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -241,6 +246,17 @@ func ProfileSmoke(w Workload, dift bool) (*trace.Profiler, Measurement, error) {
 	}
 	m, err := RunOnceOpts(w, Options{DIFT: dift, Trace: tr})
 	return tr.Prof, m, err
+}
+
+// CoverSmoke runs one workload with all three coverage views attached and
+// returns them for inspection. It is the CI guard's check that coverage
+// coexists with the hot loop: the run must exit cleanly, the views must have
+// recorded data, and the measured MIPS must stay within a (generous) band of
+// the archived Table II VP+ figure.
+func CoverSmoke(w Workload, dift bool) (*cover.Cover, Measurement, error) {
+	cv := cover.New()
+	m, err := RunOnceOpts(w, Options{DIFT: dift, Cover: cv})
+	return cv, m, err
 }
 
 // Row is one completed Table II row.

@@ -80,16 +80,20 @@ func (a *AES) readByte(off uint32) (core.TByte, bool) {
 }
 
 func (a *AES) writeByte(off uint32, b core.TByte) bool {
-	if off < AESDataOut && a.inClearanceSet && a.env.Lat != nil &&
-		!a.env.Lat.AllowedFlow(b.T, a.inClearance) {
-		v := core.NewViolation(a.env.Lat, core.KindOutputClearance, b.T, a.inClearance).
-			WithPort(a.name + ".in")
-		if a.env.Obs != nil {
-			a.env.Obs.Checks.Input++
-			a.env.Obs.OnViolation(v, a.env.Obs.LastStore(), 0)
+	if off < AESDataOut && a.inClearanceSet && a.env.Lat != nil {
+		if a.env.Audit != nil {
+			a.env.Audit.Output(a.name+".in").Checks++
 		}
-		a.env.Sim.Fatal(v)
-		return true
+		if !a.env.Lat.AllowedFlow(b.T, a.inClearance) {
+			v := core.NewViolation(a.env.Lat, core.KindOutputClearance, b.T, a.inClearance).
+				WithPort(a.name + ".in")
+			if a.env.Obs != nil {
+				a.env.Obs.Checks.Input++
+				a.env.Obs.OnViolation(v, a.env.Obs.LastStore(), 0)
+			}
+			a.env.Sim.Fatal(v)
+			return true
+		}
 	}
 	switch {
 	case off < AESKey+16:

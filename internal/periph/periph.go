@@ -24,6 +24,7 @@ package periph
 
 import (
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 	"vpdift/internal/tlm"
@@ -42,6 +43,10 @@ type Env struct {
 	// clearance-check events for provenance chains; nil disables all
 	// recording at zero cost (one branch per hook site).
 	Obs *obs.Observer
+	// Audit, when non-nil, counts output-sink clearance checks per port for
+	// the coverage subsystem's policy audit; nil disables counting (one
+	// branch per check).
+	Audit *cover.PolicyAudit
 }
 
 // checkOutput enforces an output port clearance on one byte, stopping the
@@ -50,6 +55,9 @@ type Env struct {
 func (e *Env) checkOutput(port string, b core.TByte, enabled bool, required core.Tag) bool {
 	if !enabled || e.Lat == nil {
 		return true
+	}
+	if e.Audit != nil {
+		e.Audit.Output(port).Checks++
 	}
 	if e.Lat.AllowedFlow(b.T, required) {
 		if e.Obs != nil {

@@ -2,6 +2,7 @@ package rv32
 
 import (
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
 	"vpdift/internal/obs"
@@ -81,6 +82,11 @@ type Core struct {
 	// uncachedFetch counts fetches that bypassed the decode cache (misaligned
 	// PC or cache disabled) — the non-fill half of the miss count.
 	uncachedFetch uint64
+
+	// Cov, when non-nil, receives post-retire coverage events
+	// (internal/cover). Only the guest view applies on the baseline core —
+	// there are no tags to heatmap and no policy to audit.
+	Cov *cover.Cover
 }
 
 // NewCore builds a baseline core over plain RAM and a bus for MMIO. The
@@ -425,10 +431,25 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 	default:
 		return RunOK, c.trap(CauseIllegalInstr, c.fetchWord(off), pc)
 	}
+	if c.Cov != nil {
+		c.coverStep(pc, off, next)
+	}
 	if c.PC == pc { // not redirected by a trap inside the switch
 		c.PC = next
 	}
 	return RunOK, nil
+}
+
+// coverStep feeds the coverage views for one retired instruction. Called
+// from step behind a single `c.Cov != nil` guard, so the disabled hot loop
+// pays exactly one predictable branch; the raw word is refetched only on
+// the enabled path. Violating or trapping instructions return from step
+// early and are not counted — the platform attributes terminal violations
+// through the policy audit instead.
+func (c *Core) coverStep(pc, off, next uint32) {
+	if g := c.Cov.Guest; g != nil {
+		g.OnRetire(pc, c.fetchWord(off), next)
+	}
 }
 
 // set writes a destination register, keeping x0 hardwired to zero.

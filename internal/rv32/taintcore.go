@@ -2,6 +2,7 @@ package rv32
 
 import (
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
 	"vpdift/internal/obs"
@@ -102,6 +103,11 @@ type TaintCore struct {
 	// uncachedFetch counts fetches bypassing the decode cache; see
 	// Core.uncachedFetch.
 	uncachedFetch uint64
+
+	// Cov, when non-nil, receives post-retire coverage events: guest
+	// block/edge coverage, taint heatmap samples, and policy-audit check
+	// counts (internal/cover). One predictable branch per retire when nil.
+	Cov *cover.Cover
 }
 
 // NewTaintCore builds a DIFT core over tainted RAM, enforcing the policy.
@@ -591,10 +597,63 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 	if c.Obs != nil {
 		c.observeStep(i, pc, next)
 	}
+	if c.Cov != nil {
+		c.coverStep(i, pc, off, next)
+	}
 	if c.PC == pc {
 		c.PC = next
 	}
 	return RunOK, nil
+}
+
+// coverStep feeds the coverage views for one retired instruction: guest
+// block/edge coverage, taint heatmap samples (store sites and the register
+// file — safe post-switch because stores never write back a register, so
+// Regs[rs1]/Regs[rs2] still hold the address base and data tag), and the
+// policy audit's per-clearance-point check counts. Called from step behind
+// a single `c.Cov != nil` guard, like observeStep, so the disabled hot loop
+// pays one predictable branch. Violating instructions return from step
+// early and are attributed through PolicyAudit.NoteViolation by the
+// platform; a retire under an enabled fetch check counts as one enforcement
+// even when the decode cache memoized the verdict.
+func (c *TaintCore) coverStep(i Inst, pc, off, next uint32) {
+	cv := c.Cov
+	if g := cv.Guest; g != nil {
+		g.OnRetire(pc, c.fetchWord(off), next)
+	}
+	if t := cv.Taint; t != nil {
+		t.OnRetireRegs(&c.Regs)
+		switch i.Op {
+		case OpSB:
+			t.OnStore(c.Regs[i.Rs1].V+uint32(i.Imm), 1, c.Regs[i.Rs2].T)
+		case OpSH:
+			t.OnStore(c.Regs[i.Rs1].V+uint32(i.Imm), 2, c.Regs[i.Rs2].T)
+		case OpSW:
+			t.OnStore(c.Regs[i.Rs1].V+uint32(i.Imm), 4, c.Regs[i.Rs2].T)
+		}
+	}
+	if a := cv.Audit; a != nil {
+		if c.checkFetch {
+			a.Fetch.Checks++
+		}
+		switch i.Op {
+		case OpJALR, OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpMRET:
+			if c.checkBranch {
+				a.Branch.Checks++
+			}
+		case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+			if c.checkMemAddr {
+				a.MemAddr.Checks++
+			}
+		case OpSB, OpSH, OpSW:
+			if c.checkMemAddr {
+				a.MemAddr.Checks++
+			}
+			if c.hasRegions {
+				a.NoteStore(c.Regs[i.Rs1].V + uint32(i.Imm))
+			}
+		}
+	}
 }
 
 // alu writes an R-type result: value computed by the caller, tag joined from

@@ -1,0 +1,182 @@
+package soc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/cover"
+	"vpdift/internal/guest"
+	"vpdift/internal/kernel"
+	"vpdift/internal/soc"
+)
+
+// coverSrc is a small self-terminating guest with branches, calls and stores,
+// so every coverage view has something to record.
+const coverSrc = `
+main:
+	addi sp, sp, -16
+	sw ra, 12(sp)
+	li s0, 0
+	li s1, 10
+1:	mv a0, s0
+	call square
+	la t0, results
+	slli t1, s0, 2
+	add t0, t0, t1
+	sw a0, 0(t0)
+	addi s0, s0, 1
+	blt s0, s1, 1b
+	li a0, 0
+	lw ra, 12(sp)
+	addi sp, sp, 16
+	ret
+
+square:
+	mv t0, a0
+	li a0, 0
+	beqz t0, 2f
+	mv t1, t0
+1:	add a0, a0, t0
+	addi t1, t1, -1
+	bnez t1, 1b
+2:	ret
+
+	.data
+	.align 2
+results:
+	.space 40
+`
+
+func TestCoverWiredIntoVPPlus(t *testing.T) {
+	img, err := guest.Program(coverSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := core.IFP2()
+	hi, li := l.MustTag(core.ClassHI), l.MustTag(core.ClassLI)
+	pol := core.NewPolicy(l, li).
+		WithFetchClearance(hi).
+		WithRegion(core.RegionRule{
+			Name: "image", Start: img.Base, End: img.End(),
+			Classify: true, Class: hi,
+		})
+	cv := cover.New()
+	pl, err := soc.New(soc.Config{Policy: pol, Cover: cv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(kernel.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if exited, code := pl.Exited(); !exited || code != 0 {
+		t.Fatalf("guest exited=%v code=%d", exited, code)
+	}
+
+	s := cv.Guest.Stats()
+	if s.InsnsCovered == 0 || s.BlocksCovered == 0 || s.EdgesCovered == 0 {
+		t.Fatalf("guest coverage recorded nothing: %+v", s)
+	}
+	if s.InsnsCovered > s.Insns || s.BlocksCovered > s.Blocks || s.EdgesCovered > s.Edges {
+		t.Fatalf("covered exceeds totals: %+v", s)
+	}
+	// The image was classified HI at load, so its footprint is ever-tainted.
+	if cv.Taint.EverTainted() == 0 {
+		t.Fatal("taint heatmap recorded nothing despite HI image classification")
+	}
+	// The store loop writes HI-derived values: churn must be visible.
+	if cv.Taint.ChurnTotal() == 0 {
+		t.Fatal("no tag churn recorded")
+	}
+	if cv.Audit.Fetch.Checks == 0 {
+		t.Fatal("audit saw no fetch checks with fetch clearance enabled")
+	}
+
+	m := pl.MetricsSnapshot()
+	for _, key := range []string{
+		"cover.guest_insns", "cover.guest_insns_covered",
+		"cover.guest_blocks", "cover.guest_blocks_covered",
+		"cover.guest_edges", "cover.guest_edges_covered",
+		"cover.taint_ever_bytes", "cover.taint_churn",
+		"cover.audit_fetch_checks",
+	} {
+		if m[key] == 0 {
+			t.Errorf("metrics gauge %s is zero", key)
+		}
+	}
+	if m["cover.audit_dead_rules"] != 0 {
+		// This tight policy has no unexercised parts.
+		t.Errorf("cover.audit_dead_rules = %d, want 0", m["cover.audit_dead_rules"])
+	}
+}
+
+func TestCoverBaselineGuestOnly(t *testing.T) {
+	// On the baseline platform (no policy) only the guest view applies; the
+	// unconfigured taint and audit views must stay inert.
+	img, err := guest.Program(coverSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := cover.New()
+	pl, err := soc.New(soc.Config{Cover: cv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(kernel.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if s := cv.Guest.Stats(); s.InsnsCovered == 0 {
+		t.Fatalf("baseline guest coverage recorded nothing: %+v", s)
+	}
+	if cv.Taint.EverTainted() != 0 || cv.Audit.Configured() {
+		t.Error("taint/audit views active on the baseline platform")
+	}
+}
+
+func TestCoverDisabledParity(t *testing.T) {
+	// Coverage must be an observer: with and without it, the simulation
+	// executes the identical instruction stream and produces identical
+	// output.
+	run := func(cv *cover.Cover) (uint64, []byte) {
+		img, err := guest.Program(coverSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := core.IFP2()
+		hi, li := l.MustTag(core.ClassHI), l.MustTag(core.ClassLI)
+		pol := core.NewPolicy(l, li).
+			WithFetchClearance(hi).
+			WithRegion(core.RegionRule{
+				Name: "image", Start: img.Base, End: img.End(),
+				Classify: true, Class: hi,
+			})
+		pl, err := soc.New(soc.Config{Policy: pol, Cover: cv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pl.Shutdown()
+		if err := pl.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Run(kernel.Forever); err != nil {
+			t.Fatal(err)
+		}
+		return pl.Instret(), pl.UART.Output()
+	}
+	insnOn, outOn := run(cover.New())
+	insnOff, outOff := run(nil)
+	if insnOn != insnOff {
+		t.Errorf("instret diverges: %d with coverage, %d without", insnOn, insnOff)
+	}
+	if !bytes.Equal(outOn, outOff) {
+		t.Errorf("UART output diverges")
+	}
+}

@@ -14,10 +14,12 @@
 package soc
 
 import (
+	"errors"
 	"fmt"
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
 	"vpdift/internal/obs"
@@ -89,6 +91,13 @@ type Config struct {
 	// (Trace.VCD), and the guest hot-path profiler (Trace.Prof). Nil keeps
 	// every hook site on its one-branch fast path.
 	Trace *trace.Trace
+	// Cover, when non-nil with at least one view enabled, wires the
+	// coverage-observability layer: guest block/edge coverage (Cover.Guest),
+	// taint heatmaps and register occupancy (Cover.Taint), and the policy
+	// audit with per-lattice-edge hit counters (Cover.Audit). On the
+	// baseline VP only the guest view applies. Nil keeps the cores'
+	// post-retire hook on its one-branch fast path.
+	Cover *cover.Cover
 }
 
 // Platform is a constructed virtual prototype.
@@ -327,9 +336,41 @@ func New(cfg Config) (*Platform, error) {
 		v.AddProbe("dma0_transfers", 16, func() uint64 { return uint64(pl.DMA.Transfers()) })
 	}
 
+	// Coverage observability: size the requested views against this
+	// platform's geometry and hand the bundle to the core. The audit
+	// installs its lattice counters here — after all wiring-time queries
+	// (Top, clearance encoding) — so setup noise does not pollute the run's
+	// per-edge counts.
+	if cv := cfg.Cover; cv.Active() {
+		if cv.Guest != nil {
+			cv.Guest.Configure(RAMBase, cfg.RAMSize)
+		}
+		if pol == nil {
+			pl.Core.Cov = cv
+		} else {
+			if cv.Taint != nil {
+				cv.Taint.Configure(RAMBase, cfg.RAMSize, pol.L, pol.Default)
+				// CPU stores report through the core's cover hook; this hook
+				// catches the bus-initiated writes (DMA, TLM) that bypass it.
+				ram := pl.ram
+				pl.ram.AddWriteHook(func(start, end uint32) {
+					cv.Taint.OnMemWrite(ram.Data()[start:end], start)
+				})
+			}
+			if cv.Audit != nil {
+				cv.Audit.Configure(pol)
+				env.Audit = cv.Audit
+			}
+			pl.TaintCore.Cov = cv
+		}
+	}
+
 	pl.spawnCPU()
 	return pl, nil
 }
+
+// Cover returns the attached coverage bundle, nil when coverage is off.
+func (pl *Platform) Cover() *cover.Cover { return pl.cfg.Cover }
 
 // Trace returns the attached trace bundle, nil when simulation-side tracing
 // is off.
@@ -445,9 +486,13 @@ func (pl *Platform) Load(img *asm.Image) error {
 		return fmt.Errorf("soc: image base 0x%x below RAM base 0x%x", img.Base, RAMBase)
 	}
 	offset := img.Base - RAMBase
-	// The profiler symbolizes its report against the loaded image.
+	// The profiler and the coverage reports symbolize against the loaded
+	// image.
 	if pl.cfg.Trace != nil && pl.cfg.Trace.Prof != nil {
 		pl.cfg.Trace.Prof.SetImage(img)
+	}
+	if cv := pl.cfg.Cover; cv != nil && cv.Guest != nil {
+		cv.Guest.SetImage(img)
 	}
 	if pl.Core != nil {
 		if err := pl.plainRAM.Load(offset, flat); err != nil {
@@ -490,6 +535,11 @@ func (pl *Platform) Load(img *asm.Image) error {
 			}
 		}
 	}
+	// Seed the taint heatmap's shadow tags from the classified RAM so the
+	// classification roots count as ever-tainted without counting as churn.
+	if cv := pl.cfg.Cover; cv != nil && cv.Taint != nil {
+		cv.Taint.InitFromRAM(data)
+	}
 	// The image and classification rules were written through the raw Data()
 	// slice, which bypasses the RAM write hooks; drop any predecoded
 	// entries explicitly.
@@ -506,7 +556,17 @@ func (pl *Platform) Run(horizon kernel.Time) error {
 	if !pl.loaded {
 		return fmt.Errorf("soc: no image loaded")
 	}
-	return pl.Sim.Run(horizon)
+	err := pl.Sim.Run(horizon)
+	// The violating instruction never retires (the core returns early past
+	// its cover hook), so attribute terminal violations to their clearance
+	// point here.
+	if cv := pl.cfg.Cover; err != nil && cv != nil && cv.Audit != nil {
+		var v *core.Violation
+		if errors.As(err, &v) {
+			cv.Audit.NoteViolation(v)
+		}
+	}
+	return err
 }
 
 // Shutdown releases the platform's kernel processes. The platform must not
@@ -584,6 +644,28 @@ func (pl *Platform) MetricsSnapshot() map[string]uint64 {
 		}
 		if t.Prof != nil {
 			m["trace.prof_retired"] = t.Prof.Total()
+		}
+	}
+
+	if cv := pl.cfg.Cover; cv.Active() {
+		if cv.Guest != nil {
+			s := cv.Guest.Stats()
+			m["cover.guest_insns"] = uint64(s.Insns)
+			m["cover.guest_insns_covered"] = uint64(s.InsnsCovered)
+			m["cover.guest_blocks"] = uint64(s.Blocks)
+			m["cover.guest_blocks_covered"] = uint64(s.BlocksCovered)
+			m["cover.guest_edges"] = uint64(s.Edges)
+			m["cover.guest_edges_covered"] = uint64(s.EdgesCovered)
+		}
+		if cv.Taint != nil && pl.ram != nil {
+			m["cover.taint_ever_bytes"] = cv.Taint.EverTainted()
+			m["cover.taint_churn"] = cv.Taint.ChurnTotal()
+		}
+		if cv.Audit != nil && cv.Audit.Configured() {
+			m["cover.audit_fetch_checks"] = cv.Audit.Fetch.Checks
+			m["cover.audit_branch_checks"] = cv.Audit.Branch.Checks
+			m["cover.audit_memaddr_checks"] = cv.Audit.MemAddr.Checks
+			m["cover.audit_dead_rules"] = uint64(len(cv.Audit.DeadRules()))
 		}
 	}
 

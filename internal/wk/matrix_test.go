@@ -1,0 +1,103 @@
+package wk
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vpdift/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestMatrixMatchesTableI(t *testing.T) {
+	m, err := RunMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's bottom line: 10 detected, 8 not applicable, none missed.
+	if m.Detected != 10 || m.NA != 8 || m.Missed != 0 {
+		t.Fatalf("matrix totals Detected=%d NA=%d Missed=%d, want 10/8/0",
+			m.Detected, m.NA, m.Missed)
+	}
+	if len(m.Rows) != 18 {
+		t.Fatalf("matrix has %d rows, want 18", len(m.Rows))
+	}
+	for i, r := range m.Rows {
+		if r.Num != i+1 {
+			t.Errorf("row %d out of order (Num=%d)", i, r.Num)
+		}
+		want := paperResults[r.Num].String()
+		if r.Result != want {
+			t.Errorf("attack %d: result %q, want %q", r.Num, r.Result, want)
+		}
+		if paperResults[r.Num] == Detected {
+			// Every detection comes from the same clearance point: the
+			// instruction-fetch check at the payload entry.
+			if r.ClearancePoint != core.KindFetchClearance.String() {
+				t.Errorf("attack %d: clearance point %q, want %q",
+					r.Num, r.ClearancePoint, core.KindFetchClearance)
+			}
+			if r.PC == 0 {
+				t.Errorf("attack %d: detected row has no violation PC", r.Num)
+			}
+		} else {
+			if r.ClearancePoint != "" || r.PC != 0 {
+				t.Errorf("attack %d: N/A row carries a violation (%q, pc=0x%x)",
+					r.Num, r.ClearancePoint, r.PC)
+			}
+			if r.NAReason == "" {
+				t.Errorf("attack %d: N/A row without a reason", r.Num)
+			}
+		}
+	}
+}
+
+// TestMatrixGolden pins the rendered matrix byte-for-byte; CI regenerates the
+// matrix and fails on any deviation from this checked-in Table I.
+func TestMatrixGolden(t *testing.T) {
+	m, err := RunMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	m.WriteText(&text)
+	golden := filepath.Join("testdata", "table1_matrix.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, text.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/wk -run TestMatrixGolden -update)", err)
+	}
+	if !bytes.Equal(text.Bytes(), want) {
+		t.Errorf("matrix deviates from Table I golden:\n--- got ---\n%s--- want ---\n%s",
+			text.String(), want)
+	}
+}
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	m, err := RunMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Detected != m.Detected || back.NA != m.NA || len(back.Rows) != len(m.Rows) {
+		t.Errorf("round trip lost totals: %+v", back)
+	}
+}

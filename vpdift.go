@@ -46,6 +46,7 @@ import (
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
@@ -221,6 +222,26 @@ type (
 	Profiler = trace.Profiler
 )
 
+// Coverage-observability types (package internal/cover). Where the Observer
+// follows individual tainted values and the Trace watches the simulator,
+// these answer "what did this run actually exercise?".
+type (
+	// Cover bundles the enabled coverage views; leave fields nil to disable
+	// them. Attach via WithCoverage.
+	Cover = cover.Cover
+	// GuestCov records guest basic-block and edge coverage.
+	GuestCov = cover.GuestCov
+	// TaintCov records taint heatmaps and register occupancy.
+	TaintCov = cover.TaintCov
+	// PolicyAudit records per-rule policy enforcement counts and dead rules.
+	PolicyAudit = cover.PolicyAudit
+)
+
+// NewCoverage creates a coverage bundle with all three views enabled (on
+// the baseline VP only the guest view records). The platform sizes the
+// views at construction time.
+func NewCoverage() *Cover { return cover.New() }
+
 // NewKernelTrace creates a kernel/bus event recorder keeping at most limit
 // events (<= 0 means the default ring size).
 func NewKernelTrace(limit int) *KernelTrace { return trace.NewKernelTrace(limit) }
@@ -281,6 +302,18 @@ func WithObserver(o *Observer) Option {
 //	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol), vpdift.WithTrace(tr))
 func WithTrace(t *Trace) Option {
 	return optionFunc(func(c *soc.Config) { c.Trace = t })
+}
+
+// WithCoverage attaches the coverage-observability layer: guest block/edge
+// coverage, taint heatmaps, and the policy audit, per the views enabled in
+// cv (NewCoverage enables all three). A typical setup:
+//
+//	cov := vpdift.NewCoverage()
+//	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol), vpdift.WithCoverage(cov))
+//	...
+//	cov.Audit.WriteReport(os.Stdout)
+func WithCoverage(cv *Cover) Option {
+	return optionFunc(func(c *soc.Config) { c.Cover = cv })
 }
 
 // Scale selects a platform sizing preset (RAM and TLM quantum).
@@ -361,6 +394,8 @@ type Config struct {
 	Obs *Observer
 	// Trace attaches the simulation-side observability layer.
 	Trace *Trace
+	// Cover attaches the coverage-observability layer.
+	Cover *Cover
 }
 
 func (cfg Config) applyOption(c *soc.Config) {
@@ -373,6 +408,7 @@ func (cfg Config) applyOption(c *soc.Config) {
 		NoDecodeCache:  cfg.NoDecodeCache,
 		Obs:            cfg.Obs,
 		Trace:          cfg.Trace,
+		Cover:          cfg.Cover,
 	}
 }
 

@@ -274,3 +274,77 @@ msg:	.asciz "traced\n"
 		t.Error("VCD header incomplete")
 	}
 }
+
+func TestPublicCoverage(t *testing.T) {
+	img, err := vpdift.BuildProgram(`
+main:
+	la t0, key
+	li s0, 0
+	li s1, 4
+	li t1, 0
+1:	lw t2, 0(t0)
+	add t1, t1, t2
+	addi t0, t0, 4
+	addi s0, s0, 1
+	blt s0, s1, 1b
+	la t0, sum
+	sw t1, 0(t0)
+	li a0, 0
+	ret
+	.data
+	.align 2
+key:
+	.word 1, 2, 3, 4
+sum:
+	.word 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := vpdift.IFP1()
+	lc, hc := lat.MustTag(vpdift.ClassLC), lat.MustTag(vpdift.ClassHC)
+	key := img.MustSymbol("key")
+	pol := vpdift.NewPolicy(lat, lc).
+		WithOutput("uart0.tx", lc).
+		WithRegion(vpdift.RegionRule{
+			Name: "key", Start: key, End: key + 16,
+			Classify: true, Class: hc,
+		})
+	cov := vpdift.NewCoverage()
+	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol), vpdift.WithCoverage(cov))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Run(vpdift.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.ExitCode != 0 {
+		t.Fatalf("guest exited=%v code=%d", res.Exited, res.ExitCode)
+	}
+	s := cov.Guest.Stats()
+	if s.InsnsCovered == 0 || s.BlocksCovered == 0 || s.EdgesCovered == 0 {
+		t.Fatalf("guest coverage recorded nothing: %+v", s)
+	}
+	if cov.Taint.EverTainted() == 0 {
+		t.Error("taint heatmap empty despite the classified key region")
+	}
+	if !cov.Audit.Configured() {
+		t.Error("policy audit not configured despite WithPolicy")
+	}
+	if res.Metrics["cover.guest_insns_covered"] == 0 ||
+		res.Metrics["cover.taint_ever_bytes"] == 0 {
+		t.Errorf("cover gauges missing from metrics: %v", res.Metrics)
+	}
+	var rep strings.Builder
+	if err := cov.Guest.WriteReport(&rep, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "main:") {
+		t.Errorf("coverage report lacks the entry symbol:\n%s", rep.String())
+	}
+}
