@@ -24,13 +24,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vpdift/internal/core"
 	"vpdift/internal/cover"
 	"vpdift/internal/immo"
+	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
+	"vpdift/internal/telemetry"
 	"vpdift/internal/trace"
 )
 
@@ -45,6 +48,9 @@ var (
 	heatOut      = flag.String("heatmap", "", "write the taint heatmap of the authentication run to this file ('-' for stderr)")
 	auditOut     = flag.String("policy-audit", "", "write the policy-audit report of the authentication run to this file ('-' for stderr)")
 	auditJSONOut = flag.String("policy-audit-json", "", "write the policy-audit counters of the authentication run as JSON to this file")
+
+	sampleEvery   = flag.Duration("sample-every", 0, "simulated-time metrics sampling period for the authentication run (e.g. 1ms; 0 disables telemetry)")
+	timeseriesOut = flag.String("timeseries", "", "write the sampled metrics timeseries of the authentication run as JSONL to this file (.csv extension selects CSV)")
 )
 
 func main() {
@@ -121,6 +127,31 @@ func writeCoverExports(e *immo.ECU, cov *cover.Cover) {
 	}
 }
 
+// telemetrySetup builds the metrics sampler the command-line flags ask for
+// (nil when telemetry is off). -timeseries without an explicit cadence
+// samples at the 1 ms default.
+func telemetrySetup() *telemetry.Sampler {
+	if *sampleEvery <= 0 && *timeseriesOut == "" {
+		return nil
+	}
+	return telemetry.NewSampler(telemetry.Options{
+		Every: kernel.Time((*sampleEvery).Nanoseconds()),
+	})
+}
+
+// writeTelemetryExports dumps the sampled timeseries of the traced run.
+func writeTelemetryExports(smp *telemetry.Sampler) {
+	if smp == nil {
+		return
+	}
+	exportTo(*timeseriesOut, func(f *os.File) error {
+		if strings.HasSuffix(*timeseriesOut, ".csv") {
+			return smp.WriteCSV(f)
+		}
+		return smp.WriteJSONL(f)
+	})
+}
+
 // exportTo writes one export, reporting errors without aborting the rest.
 func exportTo(path string, fn func(*os.File) error) {
 	if path == "" {
@@ -186,7 +217,8 @@ func run() error {
 	step(1, "challenge/response authentication under the base policy")
 	observer, tr := traceSetup()
 	cov := coverSetup()
-	e, err := immo.NewECUCovered(immo.VariantFixed, immo.PolicyBase, observer, tr, cov)
+	smp := telemetrySetup()
+	e, err := immo.NewECUSampled(immo.VariantFixed, immo.PolicyBase, observer, tr, cov, smp)
 	if err != nil {
 		return err
 	}
@@ -199,8 +231,17 @@ func run() error {
 		return fmt.Errorf("response mismatch")
 	}
 	fmt.Println("    engine ECU verifies the response: OK (AES declassification at work)")
+	if smp != nil {
+		// A single authentication finishes within a couple of samples; let
+		// the firmware idle for a stretch so the exported timeseries also
+		// shows the quiet tail a dashboard would render.
+		if err := e.Idle(10 * kernel.MS); err != nil {
+			return err
+		}
+	}
 	writeTraceExports(e, observer, tr)
 	writeCoverExports(e, cov)
+	writeTelemetryExports(smp)
 	e.Close()
 
 	step(2, "debug memory dump on the original firmware (the vulnerability)")

@@ -11,11 +11,15 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"vpdift/internal/kernel"
 	"vpdift/internal/perf"
+	"vpdift/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +32,8 @@ func main() {
 	reps := flag.Int("reps", 1, "run each flavour this many times and keep the fastest (denoises shared runners; the guard uses 3)")
 	profileSmoke := flag.Bool("profile", false, "also run one workload with the trace layer attached and print its hot-path top table (trace smoke test)")
 	coverSmoke := flag.Bool("cover", false, "also run one workload with the coverage subsystem attached and check it stays within the Table II band of -baseline (coverage smoke test)")
+	telemetrySmoke := flag.Bool("telemetry", false, "also run one workload with the live-telemetry sampler attached and check the captured timeseries (telemetry smoke test)")
+	sampleEvery := flag.Duration("sample-every", time.Millisecond, "simulated-time sampling period of the -telemetry smoke run (recorded in the -json meta block)")
 	flag.Parse()
 
 	scale, err := perf.ParseScale(*scaleFlag)
@@ -56,6 +62,8 @@ func main() {
 	fmt.Print(perf.Table(rows))
 	if *jsonOut != "" {
 		rep := perf.NewReport(*scaleFlag, *tlmMem, rows)
+		meta := perf.NewReportMeta(*reps, kernel.Time((*sampleEvery).Nanoseconds()))
+		rep.Meta = &meta
 		if err := rep.WriteFile(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -145,5 +153,41 @@ func main() {
 					band*100, b.VPPlusMIPS)
 			}
 		}
+	}
+	if *telemetrySmoke {
+		w := perf.Workloads(scale)[0]
+		every := kernel.Time((*sampleEvery).Nanoseconds())
+		fmt.Fprintf(os.Stderr, "telemetry smoke: %s on the VP+ with a %v sampler attached\n", w.Name, *sampleEvery)
+		smp, m, err := perf.TelemetrySmoke(w, true, every)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		samples := smp.Samples()
+		fmt.Fprintf(os.Stderr, "telemetry smoke: %.1f MIPS sampled, %d samples captured\n",
+			m.MIPS(), len(samples))
+		if len(samples) < 2 {
+			fmt.Fprintln(os.Stderr, "telemetry smoke FAILED: fewer than 2 samples captured")
+			os.Exit(1)
+		}
+		for i := 1; i < len(samples); i++ {
+			if samples[i].Time <= samples[i-1].Time ||
+				samples[i].Metrics["sim.instret"] < samples[i-1].Metrics["sim.instret"] {
+				fmt.Fprintln(os.Stderr, "telemetry smoke FAILED: timeseries is not monotone")
+				os.Exit(1)
+			}
+		}
+		last := samples[len(samples)-1]
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf, last.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := telemetry.ValidateExposition(buf.String()); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry smoke FAILED: exposition invalid: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry smoke: timeseries monotone, final instret %d, exposition valid\n",
+			last.Metrics["sim.instret"])
 	}
 }

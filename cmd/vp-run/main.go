@@ -33,6 +33,7 @@ import (
 	"vpdift/internal/obs"
 	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
+	"vpdift/internal/telemetry"
 	"vpdift/internal/trace"
 )
 
@@ -58,6 +59,8 @@ func main() {
 	heatOut := flag.String("heatmap", "", "write the taint heatmap report (requires a policy) to this file ('-' for stderr)")
 	auditOut := flag.String("policy-audit", "", "write the policy-audit report (requires a policy) to this file ('-' for stderr)")
 	auditJSONOut := flag.String("policy-audit-json", "", "write the policy-audit counters as JSON to this file")
+	sampleEvery := flag.Duration("sample-every", 0, "simulated-time metrics sampling period (e.g. 1ms; 0 disables telemetry)")
+	timeseriesOut := flag.String("timeseries", "", "write the sampled metrics timeseries as JSONL to this file (.csv extension selects CSV)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -152,7 +155,15 @@ func main() {
 			cov.Audit = cover.NewAudit()
 		}
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer, Trace: tr, Cover: cov})
+	// Live telemetry: -timeseries without an explicit cadence samples at the
+	// 1 ms default.
+	var smp *telemetry.Sampler
+	if *sampleEvery > 0 || *timeseriesOut != "" {
+		smp = telemetry.NewSampler(telemetry.Options{
+			Every: kernel.Time((*sampleEvery).Nanoseconds()),
+		})
+	}
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer, Trace: tr, Cover: cov, Telemetry: smp})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -235,6 +246,14 @@ func main() {
 	writeExports(pl, observer, *metricsOut, *eventsOut, *chromeOut)
 	writeTraceExports(pl, tr, *vcdOut, *profileOut, *foldedOut, *ktOut)
 	writeCoverExports(cov, img, flag.Arg(0), *coverOut, *lcovOut, *heatOut, *auditOut, *auditJSONOut)
+	if smp != nil {
+		exportTo(*timeseriesOut, func(f *os.File) error {
+			if strings.HasSuffix(*timeseriesOut, ".csv") {
+				return smp.WriteCSV(f)
+			}
+			return smp.WriteJSONL(f)
+		})
+	}
 
 	var v *core.Violation
 	switch {

@@ -1,0 +1,163 @@
+// Command vp-serve runs one or more simulation sessions and serves their
+// live telemetry over HTTP, so a long immobilizer or benchmark run can be
+// watched from curl, a dashboard, or a real Prometheus scraper while it
+// executes.
+//
+// Usage:
+//
+//	vp-serve [-addr host:port] [-sessions immo,qsort,...] [-sample-every 1ms]
+//
+// Endpoints (see telemetry.Server.Handler):
+//
+//	GET /healthz                        liveness + session count
+//	GET /metrics                        Prometheus text format, all sessions
+//	GET /api/sessions                   session list as JSON
+//	GET /api/sessions/{id}/timeseries   sampler ring as JSONL (?format=csv)
+//	GET /api/sessions/{id}/events       SSE tail of the observer event ring
+//
+// The default session is the immobilizer of the Section VI-A case study
+// under its base policy, fed a fresh challenge every -challenge-every of
+// simulated time — an endless authentication loop whose taint events stream
+// on /events. Any Table II workload name (qsort, dhrystone, primes, sha512,
+// simple-sensor, freertos-tasks) runs that benchmark on the VP+ instead; it
+// ends when the guest exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"vpdift/internal/immo"
+	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
+	"vpdift/internal/perf"
+	"vpdift/internal/soc"
+	"vpdift/internal/telemetry"
+)
+
+var (
+	addr           = flag.String("addr", "127.0.0.1:8372", "HTTP listen address")
+	sessionsFlag   = flag.String("sessions", "immo", "comma-separated sessions to run: immo, or a Table II workload name")
+	scaleFlag      = flag.String("scale", "small", "workload scale for Table II sessions: small, medium or large")
+	sampleEvery    = flag.Duration("sample-every", time.Millisecond, "simulated-time metrics sampling period")
+	stepFlag       = flag.Duration("step", time.Millisecond, "simulated time each session advances per locked chunk")
+	horizonFlag    = flag.Duration("horizon", 0, "stop each session at this much simulated time (0 runs until the guest exits)")
+	challengeEvery = flag.Duration("challenge-every", 5*time.Millisecond, "simulated time between immobilizer challenges")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sv := telemetry.NewServer()
+	defer sv.Close()
+	for _, name := range strings.Split(*sessionsFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg, err := buildSession(name)
+		if err != nil {
+			return err
+		}
+		if err := sv.Add(cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "session %q running (sample every %v)\n", name, *sampleEvery)
+	}
+	fmt.Fprintf(os.Stderr, "serving on http://%s — try /healthz, /metrics, /api/sessions\n", *addr)
+	return http.ListenAndServe(*addr, sv.Handler())
+}
+
+func newSampler() *telemetry.Sampler {
+	return telemetry.NewSampler(telemetry.Options{
+		Every: kernel.Time((*sampleEvery).Nanoseconds()),
+	})
+}
+
+func buildSession(name string) (telemetry.SessionConfig, error) {
+	if name == "immo" {
+		return immoSession(name)
+	}
+	return workloadSession(name)
+}
+
+// immoSession builds the immobilizer under the base policy with an observer
+// and sampler attached, driven by an endless challenge schedule.
+func immoSession(id string) (telemetry.SessionConfig, error) {
+	smp := newSampler()
+	e, err := immo.NewECUSampled(immo.VariantFixed, immo.PolicyBase, obs.New(), nil, nil, smp)
+	if err != nil {
+		return telemetry.SessionConfig{}, err
+	}
+	var round byte
+	var next kernel.Time
+	drive := func() error {
+		// Called under the session lock between chunks: deliver the next
+		// challenge once the previous round's simulated window has passed.
+		if now := e.Platform.Sim.Now(); now >= next {
+			challenge := [8]byte{round, 2, 3, 4, 5, 6, 7, 8}
+			e.Platform.CAN.Deliver(0x100, challenge[:])
+			round++
+			next = now + kernel.Time((*challengeEvery).Nanoseconds())
+		}
+		return nil
+	}
+	return telemetry.SessionConfig{
+		ID:       id,
+		Platform: e.Platform,
+		Sampler:  smp,
+		Step:     kernel.Time((*stepFlag).Nanoseconds()),
+		Horizon:  kernel.Time((*horizonFlag).Nanoseconds()),
+		Drive:    drive,
+	}, nil
+}
+
+// workloadSession builds a Table II workload on the VP+ with an observer and
+// sampler attached; the session ends when the guest exits.
+func workloadSession(name string) (telemetry.SessionConfig, error) {
+	scale, err := perf.ParseScale(*scaleFlag)
+	if err != nil {
+		return telemetry.SessionConfig{}, err
+	}
+	for _, w := range perf.Workloads(scale) {
+		if w.Name != name || w.Drive != nil {
+			continue
+		}
+		img := w.Build()
+		smp := newSampler()
+		pl, err := soc.New(soc.Config{
+			Policy:    perf.SessionPolicy(w, img),
+			Obs:       obs.New(),
+			Telemetry: smp,
+		})
+		if err != nil {
+			return telemetry.SessionConfig{}, err
+		}
+		if err := pl.Load(img); err != nil {
+			pl.Shutdown()
+			return telemetry.SessionConfig{}, err
+		}
+		horizon := w.Horizon
+		if h := kernel.Time((*horizonFlag).Nanoseconds()); h != 0 {
+			horizon = h
+		}
+		return telemetry.SessionConfig{
+			ID:       name,
+			Platform: pl,
+			Sampler:  smp,
+			Step:     kernel.Time((*stepFlag).Nanoseconds()),
+			Horizon:  horizon,
+		}, nil
+	}
+	return telemetry.SessionConfig{}, fmt.Errorf("vp-serve: unknown session %q (immo or a driverless Table II workload)", name)
+}

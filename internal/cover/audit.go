@@ -196,6 +196,39 @@ func (a *PolicyAudit) DeadRules() []string {
 	return dead
 }
 
+// DeadRuleCount counts the rules DeadRules would list without rendering
+// their descriptions — the allocation-free form the per-sample telemetry
+// snapshot uses.
+func (a *PolicyAudit) DeadRuleCount() int {
+	n := 0
+	for i := 0; i < a.lat.Size(); i++ {
+		if !a.classTouched(i) {
+			n++
+		}
+	}
+	e := a.pol.Exec
+	if e.CheckFetch && !a.Fetch.exercised() {
+		n++
+	}
+	if e.CheckBranch && !a.Branch.exercised() {
+		n++
+	}
+	if e.CheckMemAddr && !a.MemAddr.exercised() {
+		n++
+	}
+	for i := range a.pol.Regions {
+		if a.pol.Regions[i].CheckStore && !a.regions[i].exercised() {
+			n++
+		}
+	}
+	for _, p := range a.outputs {
+		if !p.exercised() {
+			n++
+		}
+	}
+	return n
+}
+
 // auditJSON is the machine-readable export consumed by cmd/ifp-dot -cover
 // and the CI artifact upload.
 type auditJSON struct {

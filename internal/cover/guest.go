@@ -20,6 +20,7 @@ type GuestCov struct {
 	counts []uint64
 	edges  map[uint64]uint64 // pc<<32|next -> traversal count
 	img    *asm.Image
+	cfg    *staticCFG // lazily built from img; the image is fixed after load
 }
 
 // NewGuest returns an unconfigured guest-coverage view; the platform sizes
@@ -37,7 +38,19 @@ func (g *GuestCov) Configure(base, size uint32) {
 
 // SetImage attaches the loaded program so reports can attribute coverage to
 // functions and annotate disassembly.
-func (g *GuestCov) SetImage(img *asm.Image) { g.img = img }
+func (g *GuestCov) SetImage(img *asm.Image) {
+	g.img = img
+	g.cfg = nil
+}
+
+// staticCFG returns the image's control-flow graph, built once: Stats runs
+// on every telemetry sample, and the CFG depends only on the static text.
+func (g *GuestCov) staticCFG() *staticCFG {
+	if g.cfg == nil {
+		g.cfg = buildCFG(g.img)
+	}
+	return g.cfg
+}
 
 // OnRetire records one retired instruction and, when the successor is not
 // the fall-through (or the instruction is a conditional branch, whose
@@ -215,7 +228,7 @@ func (g *GuestCov) Stats() GuestStats {
 			s.InsnsCovered++
 		}
 	}
-	cfg := buildCFG(g.img)
+	cfg := g.staticCFG()
 	for leader := range cfg.leaders {
 		s.Blocks++
 		if g.Count(leader) > 0 {

@@ -11,6 +11,7 @@ import (
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 	"vpdift/internal/soc"
+	"vpdift/internal/telemetry"
 	"vpdift/internal/trace"
 )
 
@@ -153,6 +154,14 @@ func NewECUTraced(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace) 
 // paper's policy-validation workbench: after a run, cov.Audit reports which
 // rules of the immobilizer policy were never exercised.
 func NewECUCovered(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace, cov *cover.Cover) (*ECU, error) {
+	return NewECUSampled(v, kind, o, tr, cov, nil)
+}
+
+// NewECUSampled is NewECUCovered with a live-telemetry sampler also
+// attached; any of o, tr, cov and smp may be nil. The sampler ticks on
+// simulated time, so the captured timeseries is deterministic for a given
+// challenge schedule.
+func NewECUSampled(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace, cov *cover.Cover, smp *telemetry.Sampler) (*ECU, error) {
 	img := Firmware(v)
 	var pol *core.Policy
 	switch kind {
@@ -168,7 +177,7 @@ func NewECUCovered(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace,
 	default:
 		return nil, fmt.Errorf("immo: unknown policy kind %d", kind)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: o, Trace: tr, Cover: cov})
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: o, Trace: tr, Cover: cov, Telemetry: smp})
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +196,11 @@ func (e *ECU) Close() { e.Platform.Shutdown() }
 func (e *ECU) step(d kernel.Time) error {
 	return e.Platform.Run(e.Platform.Sim.Now() + d)
 }
+
+// Idle advances the simulation by d with no stimulus — the firmware polls
+// quietly. Useful for letting an attached telemetry sampler capture the
+// platform's idle shape.
+func (e *ECU) Idle(d kernel.Time) error { return e.step(d) }
 
 // stepUntil advances in 1 ms slices until cond holds or the budget runs
 // out; it reports whether cond held.

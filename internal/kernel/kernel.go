@@ -50,12 +50,14 @@ func (t Time) String() string {
 }
 
 // workItem is a scheduled unit of execution: either a thread wake-up or a
-// plain callback.
+// plain callback. Daemon items (wake-ups of daemon threads) never keep the
+// simulation alive on their own — see Run.
 type workItem struct {
 	at     Time
 	seq    uint64
 	thread *Thread
 	fn     func()
+	daemon bool
 }
 
 type workQueue []*workItem
@@ -106,6 +108,7 @@ type Simulator struct {
 	now     Time
 	seq     uint64
 	queue   workQueue
+	live    int // queued non-daemon work items
 	threads []*Thread
 	stopped bool
 	err     error
@@ -144,6 +147,9 @@ func (s *Simulator) Fatal(err error) {
 func (s *Simulator) push(it *workItem) {
 	it.seq = s.seq
 	s.seq++
+	if !it.daemon {
+		s.live++
+	}
 	heap.Push(&s.queue, it)
 }
 
@@ -163,6 +169,12 @@ func (s *Simulator) After(d Time, fn func()) { s.At(s.now+d, fn) }
 // or the simulation is stopped. It returns the fatal error, if any. The clock
 // never advances past `until`; work scheduled later stays queued for a
 // subsequent Run call.
+//
+// Daemon threads (SpawnDaemon) never keep the simulation alive: once only
+// daemon wake-ups remain queued, an unbounded Run returns exactly as if the
+// queue had drained. Under a finite horizon the remaining daemon items still
+// execute up to the horizon — a periodic sampler keeps ticking through idle
+// stretches the caller explicitly asked to simulate.
 func (s *Simulator) Run(until Time) error {
 	if s.running {
 		panic("kernel: Run called from inside a process")
@@ -171,15 +183,25 @@ func (s *Simulator) Run(until Time) error {
 	defer func() { s.running = false }()
 
 	for !s.stopped && len(s.queue) > 0 {
+		if s.live == 0 && until == Forever {
+			break // only daemon work left; an unbounded run would never end
+		}
 		next := s.queue[0]
 		if next.at > until {
 			break
 		}
 		heap.Pop(&s.queue)
-		if s.trace != nil && next.at != s.now {
-			s.trace.TimeAdvance(s.now, next.at)
+		if !next.daemon {
+			s.live--
 		}
-		s.now = next.at
+		// Daemon-only stretches can leave the clock already advanced past a
+		// queued item's schedule time; the clock must never move backwards.
+		if next.at > s.now {
+			if s.trace != nil {
+				s.trace.TimeAdvance(s.now, next.at)
+			}
+			s.now = next.at
+		}
 		if next.thread != nil {
 			next.thread.dispatch()
 		} else {
@@ -209,6 +231,7 @@ func (s *Simulator) Shutdown() {
 	}
 	s.threads = nil
 	s.queue = nil
+	s.live = 0
 }
 
 // Event is the analog of sc_event: processes block on it with
@@ -253,6 +276,7 @@ type Thread struct {
 	yield  chan struct{}
 	done   bool
 	queued bool
+	daemon bool
 	proc   *Proc
 }
 
@@ -265,11 +289,26 @@ type Proc struct {
 // time. The body runs until it returns; a body that wants to live for the
 // whole simulation loops around Wait calls, exactly like an SC_THREAD.
 func (s *Simulator) Spawn(name string, body func(p *Proc)) *Thread {
+	return s.spawn(name, body, false)
+}
+
+// SpawnDaemon creates a daemon thread: it participates in simulated time
+// like any other thread, but its pending wake-ups never keep the simulation
+// alive — Run(Forever) returns when only daemon work remains, exactly as if
+// the queue had drained. This is the contract a periodic telemetry sampler
+// needs: it observes the platform at a fixed simulated cadence without
+// turning a finished (or deadlocked) simulation into an infinite loop.
+func (s *Simulator) SpawnDaemon(name string, body func(p *Proc)) *Thread {
+	return s.spawn(name, body, true)
+}
+
+func (s *Simulator) spawn(name string, body func(p *Proc), daemon bool) *Thread {
 	t := &Thread{
 		s:      s,
 		name:   name,
 		resume: make(chan bool),
 		yield:  make(chan struct{}),
+		daemon: daemon,
 	}
 	t.proc = &Proc{t: t}
 	s.threads = append(s.threads, t)
@@ -313,7 +352,7 @@ func (t *Thread) scheduleWake(at Time) {
 	if t.s.trace != nil {
 		t.s.trace.ThreadWake(t.name, t.s.now, at)
 	}
-	t.s.push(&workItem{at: at, thread: t})
+	t.s.push(&workItem{at: at, thread: t, daemon: t.daemon})
 }
 
 // dispatch resumes the thread and blocks until it yields or finishes.

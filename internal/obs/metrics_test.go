@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"sim.instret", "sim_instret"},
+		{"bus.monitor_dropped.uart0", "bus_monitor_dropped_uart0"},
+		{"violations.output-clearance", "violations_output_clearance"},
+		{"io.uart0.tx.bytes", "io_uart0_tx_bytes"},
+		{"lub_ops", "lub_ops"},
+		{"already_legal:name", "already_legal:name"},
+		{"9starts.with.digit", "_9starts_with_digit"},
+		{"", "_"},
+		{"weird name/with spaces", "weird_name_with_spaces"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Already-legal names must come back unchanged (same string, no copy
+	// needed, but at minimum equal).
+	if got := SanitizeMetricName("checks_fetch"); got != "checks_fetch" {
+		t.Errorf("legal name changed: %q", got)
+	}
+}
+
+func TestMetricsSnapshotInto(t *testing.T) {
+	m := NewMetrics()
+	m.Add("a.one", 1)
+	m.Add("b.two", 2)
+	dst := map[string]uint64{"stale": 99, "a.one": 77}
+	m.SnapshotInto(dst)
+	if dst["a.one"] != 1 || dst["b.two"] != 2 {
+		t.Errorf("SnapshotInto = %v", dst)
+	}
+	if dst["stale"] != 99 {
+		t.Error("SnapshotInto must leave unrelated keys alone")
+	}
+	// Snapshot and SnapshotInto agree.
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap["a.one"] != 1 || snap["b.two"] != 2 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+}
+
+// The sampler contract: once dst has seen the counter set, re-snapshotting
+// into it allocates nothing.
+func TestMetricsSnapshotIntoZeroAlloc(t *testing.T) {
+	m := NewMetrics()
+	for _, name := range []string{"sim.instret", "checks.fetch", "bus.txns", "io.uart0.tx.bytes"} {
+		m.Add(name, 3)
+	}
+	dst := make(map[string]uint64, 8)
+	m.SnapshotInto(dst) // warm: keys exist, map sized
+	allocs := testing.AllocsPerRun(200, func() {
+		m.SnapshotInto(dst)
+	})
+	if allocs != 0 {
+		t.Errorf("SnapshotInto allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func BenchmarkMetricsSnapshotInto(b *testing.B) {
+	m := NewMetrics()
+	for i := 0; i < 40; i++ {
+		m.Add(string(rune('a'+i%26))+".counter", uint64(i))
+	}
+	dst := make(map[string]uint64, 64)
+	m.SnapshotInto(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SnapshotInto(dst)
+	}
+}
+
+func BenchmarkMetricsSnapshot(b *testing.B) {
+	m := NewMetrics()
+	for i := 0; i < 40; i++ {
+		m.Add(string(rune('a'+i%26))+".counter", uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Snapshot()
+	}
+}

@@ -408,7 +408,9 @@ func (o *Observer) OnViolation(v *core.Violation, prev, prev2 uint64) {
 		Prev: prev, Prev2: prev2,
 	})
 	v.Provenance = o.Chain(s)
-	o.violations[v.Kind.String()]++
+	// Stored under the exported "violations." name directly so snapshots
+	// (including the sampler's allocation-free path) never concatenate.
+	o.violations["violations."+v.Kind.String()]++
 }
 
 // ---------------------------------------------------------------------------
@@ -523,22 +525,31 @@ func (o *Observer) BusSink(dev string) func(tlm.Transaction) {
 // retired, simulated time, decode-cache fills) on top; use
 // soc.Platform.MetricsSnapshot or vpdift.Result.Metrics for the full set.
 func (o *Observer) MetricsSnapshot() map[string]uint64 {
-	m := o.m.Snapshot()
-	m["obs.events"] = o.seq
-	m["obs.evicted"] = o.evicted
-	m["obs.pinned"] = uint64(len(o.pinned))
-	m["lub_ops"] = o.lubs
-	m["checks.fetch"] = o.Checks.Fetch
-	m["checks.branch"] = o.Checks.Branch
-	m["checks.mem_addr"] = o.Checks.MemAddr
-	m["checks.store"] = o.Checks.Store
-	m["checks.output"] = o.Checks.Output
-	m["checks.input"] = o.Checks.Input
-	m["bus.txns"] = o.busTxns
-	m["bus.read_bytes"] = o.busRead
-	m["bus.write_bytes"] = o.busWrite
-	for k, n := range o.violations {
-		m["violations."+k] = n
-	}
+	m := make(map[string]uint64, len(o.violations)+16)
+	o.MetricsSnapshotInto(m)
 	return m
+}
+
+// MetricsSnapshotInto writes every counter the observer holds into dst,
+// overwriting colliding keys and allocating nothing once dst has seen the
+// key set before. The telemetry sampler calls this once per simulated
+// sampling period, so a multi-hour run must not churn one map per sample.
+func (o *Observer) MetricsSnapshotInto(dst map[string]uint64) {
+	o.m.SnapshotInto(dst)
+	dst["obs.events"] = o.seq
+	dst["obs.evicted"] = o.evicted
+	dst["obs.pinned"] = uint64(len(o.pinned))
+	dst["lub_ops"] = o.lubs
+	dst["checks.fetch"] = o.Checks.Fetch
+	dst["checks.branch"] = o.Checks.Branch
+	dst["checks.mem_addr"] = o.Checks.MemAddr
+	dst["checks.store"] = o.Checks.Store
+	dst["checks.output"] = o.Checks.Output
+	dst["checks.input"] = o.Checks.Input
+	dst["bus.txns"] = o.busTxns
+	dst["bus.read_bytes"] = o.busRead
+	dst["bus.write_bytes"] = o.busWrite
+	for k, n := range o.violations {
+		dst[k] = n
+	}
 }

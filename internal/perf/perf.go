@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"vpdift/internal/immo"
 	"vpdift/internal/kernel"
 	"vpdift/internal/soc"
+	"vpdift/internal/telemetry"
 	"vpdift/internal/trace"
 )
 
@@ -77,6 +79,16 @@ func codeInjectionPolicy(img *asm.Image) *core.Policy {
 			Name: "image", Start: img.Base, End: img.End(),
 			Classify: true, Class: hi,
 		})
+}
+
+// SessionPolicy returns the VP+ policy for a workload image: the workload's
+// own policy when it has one, the standard code-injection policy otherwise.
+// vp-serve uses it to run Table II workloads as live sessions.
+func SessionPolicy(w Workload, img *asm.Image) *core.Policy {
+	if w.Policy != nil {
+		return w.Policy(img)
+	}
+	return codeInjectionPolicy(img)
 }
 
 // Workloads returns the seven Table II rows at the given scale.
@@ -180,6 +192,10 @@ type Options struct {
 	// policy audit) to the measured platform; nil measures the undisturbed
 	// fast path. Used by the -cover smoke run of the CI perf guard.
 	Cover *cover.Cover
+	// Telemetry attaches a live-metrics sampler to the measured platform;
+	// nil measures the undisturbed fast path. Used by the -telemetry smoke
+	// run of the CI perf guard.
+	Telemetry *telemetry.Sampler
 }
 
 // RunOnce executes the workload on one platform flavour (dift selects VP+)
@@ -205,7 +221,7 @@ func RunOnceOpts(w Workload, o Options) (Measurement, error) {
 			pol = codeInjectionPolicy(img)
 		}
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, NoDecodeCache: o.NoDecodeCache, Trace: o.Trace, Cover: o.Cover})
+	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, NoDecodeCache: o.NoDecodeCache, Trace: o.Trace, Cover: o.Cover, Telemetry: o.Telemetry})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -257,6 +273,17 @@ func CoverSmoke(w Workload, dift bool) (*cover.Cover, Measurement, error) {
 	cv := cover.New()
 	m, err := RunOnceOpts(w, Options{DIFT: dift, Cover: cv})
 	return cv, m, err
+}
+
+// TelemetrySmoke runs one workload with a live-telemetry sampler ticking at
+// the given simulated-time period and returns the sampler for inspection. It
+// is the CI guard's check that the sampler daemon coexists with the hot
+// loop: the run must exit cleanly and the captured timeseries must be
+// well-formed (checked by the caller).
+func TelemetrySmoke(w Workload, dift bool, every kernel.Time) (*telemetry.Sampler, Measurement, error) {
+	smp := telemetry.NewSampler(telemetry.Options{Every: every})
+	m, err := RunOnceOpts(w, Options{DIFT: dift, Telemetry: smp})
+	return smp, m, err
 }
 
 // Row is one completed Table II row.
@@ -346,11 +373,36 @@ type ReportRow struct {
 	Overhead   float64 `json:"overhead_factor"`
 }
 
+// ReportMeta records the conditions a report was measured under, so a
+// baseline diff can tell a code regression from a host change. SampleEveryNS
+// is the telemetry smoke's sampling period (0 when the smoke did not run).
+type ReportMeta struct {
+	GoVersion     string `json:"go_version"`
+	OS            string `json:"os"`
+	Arch          string `json:"arch"`
+	NumCPU        int    `json:"num_cpu"`
+	Reps          int    `json:"reps"`
+	SampleEveryNS uint64 `json:"sample_every_ns,omitempty"`
+}
+
+// NewReportMeta captures the current host and run configuration.
+func NewReportMeta(reps int, sampleEvery kernel.Time) ReportMeta {
+	return ReportMeta{
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Reps:          reps,
+		SampleEveryNS: uint64(sampleEvery),
+	}
+}
+
 // Report is the machine-readable Table II comparison, written next to the
 // human-readable table so CI or plotting scripts can diff runs.
 type Report struct {
 	Scale           string      `json:"scale"`
 	TLMMem          bool        `json:"tlm_mem"`
+	Meta            *ReportMeta `json:"meta,omitempty"`
 	Rows            []ReportRow `json:"rows"`
 	AverageOverhead float64     `json:"average_overhead"`
 }

@@ -25,6 +25,7 @@ import (
 	"vpdift/internal/obs"
 	"vpdift/internal/periph"
 	"vpdift/internal/rv32"
+	"vpdift/internal/telemetry"
 	"vpdift/internal/tlm"
 	"vpdift/internal/trace"
 )
@@ -98,6 +99,12 @@ type Config struct {
 	// baseline VP only the guest view applies. Nil keeps the cores'
 	// post-retire hook on its one-branch fast path.
 	Cover *cover.Cover
+	// Telemetry, when non-nil, runs a periodic metrics sampler on a kernel
+	// daemon thread: every Sampler.Options().Every of simulated time it
+	// snapshots MetricsSnapshotInto into its bounded ring. Daemon threads
+	// never keep an unbounded Run alive, so enabling telemetry does not
+	// change when a simulation ends. Nil (the default) spawns nothing.
+	Telemetry *telemetry.Sampler
 }
 
 // Platform is a constructed virtual prototype.
@@ -136,6 +143,7 @@ type Platform struct {
 
 type namedMonitor struct {
 	name string
+	key  string // "bus.monitor_dropped."+name, precomputed so snapshots don't concat
 	m    *tlm.Monitor
 }
 
@@ -292,7 +300,9 @@ func New(cfg Config) (*Platform, error) {
 		if cfg.Obs != nil {
 			m := tlm.NewMonitor(t, pl.Sim, 1)
 			m.OnTransaction = cfg.Obs.BusSink(name)
-			pl.monitors = append(pl.monitors, namedMonitor{name: name, m: m})
+			pl.monitors = append(pl.monitors, namedMonitor{
+				name: name, key: "bus.monitor_dropped." + name, m: m,
+			})
 			t = m
 		}
 		pl.Bus.MustMap(name, base, size, t)
@@ -366,6 +376,12 @@ func New(cfg Config) (*Platform, error) {
 	}
 
 	pl.spawnCPU()
+
+	// Live telemetry rides on a daemon thread spawned after the CPU so the
+	// first tick observes a platform that has already started executing.
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Start(pl.Sim, pl.MetricsSnapshotInto)
+	}
 	return pl, nil
 }
 
@@ -595,11 +611,21 @@ func (pl *Platform) IsDIFT() bool { return pl.TaintCore != nil }
 // gauges are also pushed into the observer's Metrics registry so they ride
 // along wherever that registry is exported.
 func (pl *Platform) MetricsSnapshot() map[string]uint64 {
-	var m map[string]uint64
+	m := make(map[string]uint64, 64)
+	pl.MetricsSnapshotInto(m)
+	return m
+}
+
+// MetricsSnapshotInto fills dst with the same merged view as MetricsSnapshot
+// without allocating: every key written here is either a constant, a
+// pre-concatenated monitor key, or comes from the observer's own
+// allocation-free SnapshotInto. The telemetry sampler calls this once per
+// tick into a reused map, so a long run must not churn garbage per sample.
+// Platform gauges are written after the observer's counters, so on a key
+// collision the platform's value wins.
+func (pl *Platform) MetricsSnapshotInto(m map[string]uint64) {
 	if pl.cfg.Obs != nil {
-		m = pl.cfg.Obs.MetricsSnapshot()
-	} else {
-		m = make(map[string]uint64, 8)
+		pl.cfg.Obs.MetricsSnapshotInto(m)
 	}
 	m["sim.instret"] = pl.Instret()
 	m["sim.time_ns"] = uint64(pl.Sim.Now())
@@ -627,7 +653,7 @@ func (pl *Platform) MetricsSnapshot() map[string]uint64 {
 	var dropped uint64
 	for _, nm := range pl.monitors {
 		d := nm.m.Dropped()
-		m["bus.monitor_dropped."+nm.name] = d
+		m[nm.key] = d
 		dropped += d
 	}
 	if pl.monitors != nil {
@@ -665,7 +691,7 @@ func (pl *Platform) MetricsSnapshot() map[string]uint64 {
 			m["cover.audit_fetch_checks"] = cv.Audit.Fetch.Checks
 			m["cover.audit_branch_checks"] = cv.Audit.Branch.Checks
 			m["cover.audit_memaddr_checks"] = cv.Audit.MemAddr.Checks
-			m["cover.audit_dead_rules"] = uint64(len(cv.Audit.DeadRules()))
+			m["cover.audit_dead_rules"] = uint64(cv.Audit.DeadRuleCount())
 		}
 	}
 
@@ -677,11 +703,16 @@ func (pl *Platform) MetricsSnapshot() map[string]uint64 {
 		*reg.Counter("sim.decode_cache_misses") = misses
 		*reg.Counter("bus.monitor_dropped") = dropped
 	}
-	return m
 }
 
 // Observer returns the attached observer, nil when observability is off.
 func (pl *Platform) Observer() *obs.Observer { return pl.cfg.Obs }
+
+// Telemetry returns the attached metrics sampler, nil when telemetry is off.
+func (pl *Platform) Telemetry() *telemetry.Sampler { return pl.cfg.Telemetry }
+
+// Now returns the current simulated time.
+func (pl *Platform) Now() kernel.Time { return pl.Sim.Now() }
 
 // TaintSummary counts RAM bytes per security class — a debugging aid for
 // policy development ("how far did the secret spread?"). It returns nil on

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes the retained samples oldest-first, one JSON object per
+// line. Each line carries the simulated timestamp, the derived rates, and
+// the full metric map (keys sorted by encoding/json, so output is
+// deterministic for a deterministic run).
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	var err error
+	s.each(func(sm *Sample) {
+		if err == nil {
+			err = enc.Encode(sm)
+		}
+	})
+	return err
+}
+
+// csvHeader lists the fixed CSV columns; the full metric map does not fit a
+// rectangular format, so CSV carries the derived rates plus the headline
+// gauges and JSONL carries everything.
+var csvHeader = []string{
+	"seq", "t_ns", "wall_ns", "instret",
+	"mips", "taint_events_per_s", "violations",
+	"decode_cache_hit_ratio", "bus_bytes_per_s",
+}
+
+// WriteCSV writes the retained samples oldest-first as CSV with a header
+// row — the spreadsheet-friendly companion to WriteJSONL.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	var err error
+	s.each(func(sm *Sample) {
+		if err != nil {
+			return
+		}
+		err = cw.Write([]string{
+			strconv.FormatUint(sm.Seq, 10),
+			strconv.FormatUint(uint64(sm.Time), 10),
+			strconv.FormatInt(int64(sm.Wall), 10),
+			strconv.FormatUint(sm.Metrics["sim.instret"], 10),
+			strconv.FormatFloat(sm.Derived.MIPS, 'g', -1, 64),
+			strconv.FormatFloat(sm.Derived.TaintEventRate, 'g', -1, 64),
+			strconv.FormatUint(sm.Derived.Violations, 10),
+			strconv.FormatFloat(sm.Derived.DecodeCacheHitRatio, 'g', -1, 64),
+			strconv.FormatFloat(sm.Derived.BusBytesPerSec, 'g', -1, 64),
+		})
+	})
+	if err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vpdift/internal/obs"
+)
+
+// MetricSet is one labeled group of counters — typically one simulation
+// session. Labels become Prometheus label pairs on every sample line.
+type MetricSet struct {
+	Labels  map[string]string
+	Metrics map[string]uint64
+}
+
+// namePrefix is prepended to every sanitized metric name so the platform's
+// metrics land in their own Prometheus namespace.
+const namePrefix = "vpdift_"
+
+// promHelp maps the platform's metric-name prefixes to HELP text. Longest
+// match wins; the table is ordered most-specific first.
+var promHelp = []struct{ prefix, help string }{
+	{"sim.decode_cache", "Predecoded-instruction cache statistic."},
+	{"sim.", "Simulation gauge sampled from the platform."},
+	{"checks.", "DIFT clearance checks performed, by check point."},
+	{"violations.", "Policy violations detected, by violation kind."},
+	{"bus.monitor", "TLM bus-monitor transaction accounting."},
+	{"bus.", "TLM bus traffic counter."},
+	{"io.", "Peripheral I/O counter."},
+	{"obs.", "Observer provenance-ring counter."},
+	{"lub_ops", "Security-lattice least-upper-bound operations."},
+	{"trace.", "Trace subsystem counter."},
+	{"cover.", "Coverage gauge."},
+}
+
+// promIsGauge reports whether a metric is exposed as a gauge rather than a
+// counter. Coverage metrics describe a current level (covered blocks can
+// only grow here, but conceptually they measure state, not a flow), and the
+// audit dead-rule count genuinely shrinks as rules fire; everything else the
+// platform emits is a monotone counter.
+func promIsGauge(name string) bool {
+	return strings.HasPrefix(name, "cover.")
+}
+
+func helpFor(name string) string {
+	for _, h := range promHelp {
+		if strings.HasPrefix(name, h.prefix) {
+			return h.help
+		}
+	}
+	return "vpdift platform metric."
+}
+
+// WritePrometheus renders one unlabeled metric set in the Prometheus text
+// exposition format (version 0.0.4): for every counter a # HELP line, a
+// # TYPE line, and a sample line, with names routed through
+// obs.SanitizeMetricName and prefixed vpdift_. Output is sorted by exposed
+// name, so a deterministic run produces byte-identical output.
+func WritePrometheus(w io.Writer, metrics map[string]uint64) error {
+	return WritePrometheusSets(w, []MetricSet{{Metrics: metrics}})
+}
+
+// WritePrometheusSets renders several labeled metric sets into one valid
+// exposition: all samples sharing an exposed name are grouped under a single
+// HELP/TYPE pair (the format forbids repeating them), with one sample line
+// per set that carries the metric.
+func WritePrometheusSets(w io.Writer, sets []MetricSet) error {
+	type sample struct {
+		labels string
+		value  uint64
+	}
+	byName := make(map[string][]sample)
+	gauge := make(map[string]bool)
+	help := make(map[string]string)
+	for _, set := range sets {
+		labels := renderLabels(set.Labels)
+		for name, v := range set.Metrics {
+			exposed := namePrefix + obs.SanitizeMetricName(name)
+			byName[exposed] = append(byName[exposed], sample{labels, v})
+			if _, ok := help[exposed]; !ok {
+				help[exposed] = helpFor(name)
+				gauge[exposed] = promIsGauge(name)
+			}
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		typ := "counter"
+		if gauge[n] {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", n, help[n], n, typ); err != nil {
+			return err
+		}
+		samples := byName[n]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].labels < samples[j].labels })
+		for _, s := range samples {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", n, s.labels, s.value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels turns a label map into the {k="v",...} suffix with keys
+// sorted and values escaped per the exposition format.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(obs.SanitizeMetricName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
+)
+
+// Platform is the slice of *soc.Platform the server needs. Keeping it an
+// interface here (rather than importing soc) breaks the soc→telemetry→soc
+// cycle and lets tests drive the server with a stub.
+type Platform interface {
+	// Run advances the simulation to the horizon (kernel.Simulator.Run
+	// semantics: the clock never passes it).
+	Run(horizon kernel.Time) error
+	// Now returns the current simulated time.
+	Now() kernel.Time
+	// MetricsSnapshotInto fills dst with the platform's current counters.
+	MetricsSnapshotInto(dst map[string]uint64)
+	// Observer returns the attached observer, nil when observability is off.
+	Observer() *obs.Observer
+	// Exited reports whether the guest powered off, with its exit code.
+	Exited() (bool, uint32)
+}
+
+// SessionConfig describes one simulation to serve.
+type SessionConfig struct {
+	// ID names the session in URLs and the session label on /metrics.
+	ID string
+	// Platform is the simulation; the session goroutine owns it and all
+	// HTTP access is serialized against it through the session mutex.
+	Platform Platform
+	// Sampler, when set, backs the /timeseries endpoint. The caller starts
+	// it (soc wires it through Config.Telemetry); the server only reads.
+	Sampler *Sampler
+	// Step is how much simulated time each locked Run chunk advances.
+	// Defaults to 1ms — long enough to amortize lock traffic, short enough
+	// that scrapes never wait perceptibly.
+	Step kernel.Time
+	// Horizon ends the session when simulated time reaches it; 0 runs until
+	// the guest exits or the session is stopped.
+	Horizon kernel.Time
+	// Drive, when set, is called between chunks (under the session lock) to
+	// feed the simulation — e.g. delivering the next immobilizer challenge.
+	// Returning an error ends the session.
+	Drive func() error
+}
+
+// session wraps a platform with the mutex that serializes the run loop
+// against HTTP readers. The kernel is single-threaded by design; the mutex
+// is the only thing that makes snapshots safe while the loop runs.
+type session struct {
+	cfg  SessionConfig
+	stop chan struct{}
+
+	mu   sync.Mutex // guards the platform and the fields below
+	done bool
+	err  error
+}
+
+// Server runs simulation sessions and serves their telemetry. Create with
+// NewServer, register sessions with Add, expose Handler on any http.Server.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	order    []string
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{sessions: make(map[string]*session)}
+}
+
+// Add registers a session and starts its run-loop goroutine. The loop
+// advances the platform in Step-sized chunks, holding the session lock only
+// while the kernel runs, so scrapes interleave between chunks.
+func (sv *Server) Add(cfg SessionConfig) error {
+	if cfg.ID == "" || cfg.Platform == nil {
+		return fmt.Errorf("telemetry: session needs an ID and a Platform")
+	}
+	if cfg.Step == 0 {
+		cfg.Step = kernel.Time(1_000_000) // 1ms
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if _, dup := sv.sessions[cfg.ID]; dup {
+		return fmt.Errorf("telemetry: duplicate session %q", cfg.ID)
+	}
+	s := &session{cfg: cfg, stop: make(chan struct{})}
+	sv.sessions[cfg.ID] = s
+	sv.order = append(sv.order, cfg.ID)
+	go s.loop()
+	return nil
+}
+
+// Close stops every session loop. Platforms are left intact; callers that
+// own them shut them down afterwards.
+func (sv *Server) Close() {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	for _, s := range sv.sessions {
+		select {
+		case <-s.stop:
+		default:
+			close(s.stop)
+		}
+	}
+}
+
+func (sv *Server) get(id string) *session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.sessions[id]
+}
+
+func (sv *Server) all() []*session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	out := make([]*session, 0, len(sv.order))
+	for _, id := range sv.order {
+		out = append(out, sv.sessions[id])
+	}
+	return out
+}
+
+func (s *session) loop() {
+	pl := s.cfg.Platform
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			return
+		}
+		target := pl.Now() + s.cfg.Step
+		if s.cfg.Horizon != 0 && target > s.cfg.Horizon {
+			target = s.cfg.Horizon
+		}
+		err := pl.Run(target)
+		if err == nil && s.cfg.Drive != nil {
+			err = s.cfg.Drive()
+		}
+		exited, _ := pl.Exited()
+		if err != nil || exited || (s.cfg.Horizon != 0 && pl.Now() >= s.cfg.Horizon) {
+			s.err = err
+			s.done = true
+		}
+		done := s.done
+		s.mu.Unlock()
+		if done {
+			return
+		}
+		// Yield between chunks so HTTP readers can take the lock. Simulated
+		// time advances even through guest idle (the kernel idles to the
+		// chunk horizon), so there is nothing to busy-poll for.
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// sessionInfo is the /api/sessions JSON shape.
+type sessionInfo struct {
+	ID       string `json:"id"`
+	SimNs    uint64 `json:"sim_time_ns"`
+	Instret  uint64 `json:"instret"`
+	Samples  uint64 `json:"samples"`
+	Done     bool   `json:"done"`
+	Exited   bool   `json:"exited"`
+	ExitCode uint32 `json:"exit_code,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (s *session) info() sessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]uint64, 64)
+	s.cfg.Platform.MetricsSnapshotInto(m)
+	exited, code := s.cfg.Platform.Exited()
+	info := sessionInfo{
+		ID:       s.cfg.ID,
+		SimNs:    uint64(s.cfg.Platform.Now()),
+		Instret:  m["sim.instret"],
+		Done:     s.done,
+		Exited:   exited,
+		ExitCode: code,
+	}
+	if s.cfg.Sampler != nil {
+		info.Samples = s.cfg.Sampler.Total()
+	}
+	if s.err != nil {
+		info.Error = s.err.Error()
+	}
+	return info
+}
+
+// Handler returns the server's HTTP routes:
+//
+//	GET /healthz                        liveness + session count
+//	GET /metrics                        Prometheus text format, all sessions
+//	GET /api/sessions                   session list as JSON
+//	GET /api/sessions/{id}/timeseries   sampler ring as JSONL (?format=csv)
+//	GET /api/sessions/{id}/events       SSE tail of the observer event ring
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	mux.HandleFunc("GET /metrics", sv.handleMetrics)
+	mux.HandleFunc("GET /api/sessions", sv.handleSessions)
+	mux.HandleFunc("GET /api/sessions/{id}/timeseries", sv.handleTimeseries)
+	mux.HandleFunc("GET /api/sessions/{id}/events", sv.handleEvents)
+	return mux
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	sv.mu.Lock()
+	n := len(sv.sessions)
+	sv.mu.Unlock()
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"sessions\":%d}\n", n)
+}
+
+func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sets := make([]MetricSet, 0, 4)
+	for _, s := range sv.all() {
+		m := make(map[string]uint64, 64)
+		s.mu.Lock()
+		s.cfg.Platform.MetricsSnapshotInto(m)
+		s.mu.Unlock()
+		sets = append(sets, MetricSet{
+			Labels:  map[string]string{"session": s.cfg.ID},
+			Metrics: m,
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WritePrometheusSets(w, sets)
+}
+
+func (sv *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	infos := make([]sessionInfo, 0, 4)
+	for _, s := range sv.all() {
+		infos = append(infos, s.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(infos)
+}
+
+func (sv *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	s := sv.get(r.PathValue("id"))
+	if s == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if s.cfg.Sampler == nil {
+		http.Error(w, "session has no sampler", http.StatusNotFound)
+		return
+	}
+	// The sampler has its own lock; the session lock is not needed because
+	// the daemon thread only appends between kernel events.
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		s.cfg.Sampler.WriteCSV(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.cfg.Sampler.WriteJSONL(w)
+}
+
+// handleEvents tails the observer's provenance ring as server-sent events:
+// each taint event newer than the last delivered sequence number becomes one
+// `data:` frame of the event's JSON. The handler polls the ring — the
+// simulation cannot push without perturbing determinism.
+func (sv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s := sv.get(r.PathValue("id"))
+	if s == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if s.cfg.Platform.Observer() == nil {
+		http.Error(w, "session has no observer", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	var lastSeq uint64
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.mu.Lock()
+		events := s.cfg.Platform.Observer().Events()
+		done := s.done
+		s.mu.Unlock()
+		for _, ev := range events {
+			if ev.Seq <= lastSeq {
+				continue
+			}
+			lastSeq = ev.Seq
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, b)
+		}
+		fl.Flush()
+		if done {
+			fmt.Fprint(w, "event: done\ndata: {}\n\n")
+			fl.Flush()
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Line shapes of the text exposition format (version 0.0.4), restricted to
+// what this package emits: integer-valued samples, optional label sets.
+var (
+	reHelp   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	reType   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	reSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-][0-9]+)?$`)
+)
+
+// ValidateExposition checks that text is a well-formed Prometheus text-format
+// exposition: every line is a HELP comment, a TYPE comment, or a sample with
+// a legal metric name; HELP/TYPE for a name appear at most once and before
+// any of its samples. It exists so tests (and CI) can assert /metrics output
+// without a real Prometheus binary.
+func ValidateExposition(text string) error {
+	typed := make(map[string]bool)
+	helped := make(map[string]bool)
+	sampled := make(map[string]bool)
+	for i, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := i + 1
+		if m := reHelp.FindStringSubmatch(line); m != nil {
+			if helped[m[1]] {
+				return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, m[1])
+			}
+			if sampled[m[1]] {
+				return fmt.Errorf("line %d: HELP for %s after its samples", lineNo, m[1])
+			}
+			helped[m[1]] = true
+			continue
+		}
+		if m := reType.FindStringSubmatch(line); m != nil {
+			if typed[m[1]] {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, m[1])
+			}
+			if sampled[m[1]] {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, m[1])
+			}
+			typed[m[1]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return fmt.Errorf("line %d: malformed comment: %q", lineNo, line)
+		}
+		if m := reSample.FindStringSubmatch(line); m != nil {
+			sampled[m[1]] = true
+			continue
+		}
+		return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
+	}
+	return nil
+}

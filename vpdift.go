@@ -53,6 +53,7 @@ import (
 	"vpdift/internal/periph"
 	"vpdift/internal/rv32"
 	"vpdift/internal/soc"
+	"vpdift/internal/telemetry"
 	"vpdift/internal/tlm"
 	"vpdift/internal/trace"
 )
@@ -242,6 +243,37 @@ type (
 // views at construction time.
 func NewCoverage() *Cover { return cover.New() }
 
+// Live-telemetry types (package internal/telemetry). Where the other
+// observability layers record what happened, these watch it happen: a
+// sampler snapshots the platform's metrics on a simulated-time cadence, and
+// a Server exposes running sessions over HTTP (Prometheus /metrics, JSONL
+// timeseries, an SSE event tail).
+type (
+	// Sampler captures periodic metric snapshots into a bounded ring.
+	// Attach via WithTelemetry; exporters: WriteJSONL, WriteCSV.
+	Sampler = telemetry.Sampler
+	// SamplerOptions tunes the sampling cadence and ring capacity.
+	SamplerOptions = telemetry.Options
+	// TelemetryServer serves one or more simulation sessions over HTTP.
+	TelemetryServer = telemetry.Server
+	// TelemetrySession describes one served simulation.
+	TelemetrySession = telemetry.SessionConfig
+)
+
+// NewSampler creates a metrics sampler; zero-value options mean a 1 ms
+// cadence and a 4096-sample ring.
+func NewSampler(o SamplerOptions) *Sampler { return telemetry.NewSampler(o) }
+
+// NewTelemetryServer creates an empty session server; register sessions
+// with Add and mount Handler on an http.Server.
+func NewTelemetryServer() *TelemetryServer { return telemetry.NewServer() }
+
+// WritePrometheus renders a metric snapshot (Result.Metrics, or
+// Platform.MetricsSnapshot) in the Prometheus text exposition format.
+func WritePrometheus(w io.Writer, metrics map[string]uint64) error {
+	return telemetry.WritePrometheus(w, metrics)
+}
+
 // NewKernelTrace creates a kernel/bus event recorder keeping at most limit
 // events (<= 0 means the default ring size).
 func NewKernelTrace(limit int) *KernelTrace { return trace.NewKernelTrace(limit) }
@@ -371,6 +403,18 @@ func WithoutDecodeCache() Option {
 	return optionFunc(func(c *soc.Config) { c.NoDecodeCache = true })
 }
 
+// WithTelemetry attaches a live-metrics sampler: every Every of simulated
+// time it snapshots the platform's merged metrics into its ring. The sampler
+// rides a kernel daemon thread, so it never extends a run. A typical setup:
+//
+//	smp := vpdift.NewSampler(vpdift.SamplerOptions{Every: vpdift.MS})
+//	pl, err := vpdift.NewPlatform(vpdift.WithPolicy(pol), vpdift.WithTelemetry(smp))
+//	...
+//	smp.WriteJSONL(f)
+func WithTelemetry(s *Sampler) Option {
+	return optionFunc(func(c *soc.Config) { c.Telemetry = s })
+}
+
 // Config parameterizes platform construction as one struct literal.
 //
 // Deprecated: pass functional options to NewPlatform instead —
@@ -396,6 +440,8 @@ type Config struct {
 	Trace *Trace
 	// Cover attaches the coverage-observability layer.
 	Cover *Cover
+	// Telemetry attaches a live-metrics sampler.
+	Telemetry *Sampler
 }
 
 func (cfg Config) applyOption(c *soc.Config) {
@@ -409,6 +455,7 @@ func (cfg Config) applyOption(c *soc.Config) {
 		Obs:            cfg.Obs,
 		Trace:          cfg.Trace,
 		Cover:          cfg.Cover,
+		Telemetry:      cfg.Telemetry,
 	}
 }
 
