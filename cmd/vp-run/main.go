@@ -15,7 +15,9 @@
 //	            clearance, all input LI
 //
 // Console input is supplied with -stdin and classified as the policy's
-// default (untrusted/public) class.
+// default (untrusted/public) class. -decoupled runs the policy's taint
+// monitor on a parallel goroutine (DESIGN.md §5.11); verdicts and
+// provenance are identical to the inline VP+.
 package main
 
 import (
@@ -59,6 +61,7 @@ func main() {
 	heatOut := flag.String("heatmap", "", "write the taint heatmap report (requires a policy) to this file ('-' for stderr)")
 	auditOut := flag.String("policy-audit", "", "write the policy-audit report (requires a policy) to this file ('-' for stderr)")
 	auditJSONOut := flag.String("policy-audit-json", "", "write the policy-audit counters as JSON to this file")
+	decoupled := flag.Bool("decoupled", false, "run the taint monitor decoupled on a parallel goroutine (requires a policy)")
 	sampleEvery := flag.Duration("sample-every", 0, "simulated-time metrics sampling period (e.g. 1ms; 0 disables telemetry)")
 	timeseriesOut := flag.String("timeseries", "", "write the sampled metrics timeseries as JSONL to this file (.csv extension selects CSV)")
 	flag.Parse()
@@ -163,7 +166,11 @@ func main() {
 			Every: kernel.Time((*sampleEvery).Nanoseconds()),
 		})
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: observer, Trace: tr, Cover: cov, Telemetry: smp})
+	if *decoupled && pol == nil {
+		fmt.Fprintln(os.Stderr, "-decoupled needs a policy (see -policy)")
+		os.Exit(2)
+	}
+	pl, err := soc.New(soc.Config{Policy: pol, DecoupledTaint: *decoupled, Obs: observer, Trace: tr, Cover: cov, Telemetry: smp})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

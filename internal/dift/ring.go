@@ -1,0 +1,198 @@
+// Package dift provides the decoupling machinery between the VP+ ISS front
+// end and the taint-monitor goroutine: a fixed-size retire record and a
+// lock-free single-producer/single-consumer ring buffer.
+//
+// The architecture reproduces the DIFT coprocessor organization of Wahab et
+// al. and the gem5 "soft drop" monitors: the main core retires instructions
+// at full speed and pushes compact records into a FIFO; a separate
+// monitoring core drains the FIFO and replays tag propagation against its
+// own shadow state. Two early-drop filters (the zero-live-taint fast path
+// and the per-block flag cache, both in internal/rv32) keep most records
+// from ever entering the ring.
+//
+// The ring is strictly SPSC: exactly one goroutine may call Push and
+// exactly one may call Peek/Advance. Publication order is the push order —
+// the consumer observes records exactly once, in sequence, or not yet at
+// all. Backpressure is explicit: Push returns false on a full ring and the
+// producer decides how to stall.
+package dift
+
+import (
+	"sync/atomic"
+
+	"vpdift/internal/core"
+)
+
+// Record is one fixed-size retire event. Its meaning depends on Kind; the
+// fields are a superset of what the monitor needs to replay tag
+// propagation and the observability hooks for any instruction class.
+type Record struct {
+	// PC and Insn identify the retired instruction.
+	PC   uint32
+	Insn uint32
+	// Next is the PC after the instruction (branch targets included).
+	Next uint32
+	// Addr is the effective address of a load/store (bus address), or the
+	// RAM byte offset for KindStoreTags.
+	Addr uint32
+	// Val is the result value: the written-back rd for ALU/load records,
+	// the stored word for store records.
+	Val uint32
+
+	// ValT is the result/store tag, S1T/S2T the source-operand tags.
+	ValT core.Tag
+	S1T  core.Tag
+	S2T  core.Tag
+
+	// Op is the rv32 opcode class (rv32.Op), Rd/Rs1/Rs2 the register
+	// indices, Size the access width in bytes for loads and stores.
+	Op   uint8
+	Rd   uint8
+	Rs1  uint8
+	Rs2  uint8
+	Size uint8
+
+	// Kind selects the replay routine.
+	Kind uint8
+}
+
+// Record kinds.
+const (
+	// KindRetire replays one retired instruction against the monitor's
+	// shadow register file and the attached observability hooks.
+	KindRetire uint8 = iota
+	// KindStoreTags writes a store's tag over Size RAM byte tags starting
+	// at byte offset Addr — the deferred tag half of a store whose value
+	// half the front end already committed. The tag is the monitor's shadow
+	// tag of register Rs2, or ValT verbatim when Rs2 is RegNone (the front
+	// end knew the exact tag, typically the policy default).
+	KindStoreTags
+	// KindSetReg sets the monitor's shadow tag of register Rd to ValT — the
+	// front end resolved an exact tag (an MMIO load, a drained fold, a
+	// cleared destination) and publishes it.
+	KindSetReg
+	// KindAlu joins the shadow tags of Rs1 and Rs2 into Rd's shadow tag. A
+	// source of RegNone contributes the policy default (the front end's
+	// flag cache proved that operand clear).
+	KindAlu
+)
+
+// RegNone marks an absent register operand in a record (mirrors
+// obs.RegNone; duplicated to keep this package dependency-light).
+const RegNone uint8 = 0xff
+
+// cacheLinePad separates the producer- and consumer-owned fields so the
+// two goroutines do not false-share a cache line.
+type cacheLinePad [64]byte
+
+// Ring is the lock-free SPSC record queue. Capacity is a power of two;
+// head and tail are free-running uint64 counters (they never wrap in any
+// realistic run: 2^64 records at one record per nanosecond is five
+// centuries).
+type Ring struct {
+	buf  []Record
+	mask uint64
+
+	_ cacheLinePad
+	// head is the consumer cursor: records [head, tail) are pending. The
+	// consumer advances it only after fully applying a record, so
+	// head == tail means "everything published has also been applied" —
+	// the drain condition the front end synchronizes on. localHead mirrors
+	// it consumer-locally so Peek/Advance pay one atomic store, not
+	// round-trip loads; cachedTail is the consumer's copy of tail,
+	// refreshed only when the ring looks empty, so steady-state Peek does
+	// not touch the producer's line.
+	head       atomic.Uint64
+	localHead  uint64
+	cachedTail uint64
+
+	_ cacheLinePad
+	// tail is the producer cursor, localTail its producer-local mirror;
+	// cachedHead is the producer's copy of head, refreshed only when the
+	// ring looks full.
+	tail       atomic.Uint64
+	localTail  uint64
+	cachedHead uint64
+}
+
+// DefaultCapacity comfortably exceeds the largest TLM quantum (16384
+// instructions), so a front end that drains at quantum boundaries never
+// sees backpressure from its own quantum.
+const DefaultCapacity = 1 << 15
+
+// NewRing builds a ring holding capacity records, rounded up to a power of
+// two (DefaultCapacity when zero or negative).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]Record, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity in records.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Push publishes one record. It returns false when the ring is full — the
+// producer owns the stall policy. Producer-side only.
+func (r *Ring) Push(rec *Record) bool {
+	t := r.localTail
+	if t-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if t-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[t&r.mask] = *rec
+	r.localTail = t + 1
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Peek returns the oldest pending record without consuming it, or nil when
+// the ring is empty. The returned pointer is valid until Advance.
+// Consumer-side only.
+func (r *Ring) Peek() *Record {
+	h := r.localHead
+	if h == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if h == r.cachedTail {
+			return nil
+		}
+	}
+	return &r.buf[h&r.mask]
+}
+
+// Advance consumes the record returned by the last Peek. The consumer must
+// have finished applying it: Advance is what makes it invisible to the
+// drain condition. Consumer-side only.
+func (r *Ring) Advance() {
+	h := r.localHead + 1
+	r.localHead = h
+	r.head.Store(h)
+}
+
+// Len reports the number of pending (published, unapplied) records. Safe
+// from any goroutine; the value is a snapshot.
+func (r *Ring) Len() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h { // torn snapshot under concurrency; clamp
+		return 0
+	}
+	if n := t - h; n <= uint64(len(r.buf)) {
+		return int(n)
+	}
+	return len(r.buf)
+}
+
+// Empty reports whether every published record has been applied. Safe from
+// any goroutine. The producer uses it as the drain condition: once Empty
+// returns true and the producer publishes nothing further, the consumer's
+// shadow state is final.
+func (r *Ring) Empty() bool {
+	return r.head.Load() == r.tail.Load()
+}

@@ -1,0 +1,89 @@
+package immo
+
+import (
+	"errors"
+	"testing"
+
+	"vpdift/internal/core"
+)
+
+// mustDecoupledECU builds an ECU on the decoupled-taint-monitor platform.
+func mustDecoupledECU(t *testing.T, v Variant, kind PolicyKind) *ECU {
+	t.Helper()
+	e, err := NewECUWithConfig(v, kind, ECUConfig{Decoupled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestDecoupledCaseStudyParity replays the paper's immobilizer scenarios on
+// the decoupled platform: the legitimate protocol must still pass (the AES
+// declassification included), and every attack scenario must raise the same
+// violation kind at the same port as the inline monitor.
+func TestDecoupledCaseStudyParity(t *testing.T) {
+	t.Run("authentication", func(t *testing.T) {
+		e := mustDecoupledECU(t, VariantFixed, PolicyBase)
+		challenge := [8]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04}
+		resp, err := e.Authenticate(challenge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Expected(challenge); resp != want {
+			t.Errorf("response % x, want % x", resp, want)
+		}
+	})
+
+	scenarios := []struct {
+		name    string
+		cmd     byte
+		payload []byte
+		kind    core.ViolationKind
+		port    string
+	}{
+		{"direct-leak", 'a', nil, core.KindOutputClearance, "uart0.tx"},
+		{"indirect-leak", 'b', nil, core.KindOutputClearance, "can0.tx"},
+		{"branch-on-pin", 'c', nil, core.KindBranchClearance, ""},
+		{"overwrite-pin", 'o', []byte{0x42}, core.KindStoreClearance, ""},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			// Inline reference and decoupled platform, same stimulus.
+			ei := mustECU(t, VariantFixed, PolicyBase)
+			errI := ei.Command(sc.cmd, sc.payload...)
+			ed := mustDecoupledECU(t, VariantFixed, PolicyBase)
+			errD := ed.Command(sc.cmd, sc.payload...)
+
+			var vi, vd *core.Violation
+			if !errors.As(errI, &vi) || !errors.As(errD, &vd) {
+				t.Fatalf("want violations in both modes: inline=%v decoupled=%v", errI, errD)
+			}
+			if vd.Kind != sc.kind {
+				t.Fatalf("decoupled violation = %v, want kind %v", vd, sc.kind)
+			}
+			if sc.port != "" && vd.Port != sc.port {
+				t.Errorf("decoupled violation port = %q, want %q", vd.Port, sc.port)
+			}
+			if vi.Kind != vd.Kind || vi.PC != vd.PC || vi.Addr != vd.Addr ||
+				vi.Have != vd.Have || vi.Required != vd.Required || vi.Port != vd.Port {
+				t.Errorf("violation diverged:\ninline:    %+v\ndecoupled: %+v", vi, vd)
+			}
+		})
+	}
+
+	t.Run("entropy-attack-per-byte", func(t *testing.T) {
+		// The per-byte policy's store clearance must fire identically.
+		ei := mustECU(t, VariantFixed, PolicyPerByte)
+		errI := ei.Command('e')
+		ed := mustDecoupledECU(t, VariantFixed, PolicyPerByte)
+		errD := ed.Command('e')
+		var vi, vd *core.Violation
+		if !errors.As(errI, &vi) || !errors.As(errD, &vd) {
+			t.Fatalf("want violations in both modes: inline=%v decoupled=%v", errI, errD)
+		}
+		if vi.Kind != vd.Kind || vi.PC != vd.PC || vi.Addr != vd.Addr {
+			t.Errorf("violation diverged:\ninline:    %+v\ndecoupled: %+v", vi, vd)
+		}
+	})
+}

@@ -162,6 +162,24 @@ func NewECUCovered(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace,
 // simulated time, so the captured timeseries is deterministic for a given
 // challenge schedule.
 func NewECUSampled(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace, cov *cover.Cover, smp *telemetry.Sampler) (*ECU, error) {
+	return NewECUWithConfig(v, kind, ECUConfig{Obs: o, Trace: tr, Cover: cov, Telemetry: smp})
+}
+
+// ECUConfig collects every optional attachment for an ECU platform in one
+// struct (the NewECU* constructor chain stays for compatibility).
+type ECUConfig struct {
+	Obs       *obs.Observer
+	Trace     *trace.Trace
+	Cover     *cover.Cover
+	Telemetry *telemetry.Sampler
+	// Decoupled runs the taint monitor on a parallel goroutine; the case
+	// study's verdicts must be identical either way.
+	Decoupled bool
+}
+
+// NewECUWithConfig builds the immobilizer with the chosen firmware variant,
+// policy, and platform attachments.
+func NewECUWithConfig(v Variant, kind PolicyKind, cfg ECUConfig) (*ECU, error) {
 	img := Firmware(v)
 	var pol *core.Policy
 	switch kind {
@@ -177,7 +195,10 @@ func NewECUSampled(v Variant, kind PolicyKind, o *obs.Observer, tr *trace.Trace,
 	default:
 		return nil, fmt.Errorf("immo: unknown policy kind %d", kind)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: o, Trace: tr, Cover: cov, Telemetry: smp})
+	pl, err := soc.New(soc.Config{
+		Policy: pol, Obs: cfg.Obs, Trace: cfg.Trace, Cover: cfg.Cover,
+		Telemetry: cfg.Telemetry, DecoupledTaint: cfg.Decoupled,
+	})
 	if err != nil {
 		return nil, err
 	}

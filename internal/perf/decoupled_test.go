@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRowBestOptsDecoupled(t *testing.T) {
+	// The decoupled flavour runs the same deterministic instruction stream,
+	// so all three measurements must retire the same count.
+	w := Workloads(ScaleSmall)[0]
+	row, err := RunRowBestOpts(w, false, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.VPPlusDec.Wall <= 0 {
+		t.Fatalf("decoupled flavour not measured: %+v", row)
+	}
+	if row.VP.Instr != row.VPPlusDec.Instr {
+		t.Errorf("instruction counts differ: VP %d, VP+dec %d", row.VP.Instr, row.VPPlusDec.Instr)
+	}
+	if row.OverheadDecoupled() <= 0 {
+		t.Errorf("decoupled overhead = %v", row.OverheadDecoupled())
+	}
+
+	// Inline-only rows must not grow a decoupled measurement.
+	plain, err := RunRowBestOpts(w, false, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.VPPlusDec.Wall != 0 || plain.OverheadDecoupled() != 0 {
+		t.Errorf("inline-only row has decoupled data: %+v", plain)
+	}
+}
+
+func TestReportDecoupledFields(t *testing.T) {
+	rows := []Row{{
+		Name: "qsort", Instr: 1000, LoCASM: 10,
+		VP:        Measurement{Instr: 1000, Wall: time.Second},
+		VPPlus:    Measurement{Instr: 1000, Wall: 1600 * time.Millisecond},
+		VPPlusDec: Measurement{Instr: 1000, Wall: 1200 * time.Millisecond},
+	}}
+	rep := NewReport("small", false, rows)
+	if rep.Rows[0].OverheadDec < 1.19 || rep.Rows[0].OverheadDec > 1.21 {
+		t.Errorf("OverheadDec = %v", rep.Rows[0].OverheadDec)
+	}
+	if rep.AverageOverheadDecoupled < 1.19 || rep.AverageOverheadDecoupled > 1.21 {
+		t.Errorf("AverageOverheadDecoupled = %v", rep.AverageOverheadDecoupled)
+	}
+
+	// A mixed set (one row without the decoupled flavour) must not publish a
+	// misleading average.
+	mixed := append(rows, Row{
+		Name: "primes", Instr: 1000, LoCASM: 10,
+		VP:     Measurement{Instr: 1000, Wall: time.Second},
+		VPPlus: Measurement{Instr: 1000, Wall: 1500 * time.Millisecond},
+	})
+	if rep := NewReport("small", false, mixed); rep.AverageOverheadDecoupled != 0 {
+		t.Errorf("mixed-set AverageOverheadDecoupled = %v, want 0", rep.AverageOverheadDecoupled)
+	}
+
+	// Inline-only reports must stay byte-compatible: no decoupled keys.
+	inlineOnly := NewReport("small", false, mixed[1:])
+	if inlineOnly.Rows[0].VPPlusDecSecs != 0 || inlineOnly.AverageOverheadDecoupled != 0 {
+		t.Errorf("inline-only report has decoupled data: %+v", inlineOnly)
+	}
+}
+
+func TestTableDecoupledColumns(t *testing.T) {
+	rows := []Row{{
+		Name: "qsort", Instr: 1000, LoCASM: 10,
+		VP:        Measurement{Instr: 1000, Wall: time.Second},
+		VPPlus:    Measurement{Instr: 1000, Wall: 1600 * time.Millisecond},
+		VPPlusDec: Measurement{Instr: 1000, Wall: 1200 * time.Millisecond},
+	}}
+	out := Table(rows)
+	for _, want := range []string{"VP+dec [s]", "Ov.dec", "1.20x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("decoupled table missing %q:\n%s", want, out)
+		}
+	}
+	rows[0].VPPlusDec = Measurement{}
+	if out := Table(rows); strings.Contains(out, "VP+dec") {
+		t.Errorf("inline-only table has decoupled columns:\n%s", out)
+	}
+}
+
+func TestCheckRegressionDecoupled(t *testing.T) {
+	base := Report{Rows: []ReportRow{{
+		Name: "qsort", VPMIPS: 100, VPPlusMIPS: 60, VPPlusDecMIPS: 80,
+	}}}
+	good := []Row{{
+		Name:      "qsort",
+		VP:        Measurement{Instr: 100_000_000, Wall: time.Second}, // 100 MIPS
+		VPPlus:    Measurement{Instr: 60_000_000, Wall: time.Second},  // 60 MIPS
+		VPPlusDec: Measurement{Instr: 80_000_000, Wall: time.Second},  // 80 MIPS
+	}}
+	if msgs := CheckRegression(base, good, 0.10); len(msgs) != 0 {
+		t.Errorf("unexpected regressions: %v", msgs)
+	}
+	bad := []Row{{
+		Name:      "qsort",
+		VP:        Measurement{Instr: 100_000_000, Wall: time.Second},
+		VPPlus:    Measurement{Instr: 60_000_000, Wall: time.Second},
+		VPPlusDec: Measurement{Instr: 40_000_000, Wall: time.Second}, // 50% drop
+	}}
+	msgs := CheckRegression(base, bad, 0.10)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "VP+dec") {
+		t.Errorf("decoupled regression not flagged: %v", msgs)
+	}
+	// A row measured inline-only must not be compared against the baseline's
+	// decoupled column.
+	inlineOnly := []Row{{
+		Name:   "qsort",
+		VP:     Measurement{Instr: 100_000_000, Wall: time.Second},
+		VPPlus: Measurement{Instr: 60_000_000, Wall: time.Second},
+	}}
+	if msgs := CheckRegression(base, inlineOnly, 0.10); len(msgs) != 0 {
+		t.Errorf("inline-only row flagged against decoupled baseline: %v", msgs)
+	}
+}

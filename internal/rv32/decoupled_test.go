@@ -1,0 +1,367 @@
+package rv32
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/core"
+	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
+)
+
+// runQuanta drives a core in small quanta (forcing a drain at every quantum
+// boundary in decoupled mode) until halt, an error, or the step budget.
+func runQuanta(c *TaintCore, quantum uint64) error {
+	var delay kernel.Time
+	for total := uint64(0); total < 1_000_000; {
+		n, st, err := c.Run(quantum, &delay)
+		total += n
+		if err != nil {
+			return err
+		}
+		if st == RunHalt {
+			return nil
+		}
+	}
+	return errors.New("step budget exhausted")
+}
+
+// runBothModes executes src under pol inline and decoupled and requires
+// bit-identical outcomes: errors, registers (values and tags), PC, and every
+// RAM byte tag.
+func runBothModes(t *testing.T, src string, pol *core.Policy) (inErr, decErr error) {
+	t.Helper()
+
+	ri := buildTaint(t, src, pol)
+	inErr = runQuanta(ri.c, 1_000_000)
+
+	rd := buildTaint(t, src, pol)
+	rd.c.EnableDecoupledTaint()
+	if !rd.c.Decoupled() {
+		t.Fatal("Decoupled() = false after enable")
+	}
+	decErr = runQuanta(rd.c, 256) // small quanta: exercise drain/restart
+	rd.c.StopDecoupled()
+
+	if (inErr == nil) != (decErr == nil) {
+		t.Fatalf("error parity: inline=%v decoupled=%v", inErr, decErr)
+	}
+	var vi, vd *core.Violation
+	if errors.As(inErr, &vi) != errors.As(decErr, &vd) {
+		t.Fatalf("violation parity: inline=%v decoupled=%v", inErr, decErr)
+	}
+	if vi != nil && !reflect.DeepEqual(vi, vd) {
+		t.Errorf("violation diverged:\ninline:    %+v\ndecoupled: %+v", vi, vd)
+	}
+	if ri.c.PC != rd.c.PC {
+		t.Errorf("PC diverged: inline %#x decoupled %#x", ri.c.PC, rd.c.PC)
+	}
+	if ri.c.Instret != rd.c.Instret {
+		t.Errorf("Instret diverged: inline %d decoupled %d", ri.c.Instret, rd.c.Instret)
+	}
+	if ri.c.Regs != rd.c.Regs {
+		for r := 0; r < 32; r++ {
+			if ri.c.Regs[r] != rd.c.Regs[r] {
+				t.Errorf("x%d diverged: inline %+v decoupled %+v", r, ri.c.Regs[r], rd.c.Regs[r])
+			}
+		}
+	}
+	di, dd := ri.ram.Data(), rd.ram.Data()
+	for i := range di {
+		if di[i] != dd[i] {
+			t.Fatalf("RAM[%#x] diverged: inline %+v decoupled %+v", i, di[i], dd[i])
+		}
+	}
+	return inErr, decErr
+}
+
+// decoupledFlowSrc exercises every mode-A path: tainted loads and stores of
+// all widths, ALU joins, taint death by overwrite, branches, and clean loops.
+const decoupledFlowSrc = `
+_start:
+	la t0, secret
+	lw a0, 0(t0)        # taint enters a register
+	li a1, 5
+	add a2, a0, a1      # join: tainted
+	la t1, buf
+	sw a2, 0(t1)        # tainted store, word
+	lb a3, 1(t1)        # tainted load, signed byte
+	sh a0, 4(t1)        # tainted store, half
+	lhu a4, 4(t1)       # tainted load, unsigned half
+	xor a5, a4, a3      # tainted join
+	slli a6, a5, 2
+	srai a7, a5, 1
+	mul s0, a5, a1
+	divu s1, a5, a1
+	li a2, 0            # register taint death (tainted rd, clear source)
+	mv a5, zero
+	mv a6, zero
+	mv a7, zero
+	mv s0, zero
+	mv s1, zero
+	sw x0, 0(t1)        # memory taint death by overwrite
+	sw x0, 4(t1)
+	sw x0, 0(t0)
+	mv a0, zero
+	mv a3, zero
+	mv a4, zero
+	li t2, 50           # clean loop: must run entirely on the fast paths
+1:	lw a1, 0(t1)
+	addi a1, a1, 1
+	sw a1, 0(t1)
+	addi t2, t2, -1
+	bnez t2, 1b
+	call halt
+	.data
+secret:
+	.word 0x1337c0de
+buf:
+	.space 32
+`
+
+func TestDecoupledParityTagState(t *testing.T) {
+	img := asm.MustAssemble(decoupledFlowSrc+testEpilogue, asm.Options{Base: testRAMBase})
+	pol := confidentialityPolicy(img.MustSymbol("secret"), 4)
+	if inErr, _ := runBothModes(t, decoupledFlowSrc, pol); inErr != nil {
+		t.Fatal(inErr)
+	}
+}
+
+func TestDecoupledParityViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		arm  func(p *core.Policy)
+		kind core.ViolationKind
+	}{
+		{
+			name: "branch",
+			src: `
+_start:
+	la t0, secret
+	lw a0, 0(t0)
+	bnez a0, 1f
+1:	call halt
+	.data
+secret:
+	.word 1
+`,
+			arm:  func(p *core.Policy) { p.WithBranchClearance(p.L.MustTag(core.ClassLC)) },
+			kind: core.KindBranchClearance,
+		},
+		{
+			name: "jalr",
+			src: `
+_start:
+	la t0, secret
+	lw a0, 0(t0)
+	la t1, halt
+	add t1, t1, a0
+	jr t1
+	.data
+secret:
+	.word 0
+`,
+			arm:  func(p *core.Policy) { p.WithBranchClearance(p.L.MustTag(core.ClassLC)) },
+			kind: core.KindBranchClearance,
+		},
+		{
+			name: "memaddr",
+			src: `
+_start:
+	la t0, secret
+	lw a0, 0(t0)
+	la t1, buf
+	add t1, t1, a0
+	sw x0, 0(t1)
+	call halt
+	.data
+secret:
+	.word 4
+buf:
+	.space 64
+`,
+			arm:  func(p *core.Policy) { p.WithMemAddrClearance(p.L.MustTag(core.ClassLC)) },
+			kind: core.KindMemAddrClearance,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := asm.MustAssemble(tc.src+testEpilogue, asm.Options{Base: testRAMBase})
+			pol := confidentialityPolicy(img.MustSymbol("secret"), 4)
+			tc.arm(pol)
+			_, decErr := runBothModes(t, tc.src, pol)
+			var v *core.Violation
+			if !errors.As(decErr, &v) || v.Kind != tc.kind {
+				t.Fatalf("decoupled err = %v, want %v violation", decErr, tc.kind)
+			}
+		})
+	}
+}
+
+// TestDecoupledSuppressionRearm is the zero-live-taint regression test: after
+// every live tag is overwritten to the default (taint death — there is no
+// explicit clear API), the filters must fully re-arm and suppress emission
+// again, not just before the first seeding.
+func TestDecoupledSuppressionRearm(t *testing.T) {
+	src := `
+_start:
+	la t0, secret
+	lw a0, 0(t0)        # seed: live taint
+	la t1, buf
+	sw a0, 0(t1)        # taint memory
+	li a0, 0            # kill the register
+	sw x0, 0(t1)        # kill the buffer bytes
+	sw x0, 0(t0)        # kill the classified source bytes
+	li t2, 200          # post-death loop: ~1000 instructions, all clear
+1:	lw a1, 0(t1)
+	addi a1, a1, 1
+	sw a1, 0(t1)
+	addi t2, t2, -1
+	bnez t2, 1b
+	call halt
+	.data
+secret:
+	.word 0x5ec4e7
+buf:
+	.space 16
+`
+	img := asm.MustAssemble(src+testEpilogue, asm.Options{Base: testRAMBase})
+	pol := confidentialityPolicy(img.MustSymbol("secret"), 4)
+	r := buildTaint(t, src, pol)
+	r.c.EnableDecoupledTaint()
+	if err := runQuanta(r.c, 64); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.c.DecoupledStats()
+	if !ok {
+		t.Fatal("DecoupledStats not available while decoupled")
+	}
+	r.c.StopDecoupled()
+
+	if s.FullEmit {
+		t.Fatal("expected filtered mode (no observer attached)")
+	}
+	if s.CleanedBlocks == 0 {
+		t.Error("no blocks re-armed after taint death")
+	}
+	if s.LiveRegs != 0 {
+		t.Errorf("LiveRegs = %d after full taint death, want 0", s.LiveRegs)
+	}
+	if s.DirtyBlocks != 0 {
+		t.Errorf("DirtyBlocks = %d after full taint death, want 0", s.DirtyBlocks)
+	}
+	// The taint phase is ~10 instructions; everything after death must be
+	// suppressed. A generous bound still proves the loop emitted nothing.
+	if s.Emitted > 32 {
+		t.Errorf("Emitted = %d, want the post-death loop fully suppressed", s.Emitted)
+	}
+	if s.Suppressed < 800 {
+		t.Errorf("Suppressed = %d, want the ~1000-instruction clean loop counted", s.Suppressed)
+	}
+	if s.RingOccupancy != 0 {
+		t.Errorf("RingOccupancy = %d after Run's drain, want 0", s.RingOccupancy)
+	}
+}
+
+// TestDecoupledObsReplayParity checks fullEmit mode: with an observer
+// attached, the monitor-side hook replay must produce the identical event
+// stream — same sequence numbers, same provenance chains — as inline mode.
+func TestDecoupledObsReplayParity(t *testing.T) {
+	src := `
+_start:
+	la t0, secret
+	lw a0, 0(t0)
+	li a1, 3
+	add a2, a0, a1
+	la t1, buf
+	sw a2, 0(t1)
+	lw a3, 0(t1)
+	bnez a3, 1f
+1:	call halt
+	.data
+secret:
+	.word 7
+buf:
+	.space 8
+`
+	img := asm.MustAssemble(src+testEpilogue, asm.Options{Base: testRAMBase})
+	pol := confidentialityPolicy(img.MustSymbol("secret"), 4)
+	pol.WithBranchClearance(pol.L.MustTag(core.ClassLC))
+	now := func() uint64 { return 0 }
+
+	ri := buildTaint(t, src, pol)
+	oi := obs.New()
+	oi.Attach(now, pol.L, pol.Default)
+	ri.c.Obs = oi
+	errI := runQuanta(ri.c, 1_000_000)
+
+	rd := buildTaint(t, src, pol)
+	od := obs.New()
+	od.Attach(now, pol.L, pol.Default)
+	rd.c.Obs = od
+	rd.c.EnableDecoupledTaint()
+	errD := runQuanta(rd.c, 128)
+	rd.c.StopDecoupled()
+
+	var vi, vd *core.Violation
+	if !errors.As(errI, &vi) || !errors.As(errD, &vd) {
+		t.Fatalf("want violations in both modes, got inline=%v decoupled=%v", errI, errD)
+	}
+	if !reflect.DeepEqual(vi, vd) {
+		t.Errorf("violation diverged:\ninline:    %+v\ndecoupled: %+v", vi, vd)
+	}
+	if oi.EventCount() != od.EventCount() {
+		t.Errorf("event count diverged: inline %d decoupled %d", oi.EventCount(), od.EventCount())
+	}
+	ei, ed := oi.Events(), od.Events()
+	if !reflect.DeepEqual(ei, ed) {
+		n := len(ei)
+		if len(ed) < n {
+			n = len(ed)
+		}
+		for k := 0; k < n; k++ {
+			if !reflect.DeepEqual(ei[k], ed[k]) {
+				t.Fatalf("event %d diverged:\ninline:    %+v\ndecoupled: %+v", k, ei[k], ed[k])
+			}
+		}
+		t.Fatalf("event streams diverged in length: inline %d decoupled %d", len(ei), len(ed))
+	}
+	// The violations' reconstructed provenance chains must match too.
+	if !reflect.DeepEqual(vi.Provenance, vd.Provenance) {
+		t.Errorf("provenance chain diverged:\ninline:    %+v\ndecoupled: %+v", vi.Provenance, vd.Provenance)
+	}
+	if len(vi.Provenance) == 0 {
+		t.Error("expected a non-empty provenance chain with an observer attached")
+	}
+}
+
+func TestDecoupledStatsLifecycle(t *testing.T) {
+	src := "_start:\n\tcall halt\n"
+	pol := confidentialityPolicy(0x9f000000, 4)
+	r := buildTaint(t, src, pol)
+	if _, ok := r.c.DecoupledStats(); ok {
+		t.Error("stats available before enabling")
+	}
+	r.c.EnableDecoupledTaint()
+	r.c.EnableDecoupledTaint() // idempotent
+	if _, ok := r.c.DecoupledStats(); ok {
+		t.Error("stats available before the first Run")
+	}
+	if err := runQuanta(r.c, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.c.DecoupledStats(); !ok {
+		t.Error("stats unavailable after Run")
+	}
+	r.c.StopDecoupled()
+	r.c.StopDecoupled() // idempotent
+	if r.c.Decoupled() {
+		t.Error("still decoupled after stop")
+	}
+	if _, ok := r.c.DecoupledStats(); ok {
+		t.Error("stats available after stop")
+	}
+}

@@ -1,0 +1,180 @@
+package rv32
+
+// The taint-monitor goroutine: the consumer half of the decoupled VP+. It
+// drains retire records from the SPSC ring and replays tag propagation and
+// the obs/cover hooks against the shadow register file. See decoupled.go
+// for the ownership protocol that makes this race-free.
+
+import (
+	"sync/atomic"
+
+	"vpdift/internal/core"
+	"vpdift/internal/cover"
+	"vpdift/internal/dift"
+	"vpdift/internal/obs"
+)
+
+// monState is the monitor goroutine's lifecycle handle. The wake channel
+// has capacity one: a wake while already signalled is a no-op, and the
+// parked flag keeps the front end from channel-sending to a monitor that is
+// busy draining anyway.
+type monState struct {
+	wakeC  chan struct{}
+	stopC  chan struct{}
+	doneC  chan struct{}
+	parked atomic.Bool
+}
+
+func newMonState() monState {
+	return monState{
+		wakeC: make(chan struct{}, 1),
+		stopC: make(chan struct{}),
+		doneC: make(chan struct{}),
+	}
+}
+
+// wake nudges a parked monitor. Lost wakes are harmless: the front end's
+// drain loop retries, and the monitor re-checks the ring before parking.
+func (m *monState) wake() {
+	if m.parked.Load() {
+		select {
+		case m.wakeC <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// monitorLoop is the monitor goroutine body: apply records until told to
+// stop, parking when the ring runs dry.
+func (c *TaintCore) monitorLoop() {
+	d := c.dec
+	defer close(d.mon.doneC)
+	for {
+		if rec := d.ring.Peek(); rec != nil {
+			c.applyRecord(d, rec)
+			d.ring.Advance()
+			continue
+		}
+		d.mon.parked.Store(true)
+		if d.ring.Peek() != nil {
+			// Raced with a push: keep draining.
+			d.mon.parked.Store(false)
+			continue
+		}
+		select {
+		case <-d.mon.wakeC:
+			d.mon.parked.Store(false)
+		case <-d.mon.stopC:
+			return
+		}
+	}
+}
+
+func (c *TaintCore) applyRecord(d *decState, rec *dift.Record) {
+	if rec.Kind == dift.KindRetire {
+		c.applyRetire(d, rec)
+	}
+}
+
+// applyRetire replays one fullEmit-mode record: shadow register writeback,
+// then the obs events, then the cover events — the exact call order of the
+// inline core's store()/observeStep/coverStep path, so observer sequence
+// numbers and provenance chains are preserved bit-for-bit.
+func (c *TaintCore) applyRetire(d *decState, rec *dift.Record) {
+	op := Op(rec.Op)
+
+	// Architectural writeback into the shadow register file.
+	switch op {
+	case OpLUI, OpAUIPC, OpJAL, OpJALR,
+		OpLB, OpLH, OpLW, OpLBU, OpLHU,
+		OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpSLLI, OpSRLI, OpSRAI,
+		OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR, OpAND,
+		OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU,
+		OpCSRRW, OpCSRRS, OpCSRRC, OpCSRRWI, OpCSRRSI, OpCSRRCI:
+		if rec.Rd != 0 {
+			d.shadow[rec.Rd] = core.W(rec.Val, rec.ValT)
+		}
+	}
+
+	isStore := op == OpSB || op == OpSH || op == OpSW
+	ramStore := false
+	if isStore {
+		soff := rec.Addr - c.ramBase
+		ramStore = !c.ForceBusMem && soff < c.ramSize && soff+uint32(rec.Size) <= c.ramSize
+	}
+
+	if o := c.Obs; o != nil {
+		// RAM-store events replay here; MMIO stores already fired them on
+		// the (drained) front end, before the bus transaction.
+		if ramStore {
+			o.SetInsn(rec.PC, rec.Insn)
+			o.OnStore(rec.Addr, uint32(rec.Size), rec.Rs2, core.W(rec.Val, rec.ValT))
+		}
+		o.BeginInsn(rec.PC, rec.Insn)
+		switch op {
+		case OpJALR:
+			o.OnJump(rec.Next, rec.Rs1, rec.S1T)
+			o.AssignReg(rec.Rd)
+		case OpMRET:
+			o.OnJump(rec.Next, obs.RegNone, rec.S1T)
+		case OpLB, OpLBU:
+			o.OnLoad(rec.Addr, 1, core.W(rec.Val, rec.ValT))
+			o.AssignReg(rec.Rd)
+		case OpLH, OpLHU:
+			o.OnLoad(rec.Addr, 2, core.W(rec.Val, rec.ValT))
+			o.AssignReg(rec.Rd)
+		case OpLW:
+			o.OnLoad(rec.Addr, 4, core.W(rec.Val, rec.ValT))
+			o.AssignReg(rec.Rd)
+		case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI, OpSLLI, OpSRLI, OpSRAI:
+			o.OnOp(rec.Rs1, obs.RegNone, rec.Val, rec.S1T)
+			o.AssignReg(rec.Rd)
+		case OpADD, OpSUB, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpSRA, OpOR, OpAND,
+			OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU:
+			o.OnOp(rec.Rs1, rec.Rs2, rec.Val, rec.S1T)
+			o.AssignReg(rec.Rd)
+		case OpLUI, OpAUIPC, OpJAL,
+			OpCSRRW, OpCSRRS, OpCSRRC, OpCSRRWI, OpCSRRSI, OpCSRRCI:
+			o.AssignReg(rec.Rd)
+		}
+	}
+
+	if cv := c.Cov; cv != nil {
+		c.coverReplay(d, cv, rec, op, isStore)
+	}
+}
+
+// coverReplay mirrors coverStep against the shadow register file.
+func (c *TaintCore) coverReplay(d *decState, cv *cover.Cover, rec *dift.Record, op Op, isStore bool) {
+	if g := cv.Guest; g != nil {
+		g.OnRetire(rec.PC, rec.Insn, rec.Next)
+	}
+	if t := cv.Taint; t != nil {
+		t.OnRetireRegs(&d.shadow)
+		if isStore {
+			t.OnStore(rec.Addr, uint32(rec.Size), rec.ValT)
+		}
+	}
+	if a := cv.Audit; a != nil {
+		if c.checkFetch {
+			a.Fetch.Checks++
+		}
+		switch op {
+		case OpJALR, OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpMRET:
+			if c.checkBranch {
+				a.Branch.Checks++
+			}
+		case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+			if c.checkMemAddr {
+				a.MemAddr.Checks++
+			}
+		case OpSB, OpSH, OpSW:
+			if c.checkMemAddr {
+				a.MemAddr.Checks++
+			}
+			if c.hasRegions {
+				a.NoteStore(rec.Addr)
+			}
+		}
+	}
+}

@@ -108,27 +108,37 @@ type TaintCore struct {
 	// block/edge coverage, taint heatmap samples, and policy-audit check
 	// counts (internal/cover). One predictable branch per retire when nil.
 	Cov *cover.Cover
+
+	// dec, when non-nil, decouples tag propagation onto the parallel
+	// monitor goroutine (see decoupled.go). Nil in inline mode: the classic
+	// hot loop pays only predictable not-taken branches, like Tracer/Obs.
+	dec *decState
 }
 
 // NewTaintCore builds a DIFT core over tainted RAM, enforcing the policy.
 // The policy must have been validated against its lattice.
 func NewTaintCore(ram *mem.Memory, ramBase uint32, bus *tlm.Bus, pol *core.Policy) *TaintCore {
+	// The propagation engine (internal/core's Prop) is the single source of
+	// the flattened policy switches; the inline core copies them into its own
+	// fields to keep the hot-loop layout, and the decoupled monitor shares
+	// the same Prop value directly.
+	p := core.NewProp(pol)
 	c := &TaintCore{
 		ram:     ram.Data(),
 		ramBase: ramBase,
 		ramSize: ram.Size(),
 		bus:     bus,
-		lat:     pol.L,
-		pol:     pol,
-		def:     pol.Default,
+		lat:     p.L,
+		pol:     p.Pol,
+		def:     p.Def,
 
-		checkFetch:   pol.Exec.CheckFetch,
-		fetchClear:   pol.Exec.Fetch,
-		checkBranch:  pol.Exec.CheckBranch,
-		branchClear:  pol.Exec.Branch,
-		checkMemAddr: pol.Exec.CheckMemAddr,
-		memAddrClear: pol.Exec.MemAddr,
-		hasRegions:   len(pol.Regions) > 0,
+		checkFetch:   p.CheckFetch,
+		fetchClear:   p.FetchClear,
+		checkBranch:  p.CheckBranch,
+		branchClear:  p.BranchClear,
+		checkMemAddr: p.CheckMemAddr,
+		memAddrClear: p.MemAddrClear,
+		hasRegions:   p.HasRegions,
 
 		ic:      newICache(ram.Size()),
 		irqPoll: true,
@@ -180,8 +190,19 @@ func (c *TaintCore) SetIRQ(line uint32, level bool) {
 // PendingIRQ reports whether any enabled interrupt is pending.
 func (c *TaintCore) PendingIRQ() bool { return c.mie.V&c.mip != 0 }
 
-// Run executes up to max instructions; see Core.Run.
+// Run executes up to max instructions; see Core.Run. In decoupled mode
+// every return is a sync point: the ring is drained so callers observe
+// final tag state.
 func (c *TaintCore) Run(max uint64, delay *kernel.Time) (n uint64, st RunStatus, err error) {
+	if d := c.dec; d != nil {
+		if !d.started {
+			c.startDecoupled()
+		}
+		if !d.fullEmit {
+			return c.runDecoupled(max, delay)
+		}
+		defer c.drainDec()
+	}
 	for n < max {
 		if c.Halted {
 			return n, RunHalt, nil
@@ -236,6 +257,7 @@ func (c *TaintCore) trap(cause, tval, epc uint32) error {
 			v := core.NewViolation(c.lat, core.KindBranchClearance, c.mtvec.T, c.branchClear).
 				WithPC(epc).WithValue(c.mtvec.V)
 			if c.Obs != nil {
+				c.drainDec()
 				c.Obs.OnViolation(v, 0, 0)
 			}
 			return v
@@ -277,6 +299,9 @@ func (c *TaintCore) branchTagOK(t core.Tag) bool {
 func (c *TaintCore) branchViolation(t core.Tag, pc uint32, rs1, rs2 uint8) *core.Violation {
 	v := core.NewViolation(c.lat, core.KindBranchClearance, t, c.branchClear).WithPC(pc)
 	if c.Obs != nil {
+		// Decoupled mode: the monitor must finish replaying earlier events
+		// before the violation is recorded, or seq numbers would diverge.
+		c.drainDec()
 		c.Obs.SetInsn(pc, c.insnWord(pc))
 		var p1, p2 uint64
 		if rs1 != obs.RegNone {
@@ -309,6 +334,7 @@ func (c *TaintCore) addrViolation(t core.Tag, addr, pc uint32, base uint8) *core
 	v := core.NewViolation(c.lat, core.KindMemAddrClearance, t, c.memAddrClear).
 		WithPC(pc).WithAddr(addr)
 	if c.Obs != nil {
+		c.drainDec()
 		c.Obs.SetInsn(pc, c.insnWord(pc))
 		c.Obs.OnViolation(v, c.Obs.RegSource(base), 0)
 	}
@@ -322,15 +348,11 @@ func (c *TaintCore) fetchWord(off uint32) uint32 {
 		uint32(c.ram[off+2].V)<<16 | uint32(c.ram[off+3].V)<<24
 }
 
-// foldFetchTag joins the four byte tags of an instruction word,
-// short-circuiting the all-equal case (uniformly classified text, the
-// overwhelmingly common one) to a single comparison chain without LUBs.
+// foldFetchTag joins the four byte tags of an instruction word via the
+// shared propagation engine's fold (core.Fold4): all-equal short circuit,
+// LUB chain otherwise.
 func (c *TaintCore) foldFetchTag(b0, b1, b2, b3 core.TByte) core.Tag {
-	t := b0.T
-	if b1.T != t || b2.T != t || b3.T != t {
-		t = c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T))
-	}
-	return t
+	return core.Fold4(c.lat, b0, b1, b2, b3)
 }
 
 func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
@@ -413,7 +435,9 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 
 	next := pc + 4
 	r := &c.Regs
-	if c.Obs != nil {
+	if c.Obs != nil || c.dec != nil {
+		// The decoupled fullEmit mode needs the same pre-execution operand
+		// snapshot the observer does (retire records carry source tags).
 		c.obsS1, c.obsS2 = r[i.Rs1], r[i.Rs2]
 	}
 	switch i.Op {
@@ -594,11 +618,17 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 	default:
 		return RunOK, c.trap(CauseIllegalInstr, c.fetchWord(off), pc)
 	}
-	if c.Obs != nil {
-		c.observeStep(i, pc, next)
-	}
-	if c.Cov != nil {
-		c.coverStep(i, pc, off, next)
+	if c.dec != nil && c.dec.fullEmit {
+		// Decoupled observability: hooks are replayed by the monitor from
+		// the retire record instead of running inline.
+		c.emitRetire(i, pc, off, next)
+	} else {
+		if c.Obs != nil {
+			c.observeStep(i, pc, next)
+		}
+		if c.Cov != nil {
+			c.coverStep(i, pc, off, next)
+		}
 	}
 	if c.PC == pc {
 		c.PC = next
@@ -741,6 +771,7 @@ func (c *TaintCore) fetchViolation(pc, w uint32, t core.Tag) *core.Violation {
 	v := core.NewViolation(c.lat, core.KindFetchClearance, t, c.fetchClear).
 		WithPC(pc).WithValue(w)
 	if c.Obs != nil {
+		c.drainDec()
 		c.Obs.SetInsn(pc, w)
 		c.Obs.OnViolation(v, c.Obs.MemSource(pc), c.Obs.PCSource())
 	}
@@ -766,23 +797,21 @@ func (c *TaintCore) load(i Inst, size uint32, delay *kernel.Time, pc uint32) (co
 			w = core.W(uint32(b.V), b.T)
 		case 2:
 			b0, b1 := c.ram[off], c.ram[off+1]
-			t := b0.T
-			if b1.T != t {
-				t = c.lat.LUB(b0.T, b1.T)
-			}
-			w = core.W(uint32(b0.V)|uint32(b1.V)<<8, t)
+			w = core.W(uint32(b0.V)|uint32(b1.V)<<8, core.Fold2(c.lat, b0, b1))
 		default:
 			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
-			t := b0.T
-			if b1.T != t || b2.T != t || b3.T != t {
-				t = c.lat.LUB(c.lat.LUB(b0.T, b1.T), c.lat.LUB(b2.T, b3.T))
-			}
 			w = core.W(
 				uint32(b0.V)|uint32(b1.V)<<8|uint32(b2.V)<<16|uint32(b3.V)<<24,
-				t,
+				core.Fold4(c.lat, b0, b1, b2, b3),
 			)
 		}
 		return w, nil
+	}
+	if c.dec != nil {
+		// A peripheral may record input-classification events during the
+		// transaction; drain so they interleave with replayed events in
+		// program order.
+		c.drainDec()
 	}
 	p := tlm.Payload{Cmd: tlm.Read, Addr: addr, Data: c.mmioBuf[:size], From: "cpu"}
 	c.bus.Transport(&p, delay)
@@ -814,6 +843,7 @@ func (c *TaintCore) store(i Inst, size uint32, delay *kernel.Time, pc uint32) er
 			if v, ok := err.(*core.Violation); ok {
 				v.PC = pc
 				if c.Obs != nil {
+					c.drainDec()
 					c.Obs.SetInsn(pc, c.insnWord(pc))
 					c.Obs.OnViolation(v, c.Obs.RegSource(i.Rs2), 0)
 				}
@@ -821,15 +851,19 @@ func (c *TaintCore) store(i Inst, size uint32, delay *kernel.Time, pc uint32) er
 			return err
 		}
 	}
-	if c.Obs != nil {
+	off := addr - c.ramBase
+	ramOK := !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize
+	if c.Obs != nil && (c.dec == nil || !ramOK) {
 		// Emitted here, not in observeStep: the bus write below may trigger a
 		// peripheral's output-clearance check, which links to this event via
-		// LastStore.
+		// LastStore. In decoupled mode RAM-store events replay on the monitor
+		// instead; only MMIO stores fire inline, after a drain keeps the
+		// event order identical.
+		c.drainDec()
 		c.Obs.SetInsn(pc, c.insnWord(pc))
 		c.Obs.OnStore(addr, size, i.Rs2, val)
 	}
-	off := addr - c.ramBase
-	if !c.ForceBusMem && off < c.ramSize && off+size <= c.ramSize {
+	if ramOK {
 		switch size {
 		case 1:
 			c.ram[off] = core.TByte{V: byte(val.V), T: val.T}

@@ -1,0 +1,115 @@
+package soc
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vpdift/internal/core"
+	"vpdift/internal/guest"
+	"vpdift/internal/kernel"
+)
+
+// decoupledLeakSrc programs a DMA copy of the secret (a bus-initiated tag
+// move that exercises the decoupled front end's memory-rescan hook) and then
+// leaks the copy to the UART.
+const decoupledLeakSrc = `
+main:
+	li t0, DMA_BASE
+	la t1, secret
+	sw t1, DMA_SRC(t0)
+	la t1, scratch
+	sw t1, DMA_DST(t0)
+	li t1, 4
+	sw t1, DMA_LEN(t0)
+	li t1, 1
+	sw t1, DMA_CTRL(t0)
+	la t0, scratch
+	lbu t1, 0(t0)
+	li t0, UART_BASE
+	sw t1, UART_TX(t0)    # leaked copy -> violation
+	li a0, 0
+	j exit
+	.data
+	.align 2
+secret:	.word 0x11223344
+scratch:
+	.word 0
+`
+
+func TestDecoupledPlatformParity(t *testing.T) {
+	img := guest.MustProgram(decoupledLeakSrc)
+	l := core.IFP1()
+	lc, hc := l.MustTag(core.ClassLC), l.MustTag(core.ClassHC)
+	secret := img.MustSymbol("secret")
+	pol := core.NewPolicy(l, lc).
+		WithOutput("uart0.tx", lc).
+		WithRegion(core.RegionRule{Name: "secret", Start: secret, End: secret + 4, Classify: true, Class: hc})
+
+	run := func(decoupled bool) (*core.Violation, map[string]uint64, uint64) {
+		t.Helper()
+		pl := MustNew(Config{Policy: pol, DecoupledTaint: decoupled})
+		defer pl.Shutdown()
+		if err := pl.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		err := pl.Run(kernel.S)
+		var v *core.Violation
+		if !errors.As(err, &v) || v.Port != "uart0.tx" {
+			t.Fatalf("decoupled=%v: err = %v, want uart0.tx violation", decoupled, err)
+		}
+		return v, pl.TaintSummary(), pl.Instret()
+	}
+
+	vi, si, ni := run(false)
+	vd, sd, nd := run(true)
+
+	if !reflect.DeepEqual(vi, vd) {
+		t.Errorf("violation diverged:\ninline:    %+v\ndecoupled: %+v", vi, vd)
+	}
+	if !reflect.DeepEqual(si, sd) {
+		t.Errorf("taint summary diverged:\ninline:    %v\ndecoupled: %v", si, sd)
+	}
+	if ni != nd {
+		t.Errorf("instret diverged: inline %d decoupled %d", ni, nd)
+	}
+}
+
+func TestDecoupledPlatformMetrics(t *testing.T) {
+	img := guest.MustProgram(`
+main:
+	li a0, 0
+	j exit
+`)
+	l := core.IFP1()
+	lc := l.MustTag(core.ClassLC)
+	pol := core.NewPolicy(l, lc)
+	pl := MustNew(Config{Policy: pol, DecoupledTaint: true})
+	defer pl.Shutdown()
+	if err := pl.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Run(kernel.S); err != nil {
+		t.Fatal(err)
+	}
+	m := pl.MetricsSnapshot()
+	for _, k := range []string{
+		"dift.ring_occupancy", "dift.stall_ns_total", "dift.suppressed_total",
+		"dift.emitted_total", "dift.drains_total", "dift.backpressure_total",
+		"dift.cleaned_blocks_total", "dift.live_regs", "dift.dirty_blocks",
+	} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("metrics missing %q", k)
+		}
+	}
+	if m["dift.ring_occupancy"] != 0 {
+		t.Errorf("ring occupancy = %d after run, want 0 (drained)", m["dift.ring_occupancy"])
+	}
+
+	// The inline platform must not grow the keys.
+	pli := MustNew(Config{Policy: pol})
+	defer pli.Shutdown()
+	if _, ok := pli.MetricsSnapshot()["dift.emitted_total"]; ok {
+		t.Error("inline platform reports decoupled metrics")
+	}
+}

@@ -29,6 +29,7 @@ var promHelp = []struct{ prefix, help string }{
 	{"violations.", "Policy violations detected, by violation kind."},
 	{"bus.monitor", "TLM bus-monitor transaction accounting."},
 	{"bus.", "TLM bus traffic counter."},
+	{"dift.", "Decoupled taint-monitor statistic."},
 	{"io.", "Peripheral I/O counter."},
 	{"obs.", "Observer provenance-ring counter."},
 	{"lub_ops", "Security-lattice least-upper-bound operations."},
@@ -39,9 +40,14 @@ var promHelp = []struct{ prefix, help string }{
 // promIsGauge reports whether a metric is exposed as a gauge rather than a
 // counter. Coverage metrics describe a current level (covered blocks can
 // only grow here, but conceptually they measure state, not a flow), and the
-// audit dead-rule count genuinely shrinks as rules fire; everything else the
-// platform emits is a monotone counter.
+// audit dead-rule count genuinely shrinks as rules fire. The decoupled
+// monitor's instantaneous statistics (ring occupancy, live registers, dirty
+// blocks) rise and fall with live taint; its *_total siblings are monotone.
+// Everything else the platform emits is a monotone counter.
 func promIsGauge(name string) bool {
+	if strings.HasPrefix(name, "dift.") {
+		return !strings.HasSuffix(name, "_total")
+	}
 	return strings.HasPrefix(name, "cover.")
 }
 

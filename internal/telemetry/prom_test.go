@@ -97,6 +97,41 @@ func TestWritePrometheusValid(t *testing.T) {
 	}
 }
 
+// The decoupled taint monitor's statistics follow the _total convention:
+// monotone flows export as counters, instantaneous levels as gauges.
+func TestWritePrometheusDecoupledMetrics(t *testing.T) {
+	metrics := map[string]uint64{
+		"dift.ring_occupancy":   3,
+		"dift.stall_ns_total":   12345,
+		"dift.suppressed_total": 999,
+		"dift.live_regs":        2,
+		"dift.emitted_total":    500,
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, metrics); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidateExposition(out); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# HELP vpdift_dift_ring_occupancy Decoupled taint-monitor statistic.",
+		"# TYPE vpdift_dift_ring_occupancy gauge",
+		"vpdift_dift_ring_occupancy 3",
+		"# TYPE vpdift_dift_live_regs gauge",
+		"# TYPE vpdift_dift_stall_ns_total counter",
+		"vpdift_dift_stall_ns_total 12345",
+		"# TYPE vpdift_dift_suppressed_total counter",
+		"vpdift_dift_suppressed_total 999",
+		"# TYPE vpdift_dift_emitted_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestValidateExpositionRejects(t *testing.T) {
 	bad := []string{
 		"vpdift.dotted 1",                    // illegal name

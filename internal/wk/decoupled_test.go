@@ -1,0 +1,121 @@
+package wk
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vpdift/internal/obs"
+)
+
+// TestMatrixParityDecoupled is the tentpole acceptance check: the full
+// Table I detection matrix — verdicts, clearance points, violation PCs —
+// must be byte-identical between the inline and the decoupled taint
+// monitor.
+func TestMatrixParityDecoupled(t *testing.T) {
+	mi, err := RunMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := RunMatrixDecoupled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bi, bd bytes.Buffer
+	if err := mi.WriteJSON(&bi); err != nil {
+		t.Fatal(err)
+	}
+	if err := md.WriteJSON(&bd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bi.Bytes(), bd.Bytes()) {
+		for i := range mi.Rows {
+			if i < len(md.Rows) && !reflect.DeepEqual(mi.Rows[i], md.Rows[i]) {
+				t.Errorf("attack %d diverged:\ninline:    %+v\ndecoupled: %+v",
+					mi.Rows[i].Num, mi.Rows[i], md.Rows[i])
+			}
+		}
+		t.Fatalf("matrix JSON diverged between inline and decoupled mode")
+	}
+	if mi.Detected == 0 || mi.Missed != 0 {
+		t.Fatalf("matrix regressed: %+v", mi)
+	}
+}
+
+// TestProvenanceParityDecoupled runs every applicable attack with a fresh
+// observer under both monitor organizations and compares the violations
+// field by field, including the full provenance chains (the decoupled
+// platform replays observer hooks monitor-side; sequence numbers must be
+// preserved exactly).
+func TestProvenanceParityDecoupled(t *testing.T) {
+	suite := Suite()
+	for i := range suite {
+		a := &suite[i]
+		if !a.Applicable() {
+			continue
+		}
+		oi := obs.New()
+		ri, vi, err := RunWithMode(a, true, RunMode{Obs: oi})
+		if err != nil {
+			t.Fatalf("attack %d inline: %v", a.Num, err)
+		}
+		od := obs.New()
+		rd, vd, err := RunWithMode(a, true, RunMode{Obs: od, Decoupled: true})
+		if err != nil {
+			t.Fatalf("attack %d decoupled: %v", a.Num, err)
+		}
+		if ri != rd {
+			t.Errorf("attack %d verdict diverged: inline %v decoupled %v", a.Num, ri, rd)
+			continue
+		}
+		if (vi == nil) != (vd == nil) {
+			t.Errorf("attack %d violation presence diverged", a.Num)
+			continue
+		}
+		if vi == nil {
+			continue
+		}
+		if vi.Kind != vd.Kind || vi.PC != vd.PC || vi.Addr != vd.Addr ||
+			vi.Have != vd.Have || vi.Required != vd.Required || vi.Value != vd.Value ||
+			vi.Port != vd.Port {
+			t.Errorf("attack %d violation diverged:\ninline:    %+v\ndecoupled: %+v", a.Num, vi, vd)
+		}
+		if len(vi.Provenance) == 0 {
+			t.Errorf("attack %d: inline violation has no provenance chain", a.Num)
+		}
+		if !reflect.DeepEqual(vi.Provenance, vd.Provenance) {
+			t.Errorf("attack %d provenance diverged (%d vs %d events)",
+				a.Num, len(vi.Provenance), len(vd.Provenance))
+			for k := 0; k < len(vi.Provenance) && k < len(vd.Provenance); k++ {
+				if !reflect.DeepEqual(vi.Provenance[k], vd.Provenance[k]) {
+					t.Errorf("  first divergence at event %d:\n  inline:    %+v\n  decoupled: %+v",
+						k, vi.Provenance[k], vd.Provenance[k])
+					break
+				}
+			}
+		}
+		if ec1, ec2 := oi.EventCount(), od.EventCount(); ec1 != ec2 {
+			t.Errorf("attack %d observer event count diverged: inline %d decoupled %d", a.Num, ec1, ec2)
+		}
+	}
+}
+
+func TestRunWithModeDecoupledVerdicts(t *testing.T) {
+	// Without DIFT the decoupled flag must be inert and the overflow still
+	// hijacks control.
+	suite := Suite()
+	for i := range suite {
+		a := &suite[i]
+		if !a.Applicable() {
+			continue
+		}
+		res, _, err := RunWithMode(a, false, RunMode{Decoupled: true})
+		if err != nil {
+			t.Fatalf("attack %d: %v", a.Num, err)
+		}
+		if res != Missed {
+			t.Errorf("attack %d on baseline = %v, want Missed", a.Num, res)
+		}
+		break // one attack suffices; the full baseline sweep lives in wk_test.go
+	}
+}

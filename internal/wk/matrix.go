@@ -48,7 +48,14 @@ type Matrix struct {
 // RunMatrix runs all 18 attacks under the Section VI-B policy and builds the
 // detection matrix. A Missed row does not abort the run — the matrix is the
 // diagnostic — but any infrastructure error (assembler, platform) does.
-func RunMatrix() (*Matrix, error) {
+func RunMatrix() (*Matrix, error) { return runMatrix(RunMode{}) }
+
+// RunMatrixDecoupled is RunMatrix on the decoupled-taint-monitor platform.
+// Its result must be identical to RunMatrix — the Table I verdicts may not
+// depend on the monitor organization.
+func RunMatrixDecoupled() (*Matrix, error) { return runMatrix(RunMode{Decoupled: true}) }
+
+func runMatrix(mode RunMode) (*Matrix, error) {
 	m := &Matrix{}
 	suite := Suite()
 	for i := range suite {
@@ -63,7 +70,7 @@ func RunMatrix() (*Matrix, error) {
 			m.Rows = append(m.Rows, row)
 			continue
 		}
-		res, v, err := RunObserved(a, true, nil)
+		res, v, err := RunWithMode(a, true, mode)
 		if err != nil && v == nil {
 			return nil, err
 		}

@@ -615,6 +615,20 @@ func Run(a *Attack, dift bool) (Result, error) {
 // fetch-clearance check. The observer must be fresh — it binds to the
 // attack's platform.
 func RunObserved(a *Attack, dift bool, o *obs.Observer) (Result, *core.Violation, error) {
+	return RunWithMode(a, dift, RunMode{Obs: o})
+}
+
+// RunMode configures how an attack's platform executes: an optional
+// observer, and the inline (default) or decoupled taint-monitor
+// organization. Either way the verdict and violation must be identical — the
+// decoupled parity suite holds RunWithMode to that.
+type RunMode struct {
+	Obs       *obs.Observer
+	Decoupled bool
+}
+
+// RunWithMode is RunObserved with the execution mode made explicit.
+func RunWithMode(a *Attack, dift bool, mode RunMode) (Result, *core.Violation, error) {
 	if !a.Applicable() {
 		return NA, nil, nil
 	}
@@ -626,7 +640,7 @@ func RunObserved(a *Attack, dift bool, o *obs.Observer) (Result, *core.Violation
 	if dift {
 		pol = Policy(img)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: o})
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: mode.Obs, DecoupledTaint: mode.Decoupled})
 	if err != nil {
 		return NA, nil, err
 	}

@@ -403,6 +403,16 @@ func WithoutDecodeCache() Option {
 	return optionFunc(func(c *soc.Config) { c.NoDecodeCache = true })
 }
 
+// WithDecoupledTaint runs the VP+ taint monitor decoupled: the ISS front end
+// retires instructions at near-VP speed and a parallel monitor goroutine
+// replays tag propagation from a lock-free retire-record ring, stalling the
+// ISS only at clearance and sync points. Detection verdicts, violations and
+// final tag state are identical to the (default) inline mode. No effect on
+// the baseline VP.
+func WithDecoupledTaint() Option {
+	return optionFunc(func(c *soc.Config) { c.DecoupledTaint = true })
+}
+
 // WithTelemetry attaches a live-metrics sampler: every Every of simulated
 // time it snapshots the platform's merged metrics into its ring. The sampler
 // rides a kernel daemon thread, so it never extends a run. A typical setup:
@@ -432,6 +442,8 @@ type Config struct {
 	InstrTime Time
 	// TaintMemViaTLM routes VP+ data accesses through full TLM transactions.
 	TaintMemViaTLM bool
+	// DecoupledTaint runs the VP+ taint monitor on a parallel goroutine.
+	DecoupledTaint bool
 	// NoDecodeCache disables the predecoded-instruction cache.
 	NoDecodeCache bool
 	// Obs attaches an observability recorder.
@@ -451,6 +463,7 @@ func (cfg Config) applyOption(c *soc.Config) {
 		Quantum:        cfg.Quantum,
 		InstrTime:      cfg.InstrTime,
 		TaintMemViaTLM: cfg.TaintMemViaTLM,
+		DecoupledTaint: cfg.DecoupledTaint,
 		NoDecodeCache:  cfg.NoDecodeCache,
 		Obs:            cfg.Obs,
 		Trace:          cfg.Trace,
