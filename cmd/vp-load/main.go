@@ -1,0 +1,632 @@
+// Command vp-load is the pure-Go load harness for the session server: it
+// drives thousands of concurrent sessions through the /api/v1 HTTP surface,
+// measures submit-to-result latency and completed-sessions-per-second
+// throughput, and emits a BENCH_serve.json report the CI serve-perf guard
+// compares against the checked-in baseline.
+//
+// By default it self-hosts: an in-process vp-serve-equivalent (serve.Factory
+// on a telemetry.Server) listens on a loopback port and the harness talks to
+// it over real TCP, so the numbers include the full HTTP + scheduler path.
+// -url points it at an external server instead.
+//
+// Modes:
+//
+//	vp-load -n 1000 -concurrency 64 -out BENCH_serve.json
+//	    closed-loop load run: submit N sessions (unique stimuli, so nothing
+//	    dedups), await every result, report throughput and percentiles.
+//	vp-load -verify
+//	    functional checks: dedup cache hit, queue-full 429 + Retry-After,
+//	    drain leaves zero sessions and zero leaked goroutines.
+//	vp-load -n 200 -baseline BENCH_serve.json -regress 0.25
+//	    load run plus guard: fail if throughput drops more than -regress
+//	    below the baseline report (the cmd/perf -baseline idiom).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vpdift/internal/serve"
+	"vpdift/internal/telemetry"
+)
+
+var (
+	urlFlag     = flag.String("url", "", "target server base URL (default: self-hosted in-process server)")
+	nFlag       = flag.Int("n", 1000, "total sessions to run")
+	concurrency = flag.Int("concurrency", 64, "concurrent HTTP submitters/pollers")
+	workersFlag = flag.Int("workers", 0, "self-hosted server worker pool size (0 = GOMAXPROCS)")
+	queueDepth  = flag.Int("queue-depth", telemetry.DefaultQueueDepth, "self-hosted server queue capacity")
+	workload    = flag.String("workload", "micro", "workload each session runs")
+	sampleUs    = flag.Int64("sample-us", 0, "per-session sampler cadence in simulated µs (0 = none)")
+	outFlag     = flag.String("out", "", "write the JSON report here (default stdout)")
+	verifyFlag  = flag.Bool("verify", false, "run functional checks instead of a load run")
+	baseline    = flag.String("baseline", "", "compare against an archived report and fail on throughput regression")
+	regress     = flag.Float64("regress", 0.25, "allowed fractional throughput drop vs -baseline before failing")
+)
+
+// Report is the BENCH_serve.json shape.
+type Report struct {
+	Meta struct {
+		GoVersion string `json:"go_version"`
+		OS        string `json:"os"`
+		Arch      string `json:"arch"`
+		NumCPU    int    `json:"num_cpu"`
+	} `json:"meta"`
+	Sessions      int     `json:"sessions"`
+	Concurrency   int     `json:"concurrency"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	Workload      string  `json:"workload"`
+	PeakInFlight  int     `json:"peak_in_flight"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputSPS float64 `json:"throughput_sps"`
+	SPSPerWorker  float64 `json:"sps_per_worker"`
+	LatencyMs     struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	Submitted        int `json:"submitted"`
+	Completed        int `json:"completed"`
+	CacheHits        int `json:"cache_hits"`
+	Rejected429      int `json:"rejected_429"`
+	Errors           int `json:"errors"`
+	LeakedGoroutines int `json:"leaked_goroutines"`
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *verifyFlag {
+		return verify()
+	}
+	return loadRun()
+}
+
+// target is a server under test: a base URL plus, when self-hosted, the
+// in-process handle for drain and leak accounting.
+type target struct {
+	base  string
+	sv    *telemetry.Server
+	httpS *http.Server
+	ln    net.Listener
+}
+
+// startSelf boots the in-process server on a loopback port.
+func startSelf(workers, depth int) (*target, error) {
+	opts := []telemetry.ServerOption{
+		telemetry.WithFactory(serve.NewFactory()),
+		telemetry.WithQueueDepth(depth),
+	}
+	if workers > 0 {
+		opts = append(opts, telemetry.WithWorkers(workers))
+	}
+	sv := telemetry.NewServer(opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sv.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: sv.Handler()}
+	go hs.Serve(ln)
+	return &target{base: "http://" + ln.Addr().String(), sv: sv, httpS: hs, ln: ln}, nil
+}
+
+func (tg *target) close() {
+	if tg.httpS != nil {
+		tg.httpS.Close()
+	}
+	if tg.sv != nil {
+		tg.sv.Close()
+	}
+}
+
+func client() *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}
+	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+type envelope struct {
+	Data  json.RawMessage `json:"data"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func postJSON(c *http.Client, url string, body any) (int, http.Header, envelope, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, envelope{}, err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, envelope{}, err
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil && err != io.EOF {
+		return resp.StatusCode, resp.Header, env, err
+	}
+	return resp.StatusCode, resp.Header, env, nil
+}
+
+func getJSON(c *http.Client, url string) (int, envelope, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, envelope{}, err
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil && err != io.EOF {
+		return resp.StatusCode, env, err
+	}
+	return resp.StatusCode, env, nil
+}
+
+// loadRun is the closed-loop benchmark, in two phases so the server holds
+// all N sessions concurrently at peak: C submitters first push every session
+// in (unique stimuli defeat the dedup store on purpose), then C pollers
+// await each result; completion latency is submit-to-result-available.
+func loadRun() error {
+	baselineGoroutines := runtime.NumGoroutine()
+	tg, err := resolveTarget()
+	if err != nil {
+		return err
+	}
+	c := client()
+
+	var (
+		submitted, completed, cacheHits, rejected, errs atomic.Int64
+		mu                                              sync.Mutex
+		latencies                                       []time.Duration
+		peak                                            int64
+	)
+	inFlight := new(atomic.Int64)
+	bump := func(n int64) {
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				return
+			}
+		}
+	}
+
+	type pending struct {
+		id string
+		t0 time.Time
+	}
+	start := time.Now()
+
+	// Phase 1: submit everything.
+	idx := make(chan int, *nFlag)
+	for i := 0; i < *nFlag; i++ {
+		idx <- i
+	}
+	close(idx)
+	queue := make(chan pending, *nFlag)
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				id, ok := submitOne(c, tg.base, i, &submitted, &cacheHits, &rejected, &errs)
+				if !ok {
+					continue
+				}
+				bump(inFlight.Add(1))
+				queue <- pending{id, t0}
+			}
+		}()
+	}
+	wg.Wait()
+	close(queue)
+
+	// Phase 2: await every result.
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range queue {
+				if awaitResult(c, tg.base, p.id, &errs) {
+					completed.Add(1)
+					mu.Lock()
+					latencies = append(latencies, time.Since(p.t0))
+					mu.Unlock()
+				}
+				inFlight.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	leaked := 0
+	if tg.sv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := tg.sv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		}
+		cancel()
+		st := tg.sv.Stats()
+		if st.Queued != 0 || st.Running != 0 {
+			return fmt.Errorf("vp-load: drain left %d queued, %d running", st.Queued, st.Running)
+		}
+		tg.close()
+		leaked = settleGoroutines(baselineGoroutines)
+	}
+
+	rep := buildReport(tg, latencies, wall)
+	rep.PeakInFlight = int(peak)
+	rep.Submitted = int(submitted.Load())
+	rep.Completed = int(completed.Load())
+	rep.CacheHits = int(cacheHits.Load())
+	rep.Rejected429 = int(rejected.Load())
+	rep.Errors = int(errs.Load())
+	rep.LeakedGoroutines = leaked
+
+	if rep.Completed != *nFlag {
+		defer os.Exit(1)
+		fmt.Fprintf(os.Stderr, "vp-load: %d/%d sessions completed\n", rep.Completed, *nFlag)
+	}
+	if leaked > 0 {
+		defer os.Exit(1)
+		fmt.Fprintf(os.Stderr, "vp-load: %d goroutines leaked after drain\n", leaked)
+	}
+
+	if err := emit(rep); err != nil {
+		return err
+	}
+	if *baseline != "" {
+		return guard(rep)
+	}
+	return nil
+}
+
+func resolveTarget() (*target, error) {
+	if *urlFlag != "" {
+		return &target{base: *urlFlag}, nil
+	}
+	return startSelf(*workersFlag, *queueDepth)
+}
+
+// submitOne POSTs one session, retrying briefly on 429. Unique stimuli keep
+// every submission a cache miss. Returns the session ID.
+func submitOne(c *http.Client, base string, i int, submitted, cacheHits, rejected, errs *atomic.Int64) (string, bool) {
+	spec := telemetry.SessionSpec{
+		Workload: *workload,
+		Stimulus: fmt.Sprintf("load-%d", i),
+		SampleUs: *sampleUs,
+	}
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		status, _, env, err := postJSON(c, base+"/api/v1/sessions", spec)
+		if err != nil {
+			errs.Add(1)
+			return "", false
+		}
+		switch status {
+		case http.StatusCreated:
+			submitted.Add(1)
+			var created struct {
+				Session struct {
+					ID string `json:"id"`
+				} `json:"session"`
+			}
+			json.Unmarshal(env.Data, &created)
+			return created.Session.ID, true
+		case http.StatusOK:
+			// Cached or coalesced — should not happen with unique stimuli,
+			// but count it rather than hang waiting for a session.
+			cacheHits.Add(1)
+			return "", false
+		case http.StatusTooManyRequests:
+			// The header is second-granular; a load harness backs off in
+			// milliseconds or the measurement drowns in politeness.
+			rejected.Add(1)
+			if attempt > 5000 {
+				errs.Add(1)
+				return "", false
+			}
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			errs.Add(1)
+			return "", false
+		}
+	}
+}
+
+// awaitResult polls the result endpoint (409 until the session finishes).
+func awaitResult(c *http.Client, base, id string, errs *atomic.Int64) bool {
+	backoff := time.Millisecond
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		status, _, err := getJSON(c, base+"/api/v1/sessions/"+id+"/result")
+		if err != nil {
+			errs.Add(1)
+			return false
+		}
+		switch status {
+		case http.StatusOK:
+			return true
+		case http.StatusConflict:
+			time.Sleep(backoff)
+			if backoff < 50*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			errs.Add(1)
+			return false
+		}
+	}
+	errs.Add(1)
+	return false
+}
+
+// settleGoroutines waits briefly for worker goroutines to unwind and returns
+// how many remain above the pre-server baseline.
+func settleGoroutines(baseline int) int {
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return 0
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return runtime.NumGoroutine() - baseline
+}
+
+func buildReport(tg *target, latencies []time.Duration, wall time.Duration) *Report {
+	rep := &Report{
+		Sessions:    *nFlag,
+		Concurrency: *concurrency,
+		QueueDepth:  *queueDepth,
+		Workload:    *workload,
+		WallSeconds: wall.Seconds(),
+	}
+	rep.Meta.GoVersion = runtime.Version()
+	rep.Meta.OS = runtime.GOOS
+	rep.Meta.Arch = runtime.GOARCH
+	rep.Meta.NumCPU = runtime.NumCPU()
+	rep.Workers = *workersFlag
+	if rep.Workers == 0 {
+		rep.Workers = runtime.GOMAXPROCS(0)
+	}
+	if wall > 0 {
+		rep.ThroughputSPS = float64(len(latencies)) / wall.Seconds()
+		rep.SPSPerWorker = rep.ThroughputSPS / float64(rep.Workers)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(latencies)-1))
+			return float64(latencies[i]) / float64(time.Millisecond)
+		}
+		rep.LatencyMs.P50 = pct(0.50)
+		rep.LatencyMs.P90 = pct(0.90)
+		rep.LatencyMs.P99 = pct(0.99)
+		rep.LatencyMs.Max = float64(latencies[len(latencies)-1]) / float64(time.Millisecond)
+	}
+	return rep
+}
+
+func emit(rep *Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *outFlag == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "throughput %.1f sessions/s (p50 %.1fms p99 %.1fms), report -> %s\n",
+		rep.ThroughputSPS, rep.LatencyMs.P50, rep.LatencyMs.P99, *outFlag)
+	return os.WriteFile(*outFlag, b, 0o644)
+}
+
+// guard fails the run when throughput regressed more than -regress below the
+// baseline report — the serve flavour of cmd/perf's CI guard.
+func guard(rep *Report) error {
+	b, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("vp-load: baseline %s: %w", *baseline, err)
+	}
+	if base.SPSPerWorker <= 0 {
+		return fmt.Errorf("vp-load: baseline %s has no throughput", *baseline)
+	}
+	// Per-worker throughput absorbs core-count differences between the
+	// machine that archived the baseline and the one checking it.
+	got, want := rep.SPSPerWorker, base.SPSPerWorker
+	if got < want*(1-*regress) {
+		return fmt.Errorf("vp-load: %.1f sessions/s/worker is %.1f%% below baseline %.1f (tolerance %.0f%%)",
+			got, (1-got/want)*100, want, *regress*100)
+	}
+	fmt.Fprintf(os.Stderr, "serve perf guard ok: %.1f sessions/s/worker vs baseline %.1f (tolerance %.0f%%)\n",
+		got, want, *regress*100)
+	return nil
+}
+
+// verify runs the functional checks: dedup, backpressure, drain.
+func verify() error {
+	if err := verifyDedup(); err != nil {
+		return fmt.Errorf("vp-load verify (dedup): %w", err)
+	}
+	if err := verifyBackpressure(); err != nil {
+		return fmt.Errorf("vp-load verify (backpressure): %w", err)
+	}
+	if err := verifyDrain(); err != nil {
+		return fmt.Errorf("vp-load verify (drain): %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "vp-load verify: dedup, backpressure and drain checks passed")
+	return nil
+}
+
+// verifyDedup submits the same spec twice and requires the second submission
+// to be served from the result store without re-simulating.
+func verifyDedup() error {
+	tg, err := startSelf(2, 64)
+	if err != nil {
+		return err
+	}
+	defer tg.close()
+	c := client()
+	spec := telemetry.SessionSpec{Workload: "micro", Stimulus: "verify-dedup"}
+
+	status, _, env, err := postJSON(c, tg.base+"/api/v1/sessions", spec)
+	if err != nil || status != http.StatusCreated {
+		return fmt.Errorf("first POST: status %d, err %v", status, err)
+	}
+	var created struct {
+		Session struct {
+			ID string `json:"id"`
+		} `json:"session"`
+	}
+	json.Unmarshal(env.Data, &created)
+	var e atomic.Int64
+	if !awaitResult(c, tg.base, created.Session.ID, &e) {
+		return fmt.Errorf("first session never finished")
+	}
+	status, _, env, err = postJSON(c, tg.base+"/api/v1/sessions", spec)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("second POST: status %d, err %v (want 200 cached)", status, err)
+	}
+	var hit struct {
+		Cached bool `json:"cached"`
+	}
+	json.Unmarshal(env.Data, &hit)
+	if !hit.Cached {
+		return fmt.Errorf("second POST not served from store: %s", env.Data)
+	}
+	if st := tg.sv.Stats(); st.CacheHits != 1 || st.Submitted != 1 {
+		return fmt.Errorf("stats = %+v, want 1 submitted, 1 cache hit", st)
+	}
+	return nil
+}
+
+// verifyBackpressure fills a 1-worker, depth-1 server with endless
+// immobilizer sessions and requires the overflow submission to be a 429
+// carrying Retry-After.
+func verifyBackpressure() error {
+	tg, err := startSelf(1, 1)
+	if err != nil {
+		return err
+	}
+	defer tg.close()
+	c := client()
+	post := func(i int) (int, http.Header, error) {
+		status, hdr, _, err := postJSON(c, tg.base+"/api/v1/sessions",
+			telemetry.SessionSpec{Workload: "immo", Stimulus: fmt.Sprintf("bp-%d", i)})
+		return status, hdr, err
+	}
+	// #1 occupies the worker (endless), #2 takes the single queue slot.
+	for i := 0; i < 2; i++ {
+		if status, _, err := post(i); err != nil || status != http.StatusCreated {
+			return fmt.Errorf("POST %d: status %d, err %v", i, status, err)
+		}
+		if i == 0 {
+			if err := waitRunning(tg.sv, 1); err != nil {
+				return err
+			}
+		}
+	}
+	status, hdr, err := post(2)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusTooManyRequests {
+		return fmt.Errorf("overflow POST: status %d, want 429", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		return fmt.Errorf("429 without Retry-After header")
+	}
+	return nil
+}
+
+func waitRunning(sv *telemetry.Server, n int) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if sv.Stats().Running >= n {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("server never reached %d running sessions", n)
+}
+
+// verifyDrain runs a batch to completion, drains, and requires zero queued,
+// zero running and no leaked goroutines.
+func verifyDrain() error {
+	before := runtime.NumGoroutine()
+	tg, err := startSelf(4, 64)
+	if err != nil {
+		return err
+	}
+	c := client()
+	var e atomic.Int64
+	ids := make([]string, 0, 20)
+	for i := 0; i < 20; i++ {
+		status, _, env, err := postJSON(c, tg.base+"/api/v1/sessions",
+			telemetry.SessionSpec{Workload: "micro", Stimulus: fmt.Sprintf("drain-%d", i)})
+		if err != nil || status != http.StatusCreated {
+			return fmt.Errorf("POST %d: status %d, err %v", i, status, err)
+		}
+		var created struct {
+			Session struct {
+				ID string `json:"id"`
+			} `json:"session"`
+		}
+		json.Unmarshal(env.Data, &created)
+		ids = append(ids, created.Session.ID)
+	}
+	for _, id := range ids {
+		if !awaitResult(c, tg.base, id, &e) {
+			return fmt.Errorf("session %s never finished", id)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := tg.sv.Drain(ctx); err != nil {
+		return err
+	}
+	st := tg.sv.Stats()
+	if st.Queued != 0 || st.Running != 0 || st.Completed != 20 {
+		return fmt.Errorf("after drain: %+v", st)
+	}
+	tg.close()
+	if leaked := settleGoroutines(before); leaked > 0 {
+		return fmt.Errorf("%d goroutines leaked", leaked)
+	}
+	return nil
+}

@@ -1,51 +1,72 @@
-// Command vp-serve runs one or more simulation sessions and serves their
-// live telemetry over HTTP, so a long immobilizer or benchmark run can be
-// watched from curl, a dashboard, or a real Prometheus scraper while it
-// executes.
+// Command vp-serve runs a simulation-session server: preloaded sessions and
+// any number of API-submitted ones execute on a bounded worker pool while
+// their live telemetry streams over HTTP, so a long immobilizer run, a
+// benchmark sweep, or a policy x workload campaign can be driven and watched
+// from curl, a dashboard, or a real Prometheus scraper.
 //
 // Usage:
 //
-//	vp-serve [-addr host:port] [-sessions immo,qsort,...] [-sample-every 1ms]
+//	vp-serve [-addr host:port] [-workers N] [-queue-depth N] [-store dir]
+//	         [-sessions immo,qsort,...] [-sample-every 1ms]
 //
-// Endpoints (see telemetry.Server.Handler):
+// The versioned API (see api.md for the full route table):
 //
-//	GET /healthz                        liveness + session count
-//	GET /metrics                        Prometheus text format, all sessions
-//	GET /api/sessions                   session list as JSON
-//	GET /api/sessions/{id}/timeseries   sampler ring as JSONL (?format=csv)
-//	GET /api/sessions/{id}/events       SSE tail of the observer event ring
+//	POST   /api/v1/sessions               submit a session spec
+//	GET    /api/v1/sessions               session list
+//	GET    /api/v1/sessions/{id}          one session
+//	DELETE /api/v1/sessions/{id}          cancel/end a session
+//	GET    /api/v1/sessions/{id}/result   final result (409 until done)
+//	GET    /api/v1/sessions/{id}/timeseries  sampler ring (?format=jsonl|csv)
+//	GET    /api/v1/sessions/{id}/events   SSE tail of the observer ring
+//	POST   /api/v1/campaigns              run a policies x workloads grid
+//	GET    /api/v1/campaigns/{id}/results cell results (paginated or ?stream=sse)
+//	GET    /api/v1/results/{key}          result-store entry by content hash
+//	GET    /healthz, /metrics             liveness, Prometheus exposition
 //
-// The default session is the immobilizer of the Section VI-A case study
-// under its base policy, fed a fresh challenge every -challenge-every of
-// simulated time — an endless authentication loop whose taint events stream
-// on /events. Any Table II workload name (qsort, dhrystone, primes, sha512,
-// simple-sensor, freertos-tasks) runs that benchmark on the VP+ instead; it
-// ends when the guest exits.
+// The pre-v1 routes (/api/sessions...) still work and answer with a
+// Deprecation header pointing at their successors.
+//
+// Results are deduplicated by (image, policy, stimulus) content hash;
+// -store persists them to a directory so repeat submissions across restarts
+// are cache hits. On SIGINT/SIGTERM the server stops intake, drains the
+// queue for -drain-timeout, then cancels the remainder and exits.
+//
+// The default preloaded session is the immobilizer of the Section VI-A case
+// study under its base policy, fed a fresh challenge every -challenge-every
+// of simulated time — an endless authentication loop whose taint events
+// stream on /events. Any driverless Table II workload name (qsort,
+// dhrystone, primes, sha512) preloads that benchmark on the VP+ instead;
+// -sessions ” preloads nothing and leaves the server to the API.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"vpdift/internal/immo"
 	"vpdift/internal/kernel"
-	"vpdift/internal/obs"
-	"vpdift/internal/perf"
-	"vpdift/internal/soc"
+	"vpdift/internal/serve"
 	"vpdift/internal/telemetry"
 )
 
 var (
 	addr           = flag.String("addr", "127.0.0.1:8372", "HTTP listen address")
-	sessionsFlag   = flag.String("sessions", "immo", "comma-separated sessions to run: immo, or a Table II workload name")
+	workersFlag    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueDepth     = flag.Int("queue-depth", telemetry.DefaultQueueDepth, "pending-session queue capacity")
+	storeDir       = flag.String("store", "", "persist results to this directory (default in-memory)")
+	sessionTimeout = flag.Duration("session-timeout", 0, "default wall-clock timeout per session (0 = none)")
+	drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight sessions")
+	sessionsFlag   = flag.String("sessions", "immo", "comma-separated sessions to preload: immo, micro, a Table II workload, or wk-N")
 	scaleFlag      = flag.String("scale", "small", "workload scale for Table II sessions: small, medium or large")
-	sampleEvery    = flag.Duration("sample-every", time.Millisecond, "simulated-time metrics sampling period")
+	sampleEvery    = flag.Duration("sample-every", time.Millisecond, "simulated-time metrics sampling period for preloaded sessions")
 	stepFlag       = flag.Duration("step", time.Millisecond, "simulated time each session advances per locked chunk")
-	horizonFlag    = flag.Duration("horizon", 0, "stop each session at this much simulated time (0 runs until the guest exits)")
+	horizonFlag    = flag.Duration("horizon", 0, "stop each preloaded session at this much simulated time (0 runs until the guest exits)")
 	challengeEvery = flag.Duration("challenge-every", 5*time.Millisecond, "simulated time between immobilizer challenges")
 )
 
@@ -58,106 +79,93 @@ func main() {
 }
 
 func run() error {
-	sv := telemetry.NewServer()
+	factory := &serve.Factory{
+		ChallengeEvery: kernel.Time((*challengeEvery).Nanoseconds()),
+	}
+	opts := []telemetry.ServerOption{
+		telemetry.WithFactory(factory),
+		telemetry.WithQueueDepth(*queueDepth),
+	}
+	if *workersFlag > 0 {
+		opts = append(opts, telemetry.WithWorkers(*workersFlag))
+	}
+	if *sessionTimeout > 0 {
+		opts = append(opts, telemetry.WithSessionTimeout(*sessionTimeout))
+	}
+	if *storeDir != "" {
+		st, err := telemetry.NewFileStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, telemetry.WithResultStore(st))
+		fmt.Fprintf(os.Stderr, "result store %s (%d results)\n", *storeDir, st.Len())
+	}
+	sv := telemetry.NewServer(opts...)
 	defer sv.Close()
+
+	if err := preload(sv, factory); err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving on http://%s — %d workers, queue depth %d; try /healthz, /api/v1/sessions\n",
+		*addr, sv.Workers(), *queueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "%v: draining (up to %v)...\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := sv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "drain incomplete (%v); canceling remaining sessions\n", err)
+		}
+		sv.Close()
+		st := sv.Stats()
+		fmt.Fprintf(os.Stderr, "done: %d completed, %d canceled, %d cache hits\n",
+			st.Completed, st.Canceled, st.CacheHits)
+		shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel2()
+		return httpSrv.Shutdown(shutdownCtx)
+	}
+}
+
+// preload submits the -sessions list through the factory before the listener
+// starts, preserving the pre-pool behavior of a server that is already
+// simulating when the first scrape lands.
+func preload(sv *telemetry.Server, factory *serve.Factory) error {
+	step := kernel.Time((*stepFlag).Nanoseconds())
 	for _, name := range strings.Split(*sessionsFlag, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		cfg, err := buildSession(name)
+		spec := telemetry.SessionSpec{
+			Workload:  name,
+			Scale:     *scaleFlag,
+			HorizonMs: (*horizonFlag).Milliseconds(),
+			SampleUs:  (*sampleEvery).Microseconds(),
+			Observe:   true,
+		}
+		cfg, err := factory.Build(spec)
 		if err != nil {
-			return err
+			return fmt.Errorf("vp-serve: session %q: %w", name, err)
 		}
-		if err := sv.Add(cfg); err != nil {
-			return err
+		cfg.ID = name
+		cfg.Step = step
+		key, err := factory.Key(spec)
+		if err == nil {
+			cfg.Key = key
 		}
-		fmt.Fprintf(os.Stderr, "session %q running (sample every %v)\n", name, *sampleEvery)
+		if err := sv.Submit(cfg); err != nil {
+			return fmt.Errorf("vp-serve: session %q: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "session %q queued (sample every %v)\n", name, *sampleEvery)
 	}
-	fmt.Fprintf(os.Stderr, "serving on http://%s — try /healthz, /metrics, /api/sessions\n", *addr)
-	return http.ListenAndServe(*addr, sv.Handler())
-}
-
-func newSampler() *telemetry.Sampler {
-	return telemetry.NewSampler(telemetry.Options{
-		Every: kernel.Time((*sampleEvery).Nanoseconds()),
-	})
-}
-
-func buildSession(name string) (telemetry.SessionConfig, error) {
-	if name == "immo" {
-		return immoSession(name)
-	}
-	return workloadSession(name)
-}
-
-// immoSession builds the immobilizer under the base policy with an observer
-// and sampler attached, driven by an endless challenge schedule.
-func immoSession(id string) (telemetry.SessionConfig, error) {
-	smp := newSampler()
-	e, err := immo.NewECUSampled(immo.VariantFixed, immo.PolicyBase, obs.New(), nil, nil, smp)
-	if err != nil {
-		return telemetry.SessionConfig{}, err
-	}
-	var round byte
-	var next kernel.Time
-	drive := func() error {
-		// Called under the session lock between chunks: deliver the next
-		// challenge once the previous round's simulated window has passed.
-		if now := e.Platform.Sim.Now(); now >= next {
-			challenge := [8]byte{round, 2, 3, 4, 5, 6, 7, 8}
-			e.Platform.CAN.Deliver(0x100, challenge[:])
-			round++
-			next = now + kernel.Time((*challengeEvery).Nanoseconds())
-		}
-		return nil
-	}
-	return telemetry.SessionConfig{
-		ID:       id,
-		Platform: e.Platform,
-		Sampler:  smp,
-		Step:     kernel.Time((*stepFlag).Nanoseconds()),
-		Horizon:  kernel.Time((*horizonFlag).Nanoseconds()),
-		Drive:    drive,
-	}, nil
-}
-
-// workloadSession builds a Table II workload on the VP+ with an observer and
-// sampler attached; the session ends when the guest exits.
-func workloadSession(name string) (telemetry.SessionConfig, error) {
-	scale, err := perf.ParseScale(*scaleFlag)
-	if err != nil {
-		return telemetry.SessionConfig{}, err
-	}
-	for _, w := range perf.Workloads(scale) {
-		if w.Name != name || w.Drive != nil {
-			continue
-		}
-		img := w.Build()
-		smp := newSampler()
-		pl, err := soc.New(soc.Config{
-			Policy:    perf.SessionPolicy(w, img),
-			Obs:       obs.New(),
-			Telemetry: smp,
-		})
-		if err != nil {
-			return telemetry.SessionConfig{}, err
-		}
-		if err := pl.Load(img); err != nil {
-			pl.Shutdown()
-			return telemetry.SessionConfig{}, err
-		}
-		horizon := w.Horizon
-		if h := kernel.Time((*horizonFlag).Nanoseconds()); h != 0 {
-			horizon = h
-		}
-		return telemetry.SessionConfig{
-			ID:       name,
-			Platform: pl,
-			Sampler:  smp,
-			Step:     kernel.Time((*stepFlag).Nanoseconds()),
-			Horizon:  horizon,
-		}, nil
-	}
-	return telemetry.SessionConfig{}, fmt.Errorf("vp-serve: unknown session %q (immo or a driverless Table II workload)", name)
+	return nil
 }

@@ -1,0 +1,287 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func waitCampaignDone(t *testing.T, base, id string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		r := doJSON(t, http.MethodGet, base+"/api/v1/campaigns/"+id, nil)
+		if r.status == http.StatusOK {
+			var info CampaignInfo
+			json.Unmarshal(r.Data, &info)
+			if info.Done >= want {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("campaign %q never reached %d done cells", id, want)
+}
+
+// readSSE collects (event, data) frames until the stream ends.
+func readSSE(t *testing.T, resp *http.Response) []ssEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []ssEvent
+	var cur ssEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.name != "":
+			events = append(events, cur)
+			cur = ssEvent{}
+		}
+	}
+	return events
+}
+
+type ssEvent struct{ name, data string }
+
+// TestCampaignStreamOrderDeterministic scrambles cell completion order (the
+// first cell finishes last) and asserts the SSE stream still emits cells
+// strictly in index order.
+func TestCampaignStreamOrderDeterministic(t *testing.T) {
+	f := newGateFactory()
+	slowGate := f.gate("w0") // cell 0 held until everything else finished
+	sv := NewServer(WithFactory(f), WithWorkers(4))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", CampaignSpec{
+		ID:       "order",
+		Policies: []string{"p"},
+		Workloads: []string{
+			"w0", "w1", "w2",
+		},
+	})
+	if r.status != http.StatusCreated {
+		t.Fatalf("create campaign: status = %d (%+v)", r.status, r.Error)
+	}
+	waitCampaignDone(t, ts.URL, "order", 2) // w1, w2 finish; w0 held
+
+	// Open the stream while cell 0 is still running, then release it.
+	resp, err := http.Get(ts.URL + "/api/v1/campaigns/order/results?stream=sse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	close(slowGate)
+	events := readSSE(t, resp)
+	if len(events) != 4 {
+		t.Fatalf("got %d SSE events, want 3 cells + done: %+v", len(events), events)
+	}
+	for i := 0; i < 3; i++ {
+		if events[i].name != "cell" {
+			t.Fatalf("event %d = %q, want cell", i, events[i].name)
+		}
+		var cell CellInfo
+		if err := json.Unmarshal([]byte(events[i].data), &cell); err != nil {
+			t.Fatalf("cell %d payload: %v", i, err)
+		}
+		if cell.Index != i || cell.State != "done" {
+			t.Fatalf("frame %d carries cell index %d state %s", i, cell.Index, cell.State)
+		}
+	}
+	if events[3].name != "done" {
+		t.Fatalf("last event = %q, want done", events[3].name)
+	}
+	var sum CampaignInfo
+	json.Unmarshal([]byte(events[3].data), &sum)
+	if sum.Done != 3 || sum.Cells != 3 {
+		t.Fatalf("done summary = %+v", sum)
+	}
+}
+
+// TestCampaignDedup runs a grid with a repeated workload column and then the
+// identical campaign again: duplicate cells coalesce onto one session, the
+// rerun is served wholly from the result store.
+func TestCampaignDedup(t *testing.T) {
+	f := newGateFactory()
+	sv := NewServer(WithFactory(f), WithWorkers(2))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	spec := CampaignSpec{
+		ID:        "dd",
+		Policies:  []string{"p1"},
+		Workloads: []string{"wa", "wa", "wb"},
+	}
+	r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", spec)
+	if r.status != http.StatusCreated {
+		t.Fatalf("create: status = %d (%+v)", r.status, r.Error)
+	}
+	waitCampaignDone(t, ts.URL, "dd", 3)
+	if n := f.buildCount("wa"); n != 1 {
+		t.Fatalf("duplicate cells built wa %d times, want 1", n)
+	}
+
+	// Identical rerun: zero new builds, every cell cached.
+	spec.ID = "dd2"
+	r = doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", spec)
+	if r.status != http.StatusCreated {
+		t.Fatalf("rerun: status = %d (%+v)", r.status, r.Error)
+	}
+	var info CampaignInfo
+	json.Unmarshal(r.Data, &info)
+	if info.Done != 3 || info.Cached != 3 {
+		t.Fatalf("rerun info = %+v, want 3 done, 3 cached", info)
+	}
+	if n := f.buildCount("wa") + f.buildCount("wb"); n != 2 {
+		t.Fatalf("rerun built %d sessions, want 0 new (2 total)", n)
+	}
+
+	// Duplicate campaign ID: 409.
+	r = doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", spec)
+	if r.status != http.StatusConflict {
+		t.Fatalf("dup campaign ID: status = %d, want 409", r.status)
+	}
+}
+
+func TestCampaignPagination(t *testing.T) {
+	f := newGateFactory()
+	sv := NewServer(WithFactory(f), WithWorkers(4))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", CampaignSpec{
+		ID:        "pg",
+		Policies:  []string{"a", "b"},
+		Workloads: []string{"x", "y", "z"},
+	})
+	if r.status != http.StatusCreated {
+		t.Fatalf("create: status = %d (%+v)", r.status, r.Error)
+	}
+	waitCampaignDone(t, ts.URL, "pg", 6)
+
+	type page struct {
+		Campaign   CampaignInfo `json:"campaign"`
+		Offset     int          `json:"offset"`
+		NextOffset int          `json:"next_offset"`
+		Cells      []CellInfo   `json:"cells"`
+	}
+	var got []CellInfo
+	offset := 0
+	for {
+		r := doJSON(t, http.MethodGet, ts.URL+"/api/v1/campaigns/pg/results?limit=4&offset="+itoa(offset), nil)
+		if r.status != http.StatusOK {
+			t.Fatalf("page at %d: status = %d", offset, r.status)
+		}
+		var p page
+		json.Unmarshal(r.Data, &p)
+		got = append(got, p.Cells...)
+		if p.NextOffset < 0 {
+			break
+		}
+		offset = p.NextOffset
+	}
+	if len(got) != 6 {
+		t.Fatalf("paginated %d cells, want 6", len(got))
+	}
+	// Row-major: policies outer, workloads inner.
+	if got[0].Policy != "a" || got[0].Workload != "x" || got[3].Policy != "b" || got[3].Workload != "x" {
+		t.Fatalf("cell order wrong: %+v", got)
+	}
+	for i, c := range got {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+	}
+}
+
+// TestCampaignTooBigAndBadSpecs covers the 400 paths.
+func TestCampaignTooBigAndBadSpecs(t *testing.T) {
+	f := newGateFactory()
+	sv := NewServer(WithFactory(f), WithWorkers(2))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", CampaignSpec{Policies: []string{"p"}})
+	if r.status != http.StatusBadRequest {
+		t.Fatalf("empty workloads: status = %d, want 400", r.status)
+	}
+	pols := make([]string, 70)
+	wls := make([]string, 70)
+	for i := range pols {
+		pols[i], wls[i] = itoa(i), itoa(i)
+	}
+	r = doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", CampaignSpec{Policies: pols, Workloads: wls})
+	if r.status != http.StatusBadRequest {
+		t.Fatalf("oversized grid: status = %d, want 400", r.status)
+	}
+	r = doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns",
+		CampaignSpec{Policies: []string{"p"}, Workloads: []string{"badkey"}})
+	if r.status != http.StatusBadRequest {
+		t.Fatalf("bad cell key: status = %d, want 400", r.status)
+	}
+	r = doJSON(t, http.MethodGet, ts.URL+"/api/v1/campaigns/ghost", nil)
+	if r.status != http.StatusNotFound {
+		t.Fatalf("unknown campaign: status = %d, want 404", r.status)
+	}
+}
+
+// TestCampaignAtomicAdmission rejects a campaign whole when its fresh cells
+// exceed the queue, leaving no partial work behind.
+func TestCampaignAtomicAdmission(t *testing.T) {
+	f := newGateFactory()
+	gate := f.gate("busy")
+	sv := NewServer(WithFactory(f), WithWorkers(1), WithQueueDepth(2))
+	defer sv.Close()
+	defer close(gate)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// Occupy the worker so queued slots stay occupied.
+	doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions", SessionSpec{Workload: "busy"})
+	waitStats(t, sv, func(st Stats) bool { return st.Running == 1 }, "busy running")
+
+	r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", CampaignSpec{
+		ID:        "big",
+		Policies:  []string{"p"},
+		Workloads: []string{"c1", "c2", "c3"}, // 3 fresh > 2 free slots
+	})
+	if r.status != http.StatusTooManyRequests || r.Error == nil || r.Error.Code != "queue_full" {
+		t.Fatalf("oversubscribed campaign: status=%d error=%+v", r.status, r.Error)
+	}
+	if r.header.Get("Retry-After") == "" {
+		t.Fatal("429 campaign response has no Retry-After")
+	}
+	if st := sv.Stats(); st.Queued != 0 {
+		t.Fatalf("rejected campaign left %d sessions queued", st.Queued)
+	}
+	if sv.getCampaign("big") != nil {
+		t.Fatal("rejected campaign was registered")
+	}
+
+	// A campaign that fits is admitted.
+	r = doJSON(t, http.MethodPost, ts.URL+"/api/v1/campaigns", CampaignSpec{
+		ID:        "fits",
+		Policies:  []string{"p"},
+		Workloads: []string{"c1", "c2"},
+	})
+	if r.status != http.StatusCreated {
+		t.Fatalf("fitting campaign: status = %d (%+v)", r.status, r.Error)
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

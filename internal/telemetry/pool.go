@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Pool scheduling errors, surfaced by Submit and mapped to HTTP status
+// codes by the v1 API (429 and 503 respectively).
+var (
+	// ErrQueueFull is returned when the pending queue is at capacity; the
+	// caller should back off and retry (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("telemetry: session queue full")
+	// ErrDraining is returned once Drain or Close has begun; no further
+	// sessions are accepted.
+	ErrDraining = errors.New("telemetry: server draining")
+	// ErrDuplicateID is returned by Submit for an ID already in use
+	// (HTTP 409).
+	ErrDuplicateID = errors.New("telemetry: duplicate session ID")
+)
+
+// sessHeap orders pending sessions by descending priority, FIFO within a
+// priority level (ascending submission sequence).
+type sessHeap []*session
+
+func (h sessHeap) Len() int { return len(h) }
+func (h sessHeap) Less(i, j int) bool {
+	if h[i].cfg.Priority != h[j].cfg.Priority {
+		return h[i].cfg.Priority > h[j].cfg.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sessHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *sessHeap) Push(x any)   { *h = append(*h, x.(*session)) }
+func (h *sessHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// pool is the bounded worker pool that executes queued sessions: a fixed
+// number of worker goroutines pull from a priority+FIFO heap whose depth is
+// capped, giving the server natural backpressure instead of a goroutine per
+// request.
+type pool struct {
+	workers int
+	depth   int
+	run     func(*session)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  sessHeap
+	running  int
+	seq      uint64
+	draining bool
+	closed   bool
+	done     chan struct{} // closed when all workers have exited
+}
+
+func newPool(workers, depth int, run func(*session)) *pool {
+	p := &pool{workers: workers, depth: depth, run: run, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	go p.runWorkers()
+	return p
+}
+
+func (p *pool) runWorkers() {
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		go func() {
+			defer wg.Done()
+			p.worker()
+		}()
+	}
+	wg.Wait()
+	close(p.done)
+}
+
+// submit queues a session, stamping its FIFO sequence. It fails fast when
+// the queue is at depth or the pool is draining/closed.
+func (p *pool) submit(s *session) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.draining {
+		return ErrDraining
+	}
+	if len(p.pending) >= p.depth {
+		return ErrQueueFull
+	}
+	p.seq++
+	s.seq = p.seq
+	heap.Push(&p.pending, s)
+	p.cond.Signal()
+	return nil
+}
+
+// worker pulls the highest-priority pending session and runs it to
+// completion. Exits when the pool closes.
+func (p *pool) worker() {
+	for {
+		p.mu.Lock()
+		for len(p.pending) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		s := heap.Pop(&p.pending).(*session)
+		p.running++
+		p.mu.Unlock()
+
+		p.run(s)
+
+		p.mu.Lock()
+		p.running--
+		p.cond.Broadcast() // wake Drain waiters
+		p.mu.Unlock()
+	}
+}
+
+// remove pulls a still-pending session out of the queue (DELETE on a queued
+// session). Returns false when the session is no longer pending.
+func (p *pool) remove(s *session) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, q := range p.pending {
+		if q == s {
+			heap.Remove(&p.pending, i)
+			return true
+		}
+	}
+	return false
+}
+
+// load returns the current queue length and running count.
+func (p *pool) load() (queued, running int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending), p.running
+}
+
+// stopped reports whether the pool has stopped intake (draining or closed).
+func (p *pool) stopped() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed || p.draining
+}
+
+// capacityLeft returns how many more sessions submit would accept right now.
+func (p *pool) capacityLeft() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.draining {
+		return 0
+	}
+	return p.depth - len(p.pending)
+}
+
+// retryAfter estimates, in whole seconds, when queue capacity is likely to
+// free up — a deliberately rough queue-length/worker heuristic for the 429
+// Retry-After header.
+func (p *pool) retryAfter() int {
+	queued, _ := p.load()
+	secs := 1 + queued/(p.workers*8+1)
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// setDraining stops intake. Queued sessions still run.
+func (p *pool) setDraining() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+}
+
+// drain stops intake and waits for the queue to empty and every running
+// session to finish. On ctx expiry it returns ctx.Err() with work still in
+// flight — the caller then Closes to cancel the remainder.
+func (p *pool) drain(ctx context.Context) error {
+	p.setDraining()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		queued, running := p.load()
+		if queued == 0 && running == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// close stops the workers and returns the sessions still pending so the
+// server can finalize them as canceled. Idempotent.
+func (p *pool) close() []*session {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return nil
+	}
+	p.closed = true
+	orphans := make([]*session, len(p.pending))
+	copy(orphans, p.pending)
+	p.pending = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-p.done
+	return orphans
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func waitStats(t *testing.T, sv *Server, cond func(Stats) bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(sv.Stats()) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("server never reached %s (stats %+v)", what, sv.Stats())
+}
+
+// TestBackpressure fills the two workers and the two queue slots with held
+// sessions, then asserts the fifth submission is a 429 with Retry-After, and
+// that releasing the gate drains everything cleanly.
+func TestBackpressure(t *testing.T) {
+	f := newGateFactory()
+	gate := f.gate("slow")
+	sv := NewServer(WithFactory(f), WithWorkers(2), WithQueueDepth(2))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	post := func(i int) apiResp {
+		return doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+			SessionSpec{Workload: "slow", Stimulus: fmt.Sprint(i)})
+	}
+
+	// Two run, two queue.
+	for i := 0; i < 2; i++ {
+		if r := post(i); r.status != http.StatusCreated {
+			t.Fatalf("POST %d: status = %d", i, r.status)
+		}
+	}
+	waitStats(t, sv, func(st Stats) bool { return st.Running == 2 }, "2 running")
+	for i := 2; i < 4; i++ {
+		if r := post(i); r.status != http.StatusCreated {
+			t.Fatalf("POST %d: status = %d", i, r.status)
+		}
+	}
+	waitStats(t, sv, func(st Stats) bool { return st.Queued == 2 }, "2 queued")
+
+	// Queue full: 429 + Retry-After.
+	r := post(4)
+	if r.status != http.StatusTooManyRequests || r.Error == nil || r.Error.Code != "queue_full" {
+		t.Fatalf("POST over capacity: status=%d error=%+v", r.status, r.Error)
+	}
+	if ra := r.header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response has no Retry-After header")
+	}
+	if st := sv.Stats(); st.RejectedFull != 1 {
+		t.Fatalf("stats.RejectedFull = %d, want 1", st.RejectedFull)
+	}
+
+	// Release and drain: everything completes, nothing leaks.
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st := sv.Stats()
+	if st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("after drain: queued=%d running=%d, want 0/0", st.Queued, st.Running)
+	}
+	if st.Completed != 4 {
+		t.Fatalf("after drain: completed=%d, want 4", st.Completed)
+	}
+
+	// Draining server refuses new work with 503.
+	r = post(5)
+	if r.status != http.StatusServiceUnavailable || r.Error == nil || r.Error.Code != "draining" {
+		t.Fatalf("POST while draining: status=%d error=%+v", r.status, r.Error)
+	}
+	if err := sv.Submit(SessionConfig{ID: "direct", Platform: &stubPlatform{}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining: err = %v, want ErrDraining", err)
+	}
+}
+
+// TestDeleteQueuedSession cancels a session that never left the queue: it
+// finalizes as canceled without its platform ever running.
+func TestDeleteQueuedSession(t *testing.T) {
+	f := newGateFactory()
+	gate := f.gate("hold")
+	sv := NewServer(WithFactory(f), WithWorkers(1), WithQueueDepth(4))
+	defer sv.Close()
+	defer close(gate)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions", SessionSpec{ID: "runner", Workload: "hold"})
+	waitStats(t, sv, func(st Stats) bool { return st.Running == 1 }, "runner running")
+	doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions", SessionSpec{ID: "waiter", Workload: "w", Stimulus: "q"})
+	waitStats(t, sv, func(st Stats) bool { return st.Queued == 1 }, "waiter queued")
+
+	r := doJSON(t, http.MethodDelete, ts.URL+"/api/v1/sessions/waiter", nil)
+	if r.status != http.StatusOK {
+		t.Fatalf("DELETE queued: status = %d (%+v)", r.status, r.Error)
+	}
+	if n := f.buildCount("w"); n != 1 {
+		t.Fatalf("waiter built %d times, want 1 (built at submit, canceled before run)", n)
+	}
+	st := sv.Stats()
+	if st.Queued != 0 || st.Canceled != 1 {
+		t.Fatalf("after cancel: queued=%d canceled=%d, want 0/1", st.Queued, st.Canceled)
+	}
+}
+
+// TestSessionTimeout bounds a held session by wall clock: it finalizes as
+// timed out and its result is not cached.
+func TestSessionTimeout(t *testing.T) {
+	f := newGateFactory()
+	gate := f.gate("stuck")
+	sv := NewServer(WithFactory(f), WithWorkers(1))
+	defer sv.Close()
+	defer close(gate)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+		SessionSpec{ID: "stuck-1", Workload: "stuck", TimeoutMs: 30})
+	if r.status != http.StatusCreated {
+		t.Fatalf("create: status = %d", r.status)
+	}
+	waitState(t, ts.URL, "stuck-1", StateDone)
+	res, err := sv.EndSession("stuck-1")
+	if err != nil {
+		t.Fatalf("EndSession: %v", err)
+	}
+	if !res.TimedOut || res.Error == "" {
+		t.Fatalf("result = %+v, want timed-out with error", res)
+	}
+	if st := sv.Stats(); st.TimedOut != 1 {
+		t.Fatalf("stats.TimedOut = %d, want 1", st.TimedOut)
+	}
+	if sv.Store().Len() != 0 {
+		t.Fatal("timed-out result was cached; must not be")
+	}
+}
+
+// TestCloseCancelsEverything shuts the server down with held and queued
+// sessions in flight; Close must return promptly with all of them finalized.
+func TestCloseCancelsEverything(t *testing.T) {
+	f := newGateFactory()
+	gate := f.gate("held")
+	defer close(gate)
+	sv := NewServer(WithFactory(f), WithWorkers(1), WithQueueDepth(8))
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions",
+			SessionSpec{Workload: "held", Stimulus: fmt.Sprint(i)})
+		if r.status != http.StatusCreated {
+			t.Fatalf("POST %d: status = %d", i, r.status)
+		}
+	}
+	waitStats(t, sv, func(st Stats) bool { return st.Running == 1 && st.Queued == 3 }, "1 running 3 queued")
+
+	done := make(chan struct{})
+	go func() { sv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return within 5s")
+	}
+	st := sv.Stats()
+	if st.Canceled != 4 {
+		t.Fatalf("after close: canceled=%d, want 4", st.Canceled)
+	}
+}

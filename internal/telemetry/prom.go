@@ -32,6 +32,7 @@ var promHelp = []struct{ prefix, help string }{
 	{"dift.", "Decoupled taint-monitor statistic."},
 	{"io.", "Peripheral I/O counter."},
 	{"obs.", "Observer provenance-ring counter."},
+	{"serve.", "Session-server scheduler statistic."},
 	{"lub_ops", "Security-lattice least-upper-bound operations."},
 	{"trace.", "Trace subsystem counter."},
 	{"cover.", "Coverage gauge."},
@@ -45,7 +46,7 @@ var promHelp = []struct{ prefix, help string }{
 // blocks) rise and fall with live taint; its *_total siblings are monotone.
 // Everything else the platform emits is a monotone counter.
 func promIsGauge(name string) bool {
-	if strings.HasPrefix(name, "dift.") {
+	if strings.HasPrefix(name, "dift.") || strings.HasPrefix(name, "serve.") {
 		return !strings.HasSuffix(name, "_total")
 	}
 	return strings.HasPrefix(name, "cover.")

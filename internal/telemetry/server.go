@@ -1,13 +1,19 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vpdift/internal/core"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 )
@@ -33,8 +39,8 @@ type Platform interface {
 type SessionConfig struct {
 	// ID names the session in URLs and the session label on /metrics.
 	ID string
-	// Platform is the simulation; the session goroutine owns it and all
-	// HTTP access is serialized against it through the session mutex.
+	// Platform is the simulation; the owning worker runs it and all HTTP
+	// access is serialized against it through the session mutex.
 	Platform Platform
 	// Sampler, when set, backs the /timeseries endpoint. The caller starts
 	// it (soc wires it through Config.Telemetry); the server only reads.
@@ -50,66 +56,372 @@ type SessionConfig struct {
 	// feed the simulation — e.g. delivering the next immobilizer challenge.
 	// Returning an error ends the session.
 	Drive func() error
+	// Priority orders the pending queue: higher runs sooner, FIFO within a
+	// level. Default 0.
+	Priority int
+	// Timeout bounds the session's host wall-clock run time; exceeding it
+	// ends the session with a timeout error. 0 means no limit.
+	Timeout time.Duration
+	// Key is the (image, policy, stimulus) content hash used for result
+	// dedup. Empty keys are never cached.
+	Key string
+	// Close, when set, releases the platform (soc.Platform.Shutdown) once
+	// the session has finalized; the server snapshots final metrics first.
+	Close func()
 }
+
+// Session lifecycle states, as reported in the API.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateCanceled = "canceled"
+)
 
 // session wraps a platform with the mutex that serializes the run loop
 // against HTTP readers. The kernel is single-threaded by design; the mutex
 // is the only thing that makes snapshots safe while the loop runs.
 type session struct {
-	cfg  SessionConfig
-	stop chan struct{}
+	cfg      SessionConfig
+	seq      uint64 // FIFO stamp, assigned by the pool
+	stop     chan struct{}
+	stopOnce sync.Once
 
-	mu   sync.Mutex // guards the platform and the fields below
-	done bool
-	err  error
+	mu        sync.Mutex // guards the platform and the fields below
+	state     string
+	done      bool
+	finalized bool
+	canceled  bool
+	timedOut  bool
+	err       error
+	started   time.Time
+	final     map[string]uint64 // metrics snapshot taken at finalize
+	simNs     uint64
+	result    SessionResult
+	callbacks []func(SessionResult)
 }
 
-// Server runs simulation sessions and serves their telemetry. Create with
-// NewServer, register sessions with Add, expose Handler on any http.Server.
+func (s *session) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *session) cancel() { s.stopOnce.Do(func() { close(s.stop) }) }
+
+// onDone registers fn to run with the session's result once it finalizes;
+// if it already has, fn runs immediately. Used by campaigns to coalesce
+// cells onto in-flight sessions.
+func (s *session) onDone(fn func(SessionResult)) {
+	s.mu.Lock()
+	if s.finalized {
+		r := s.result
+		s.mu.Unlock()
+		fn(r)
+		return
+	}
+	s.callbacks = append(s.callbacks, fn)
+	s.mu.Unlock()
+}
+
+// ServerOption configures a Server, mirroring the vpdift.NewPlatform
+// options facade.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	workers    int
+	queueDepth int
+	store      ResultStore
+	factory    SessionFactory
+	timeout    time.Duration
+}
+
+// Default pool sizing: one worker per scheduler thread (floored at 2 so a
+// one-CPU host still interleaves an endless session with new arrivals) and
+// a queue deep enough for fleet-scale campaign bursts.
+const DefaultQueueDepth = 4096
+
+// WithWorkers sets the worker-pool size; n <= 0 keeps the default
+// (GOMAXPROCS, floored at 2).
+func WithWorkers(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.workers = n
+		}
+	}
+}
+
+// WithQueueDepth caps how many sessions may wait in the pending queue;
+// submissions beyond it fail with ErrQueueFull (HTTP 429). n <= 0 keeps
+// DefaultQueueDepth.
+func WithQueueDepth(n int) ServerOption {
+	return func(o *serverOptions) {
+		if n > 0 {
+			o.queueDepth = n
+		}
+	}
+}
+
+// WithResultStore sets the dedup result store (default: a fresh MemStore).
+func WithResultStore(st ResultStore) ServerOption {
+	return func(o *serverOptions) {
+		if st != nil {
+			o.store = st
+		}
+	}
+}
+
+// WithFactory installs the session factory that backs POST /api/v1/sessions
+// and /api/v1/campaigns. Without one, those endpoints report that session
+// creation over HTTP is not configured.
+func WithFactory(f SessionFactory) ServerOption {
+	return func(o *serverOptions) { o.factory = f }
+}
+
+// WithSessionTimeout sets the default wall-clock timeout applied to
+// factory-built sessions whose spec does not choose one. 0 means no limit.
+func WithSessionTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.timeout = d }
+}
+
+// serverStats counts scheduling outcomes; exposed on /healthz and as
+// serve.* metrics.
+type serverStats struct {
+	submitted    atomic.Uint64
+	completed    atomic.Uint64
+	canceled     atomic.Uint64
+	timedOut     atomic.Uint64
+	cacheHits    atomic.Uint64
+	coalesced    atomic.Uint64
+	rejectedFull atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the server's scheduling counters.
+type Stats struct {
+	Submitted     uint64 `json:"submitted"`
+	Completed     uint64 `json:"completed"`
+	Canceled      uint64 `json:"canceled"`
+	TimedOut      uint64 `json:"timed_out"`
+	CacheHits     uint64 `json:"cache_hits"`
+	Coalesced     uint64 `json:"coalesced"`
+	RejectedFull  uint64 `json:"rejected_full"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	Workers       int    `json:"workers"`
+	QueueDepth    int    `json:"queue_depth"`
+	StoredResults int    `json:"stored_results"`
+}
+
+// Server schedules simulation sessions onto a bounded worker pool and
+// serves them over a versioned HTTP API. Create with NewServer, submit
+// sessions with Submit (or POST /api/v1/sessions when a factory is
+// configured), expose Handler on any http.Server.
 type Server struct {
-	mu       sync.Mutex
-	sessions map[string]*session
-	order    []string
+	opts  serverOptions
+	pool  *pool
+	stats serverStats
+
+	// submitMu serializes multi-session submissions (campaign expansion)
+	// against the pool's capacity check so a campaign is admitted or
+	// rejected atomically.
+	submitMu sync.Mutex
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	order     []string
+	byKey     map[string]*session // live session per dedup key, for coalescing
+	campaigns map[string]*campaign
+	campOrder []string
+	nextID    uint64
+	closed    bool
 }
 
-// NewServer creates an empty server.
-func NewServer() *Server {
-	return &Server{sessions: make(map[string]*session)}
+// NewServer creates a server. With no options it has a GOMAXPROCS-sized
+// worker pool, a DefaultQueueDepth pending queue, an in-memory result
+// store, and no session factory (sessions are submitted programmatically).
+func NewServer(opts ...ServerOption) *Server {
+	o := serverOptions{
+		workers:    runtime.GOMAXPROCS(0),
+		queueDepth: DefaultQueueDepth,
+	}
+	if o.workers < 2 {
+		o.workers = 2
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.store == nil {
+		o.store = NewMemStore()
+	}
+	sv := &Server{
+		opts:      o,
+		sessions:  make(map[string]*session),
+		byKey:     make(map[string]*session),
+		campaigns: make(map[string]*campaign),
+	}
+	sv.pool = newPool(o.workers, o.queueDepth, sv.runSession)
+	return sv
 }
 
-// Add registers a session and starts its run-loop goroutine. The loop
-// advances the platform in Step-sized chunks, holding the session lock only
-// while the kernel runs, so scrapes interleave between chunks.
-func (sv *Server) Add(cfg SessionConfig) error {
+// Workers returns the pool size.
+func (sv *Server) Workers() int { return sv.opts.workers }
+
+// Store returns the server's result store.
+func (sv *Server) Store() ResultStore { return sv.opts.store }
+
+// Stats returns the current scheduling counters.
+func (sv *Server) Stats() Stats {
+	queued, running := sv.pool.load()
+	return Stats{
+		Submitted:     sv.stats.submitted.Load(),
+		Completed:     sv.stats.completed.Load(),
+		Canceled:      sv.stats.canceled.Load(),
+		TimedOut:      sv.stats.timedOut.Load(),
+		CacheHits:     sv.stats.cacheHits.Load(),
+		Coalesced:     sv.stats.coalesced.Load(),
+		RejectedFull:  sv.stats.rejectedFull.Load(),
+		Queued:        queued,
+		Running:       running,
+		Workers:       sv.opts.workers,
+		QueueDepth:    sv.opts.queueDepth,
+		StoredResults: sv.opts.store.Len(),
+	}
+}
+
+// Submit registers a session and queues it on the worker pool. It fails
+// with ErrQueueFull at capacity and ErrDraining after Drain/Close.
+func (sv *Server) Submit(cfg SessionConfig) error {
 	if cfg.ID == "" || cfg.Platform == nil {
 		return fmt.Errorf("telemetry: session needs an ID and a Platform")
 	}
 	if cfg.Step == 0 {
 		cfg.Step = kernel.Time(1_000_000) // 1ms
 	}
+	s := &session{cfg: cfg, stop: make(chan struct{}), state: StateQueued}
+
 	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	if _, dup := sv.sessions[cfg.ID]; dup {
-		return fmt.Errorf("telemetry: duplicate session %q", cfg.ID)
+	if sv.closed {
+		sv.mu.Unlock()
+		return ErrDraining
 	}
-	s := &session{cfg: cfg, stop: make(chan struct{})}
+	if _, dup := sv.sessions[cfg.ID]; dup {
+		sv.mu.Unlock()
+		return fmt.Errorf("telemetry: duplicate session %q: %w", cfg.ID, ErrDuplicateID)
+	}
 	sv.sessions[cfg.ID] = s
 	sv.order = append(sv.order, cfg.ID)
-	go s.loop()
+	if cfg.Key != "" {
+		sv.byKey[cfg.Key] = s
+	}
+	sv.mu.Unlock()
+
+	if err := sv.pool.submit(s); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			sv.stats.rejectedFull.Add(1)
+		}
+		sv.unregister(s)
+		if cfg.Close != nil {
+			cfg.Close()
+		}
+		return err
+	}
+	sv.stats.submitted.Add(1)
 	return nil
 }
 
-// Close stops every session loop. Platforms are left intact; callers that
-// own them shut them down afterwards.
-func (sv *Server) Close() {
+// Add registers a session and queues it for execution.
+//
+// Deprecated: Add is the PR 5 name; new code uses Submit (identical
+// behavior on today's Server — sessions now run on the bounded worker pool
+// rather than a goroutine each).
+func (sv *Server) Add(cfg SessionConfig) error { return sv.Submit(cfg) }
+
+// unregister removes a session from the registries (failed submit, DELETE).
+func (sv *Server) unregister(s *session) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	for _, s := range sv.sessions {
-		select {
-		case <-s.stop:
-		default:
-			close(s.stop)
+	if sv.sessions[s.cfg.ID] == s {
+		delete(sv.sessions, s.cfg.ID)
+		for i, id := range sv.order {
+			if id == s.cfg.ID {
+				sv.order = append(sv.order[:i], sv.order[i+1:]...)
+				break
+			}
 		}
+	}
+	if s.cfg.Key != "" && sv.byKey[s.cfg.Key] == s {
+		delete(sv.byKey, s.cfg.Key)
+	}
+}
+
+// Cancel stops a session: a queued one is pulled from the pool and
+// finalized immediately, a running one stops at its next chunk boundary.
+// Returns false for unknown IDs.
+func (sv *Server) Cancel(id string) bool {
+	s := sv.get(id)
+	if s == nil {
+		return false
+	}
+	s.cancel()
+	if sv.pool.remove(s) {
+		sv.finalize(s)
+	}
+	return true
+}
+
+// EndSession cancels a session, waits for it to finalize (bounded), and
+// removes it from the registry — the DELETE /api/v1/sessions/{id}
+// semantics. The final result is returned.
+func (sv *Server) EndSession(id string) (SessionResult, error) {
+	s := sv.get(id)
+	if s == nil {
+		return SessionResult{}, fmt.Errorf("telemetry: unknown session %q", id)
+	}
+	s.cancel()
+	if sv.pool.remove(s) {
+		sv.finalize(s)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.mu.Lock()
+		fin := s.finalized
+		r := s.result
+		s.mu.Unlock()
+		if fin {
+			sv.unregister(s)
+			return r, nil
+		}
+		if time.Now().After(deadline) {
+			return SessionResult{}, fmt.Errorf("telemetry: session %q did not stop", id)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Drain stops intake and waits for queued and running sessions to finish —
+// the graceful-shutdown half of SIGTERM handling. On ctx expiry the
+// remainder keeps running; call Close to cancel it.
+func (sv *Server) Drain(ctx context.Context) error { return sv.pool.drain(ctx) }
+
+// Close stops every session and the worker pool. Queued sessions finalize
+// as canceled; running ones stop at their next chunk boundary. Platforms
+// with a Close hook are released.
+func (sv *Server) Close() {
+	sv.mu.Lock()
+	sv.closed = true
+	all := make([]*session, 0, len(sv.order))
+	for _, id := range sv.order {
+		all = append(all, sv.sessions[id])
+	}
+	sv.mu.Unlock()
+	for _, s := range all {
+		s.cancel()
+	}
+	for _, s := range sv.pool.close() {
+		sv.finalize(s)
 	}
 }
 
@@ -129,19 +441,37 @@ func (sv *Server) all() []*session {
 	return out
 }
 
-func (s *session) loop() {
+// liveByKey returns the in-flight session for a dedup key, if any.
+func (sv *Server) liveByKey(key string) *session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.byKey[key]
+}
+
+// runSession is the worker-pool body: advance the platform in Step-sized
+// chunks, holding the session lock only while the kernel runs, so scrapes
+// interleave between chunks.
+func (sv *Server) runSession(s *session) {
+	if s.stopped() {
+		sv.finalize(s)
+		return
+	}
+	s.mu.Lock()
+	s.state = StateRunning
+	s.started = time.Now()
+	var deadline time.Time
+	if s.cfg.Timeout > 0 {
+		deadline = s.started.Add(s.cfg.Timeout)
+	}
+	s.mu.Unlock()
+
 	pl := s.cfg.Platform
 	for {
-		select {
-		case <-s.stop:
+		if s.stopped() {
+			sv.finalize(s)
 			return
-		default:
 		}
 		s.mu.Lock()
-		if s.done {
-			s.mu.Unlock()
-			return
-		}
 		target := pl.Now() + s.cfg.Step
 		if s.cfg.Horizon != 0 && target > s.cfg.Horizon {
 			target = s.cfg.Horizon
@@ -151,13 +481,19 @@ func (s *session) loop() {
 			err = s.cfg.Drive()
 		}
 		exited, _ := pl.Exited()
-		if err != nil || exited || (s.cfg.Horizon != 0 && pl.Now() >= s.cfg.Horizon) {
+		finished := err != nil || exited || (s.cfg.Horizon != 0 && pl.Now() >= s.cfg.Horizon)
+		if !finished && !deadline.IsZero() && time.Now().After(deadline) {
+			err = fmt.Errorf("telemetry: session timeout after %v", s.cfg.Timeout)
+			s.timedOut = true
+			finished = true
+		}
+		if finished {
 			s.err = err
 			s.done = true
 		}
-		done := s.done
 		s.mu.Unlock()
-		if done {
+		if finished {
+			sv.finalize(s)
 			return
 		}
 		// Yield between chunks so HTTP readers can take the lock. Simulated
@@ -167,9 +503,99 @@ func (s *session) loop() {
 	}
 }
 
-// sessionInfo is the /api/sessions JSON shape.
+// finalize snapshots the session's terminal state, publishes its result to
+// the store, fires completion callbacks, and releases the platform. Safe to
+// call more than once; only the first call acts.
+func (sv *Server) finalize(s *session) {
+	s.mu.Lock()
+	if s.finalized {
+		s.mu.Unlock()
+		return
+	}
+	s.finalized = true
+	if !s.done {
+		// Stopped before completing (cancel or drain-kill).
+		s.canceled = true
+		s.state = StateCanceled
+	} else {
+		s.state = StateDone
+	}
+	s.done = true
+	pl := s.cfg.Platform
+	m := make(map[string]uint64, 64)
+	pl.MetricsSnapshotInto(m)
+	s.final = m
+	s.simNs = uint64(pl.Now())
+	exited, code := pl.Exited()
+	var violations uint64
+	for k, n := range m {
+		if strings.HasPrefix(k, "violations.") {
+			violations += n
+		}
+	}
+	r := SessionResult{
+		Key:        s.cfg.Key,
+		Session:    s.cfg.ID,
+		SimNs:      s.simNs,
+		Instret:    m["sim.instret"],
+		Exited:     exited,
+		ExitCode:   code,
+		Violations: violations,
+		Canceled:   s.canceled,
+		TimedOut:   s.timedOut,
+	}
+	if !s.started.IsZero() {
+		r.WallNs = time.Since(s.started).Nanoseconds()
+	}
+	if s.cfg.Sampler != nil {
+		r.Samples = s.cfg.Sampler.Total()
+	}
+	if s.err != nil {
+		r.Error = s.err.Error()
+		var v *core.Violation
+		if errors.As(s.err, &v) {
+			r.Detected = true
+		}
+	}
+	s.result = r
+	cbs := s.callbacks
+	s.callbacks = nil
+	closeFn := s.cfg.Close
+	s.mu.Unlock()
+
+	if r.cacheable() {
+		sv.opts.store.Put(r.Key, r)
+	}
+	if s.cfg.Key != "" {
+		sv.mu.Lock()
+		if sv.byKey[s.cfg.Key] == s {
+			delete(sv.byKey, s.cfg.Key)
+		}
+		sv.mu.Unlock()
+	}
+	switch {
+	case s.canceled:
+		sv.stats.canceled.Add(1)
+	case s.timedOut:
+		sv.stats.timedOut.Add(1)
+	default:
+		sv.stats.completed.Add(1)
+	}
+	for _, cb := range cbs {
+		cb(r)
+	}
+	if closeFn != nil {
+		closeFn()
+	}
+}
+
+// sessionInfo is the session JSON shape (legacy /api/sessions and the
+// "data" payload of the v1 session endpoints).
 type sessionInfo struct {
 	ID       string `json:"id"`
+	State    string `json:"state"`
+	Priority int    `json:"priority,omitempty"`
+	Key      string `json:"key,omitempty"`
 	SimNs    uint64 `json:"sim_time_ns"`
 	Instret  uint64 `json:"instret"`
 	Samples  uint64 `json:"samples"`
@@ -182,16 +608,26 @@ type sessionInfo struct {
 func (s *session) info() sessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m := make(map[string]uint64, 64)
-	s.cfg.Platform.MetricsSnapshotInto(m)
-	exited, code := s.cfg.Platform.Exited()
 	info := sessionInfo{
 		ID:       s.cfg.ID,
-		SimNs:    uint64(s.cfg.Platform.Now()),
-		Instret:  m["sim.instret"],
+		State:    s.state,
+		Priority: s.cfg.Priority,
+		Key:      s.cfg.Key,
 		Done:     s.done,
-		Exited:   exited,
-		ExitCode: code,
+	}
+	if s.finalized {
+		info.SimNs = s.result.SimNs
+		info.Instret = s.result.Instret
+		info.Exited = s.result.Exited
+		info.ExitCode = s.result.ExitCode
+	} else {
+		m := make(map[string]uint64, 64)
+		s.cfg.Platform.MetricsSnapshotInto(m)
+		exited, code := s.cfg.Platform.Exited()
+		info.SimNs = uint64(s.cfg.Platform.Now())
+		info.Instret = m["sim.instret"]
+		info.Exited = exited
+		info.ExitCode = code
 	}
 	if s.cfg.Sampler != nil {
 		info.Samples = s.cfg.Sampler.Total()
@@ -202,21 +638,87 @@ func (s *session) info() sessionInfo {
 	return info
 }
 
-// Handler returns the server's HTTP routes:
+// metrics returns the session's counter snapshot: live from the platform
+// while it runs, the frozen finalize-time snapshot afterwards (the platform
+// may have been released).
+func (s *session) metrics() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]uint64, 64)
+	if s.finalized {
+		for k, v := range s.final {
+			m[k] = v
+		}
+		return m
+	}
+	s.cfg.Platform.MetricsSnapshotInto(m)
+	return m
+}
+
+// Handler returns the server's HTTP routes. Versioned API (all JSON bodies
+// use the {"data":...} / {"error":{"code","message"}} envelope; streaming
+// responses — SSE, JSONL, CSV — are raw):
 //
-//	GET /healthz                        liveness + session count
-//	GET /metrics                        Prometheus text format, all sessions
-//	GET /api/sessions                   session list as JSON
-//	GET /api/sessions/{id}/timeseries   sampler ring as JSONL (?format=csv)
-//	GET /api/sessions/{id}/events       SSE tail of the observer event ring
+//	GET    /healthz                              liveness + scheduler counters
+//	GET    /metrics                              Prometheus text format, all sessions
+//	GET    /api/v1/sessions                      session list
+//	POST   /api/v1/sessions                      create a session from a SessionSpec
+//	GET    /api/v1/sessions/{id}                 one session's state
+//	DELETE /api/v1/sessions/{id}                 cancel and remove a session
+//	GET    /api/v1/sessions/{id}/result          final result (409 until done)
+//	GET    /api/v1/sessions/{id}/timeseries      sampler ring (?format=jsonl|csv streams raw)
+//	GET    /api/v1/sessions/{id}/events          SSE tail of the observer event ring
+//	GET    /api/v1/campaigns                     campaign list
+//	POST   /api/v1/campaigns                     run N policies x M workloads
+//	GET    /api/v1/campaigns/{id}                campaign progress
+//	DELETE /api/v1/campaigns/{id}                cancel a campaign's sessions
+//	GET    /api/v1/campaigns/{id}/results        paginated cells (?offset,limit) or SSE (?stream=sse)
+//	GET    /api/v1/results/{key}                 result-store lookup by content hash
+//
+// Deprecated aliases of the PR 5 surface (raw shapes, Deprecation header):
+//
+//	GET /api/sessions                            session list as a bare JSON array
+//	GET /api/sessions/{id}/timeseries            sampler ring as JSONL (?format=csv)
+//	GET /api/sessions/{id}/events                SSE tail of the observer event ring
+//
+// Unknown v1 paths return an enveloped 404; known paths with a wrong method
+// return an enveloped 405 with an Allow header.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	mux.HandleFunc("GET /metrics", sv.handleMetrics)
-	mux.HandleFunc("GET /api/sessions", sv.handleSessions)
-	mux.HandleFunc("GET /api/sessions/{id}/timeseries", sv.handleTimeseries)
-	mux.HandleFunc("GET /api/sessions/{id}/events", sv.handleEvents)
+
+	// Versioned surface. Patterns carry no method so the handlers can
+	// answer wrong-method requests with an enveloped 405 + Allow.
+	mux.HandleFunc("/api/v1/sessions", sv.v1Sessions)
+	mux.HandleFunc("/api/v1/sessions/{id}", sv.v1Session)
+	mux.HandleFunc("/api/v1/sessions/{id}/result", sv.v1SessionResult)
+	mux.HandleFunc("/api/v1/sessions/{id}/timeseries", sv.v1Timeseries)
+	mux.HandleFunc("/api/v1/sessions/{id}/events", sv.v1Events)
+	mux.HandleFunc("/api/v1/campaigns", sv.v1Campaigns)
+	mux.HandleFunc("/api/v1/campaigns/{id}", sv.v1Campaign)
+	mux.HandleFunc("/api/v1/campaigns/{id}/results", sv.v1CampaignResults)
+	mux.HandleFunc("/api/v1/results/{key}", sv.v1StoredResult)
+	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "no such v1 route: "+r.URL.Path)
+	})
+
+	// Deprecated PR 5 aliases: same raw response shapes, plus headers
+	// pointing migrators at the v1 successor.
+	mux.HandleFunc("GET /api/sessions", deprecated("/api/v1/sessions", sv.handleSessions))
+	mux.HandleFunc("GET /api/sessions/{id}/timeseries", deprecated("/api/v1/sessions/{id}/timeseries", sv.handleTimeseries))
+	mux.HandleFunc("GET /api/sessions/{id}/events", deprecated("/api/v1/sessions/{id}/events", sv.handleEvents))
 	return mux
+}
+
+// deprecated wraps a legacy handler with the Deprecation header (RFC 9745
+// shape) and a successor-version link.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "@1767225600") // 2026-01-01, the PR 7 API cut
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -224,35 +726,52 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sv.mu.Lock()
 	n := len(sv.sessions)
 	sv.mu.Unlock()
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"sessions\":%d}\n", n)
+	st := sv.Stats()
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"sessions\":%d,\"queued\":%d,\"running\":%d,\"workers\":%d,\"completed\":%d,\"cache_hits\":%d,\"rejected_full\":%d}\n",
+		n, st.Queued, st.Running, st.Workers, st.Completed, st.CacheHits, st.RejectedFull)
 }
 
 func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sets := make([]MetricSet, 0, 4)
 	for _, s := range sv.all() {
-		m := make(map[string]uint64, 64)
-		s.mu.Lock()
-		s.cfg.Platform.MetricsSnapshotInto(m)
-		s.mu.Unlock()
 		sets = append(sets, MetricSet{
 			Labels:  map[string]string{"session": s.cfg.ID},
-			Metrics: m,
+			Metrics: s.metrics(),
 		})
 	}
+	st := sv.Stats()
+	sets = append(sets, MetricSet{Metrics: map[string]uint64{
+		"serve.queued":              uint64(st.Queued),
+		"serve.running":             uint64(st.Running),
+		"serve.workers":             uint64(st.Workers),
+		"serve.stored_results":      uint64(st.StoredResults),
+		"serve.submitted_total":     st.Submitted,
+		"serve.completed_total":     st.Completed,
+		"serve.canceled_total":      st.Canceled,
+		"serve.timeout_total":       st.TimedOut,
+		"serve.cache_hits_total":    st.CacheHits,
+		"serve.coalesced_total":     st.Coalesced,
+		"serve.rejected_full_total": st.RejectedFull,
+	}})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WritePrometheusSets(w, sets)
 }
 
 func (sv *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	infos := sv.sessionInfos()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(infos)
+}
+
+func (sv *Server) sessionInfos() []sessionInfo {
 	infos := make([]sessionInfo, 0, 4)
 	for _, s := range sv.all() {
 		infos = append(infos, s.info())
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(infos)
+	return infos
 }
 
 func (sv *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
@@ -290,6 +809,10 @@ func (sv *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "session has no observer", http.StatusNotFound)
 		return
 	}
+	sv.streamEvents(w, r, s)
+}
+
+func (sv *Server) streamEvents(w http.ResponseWriter, r *http.Request, s *session) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)

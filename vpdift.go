@@ -246,8 +246,9 @@ func NewCoverage() *Cover { return cover.New() }
 // Live-telemetry types (package internal/telemetry). Where the other
 // observability layers record what happened, these watch it happen: a
 // sampler snapshots the platform's metrics on a simulated-time cadence, and
-// a Server exposes running sessions over HTTP (Prometheus /metrics, JSONL
-// timeseries, an SSE event tail).
+// a Server runs sessions on a bounded worker pool and exposes them over the
+// versioned /api/v1 HTTP surface (session lifecycle, policy x workload
+// campaigns, Prometheus /metrics, JSONL timeseries, an SSE event tail).
 type (
 	// Sampler captures periodic metric snapshots into a bounded ring.
 	// Attach via WithTelemetry; exporters: WriteJSONL, WriteCSV.
@@ -258,15 +259,54 @@ type (
 	TelemetryServer = telemetry.Server
 	// TelemetrySession describes one served simulation.
 	TelemetrySession = telemetry.SessionConfig
+	// TelemetryServerOption configures NewTelemetryServer, mirroring the
+	// NewPlatform option idiom.
+	TelemetryServerOption = telemetry.ServerOption
+	// SessionSpec is the wire form of a session submission (workload,
+	// policy, stimulus, horizon, priority, sampling).
+	SessionSpec = telemetry.SessionSpec
+	// SessionResult is a finished session's stored outcome.
+	SessionResult = telemetry.SessionResult
+	// ResultStore persists session results keyed by content hash.
+	ResultStore = telemetry.ResultStore
 )
 
 // NewSampler creates a metrics sampler; zero-value options mean a 1 ms
 // cadence and a 4096-sample ring.
 func NewSampler(o SamplerOptions) *Sampler { return telemetry.NewSampler(o) }
 
-// NewTelemetryServer creates an empty session server; register sessions
-// with Add and mount Handler on an http.Server.
-func NewTelemetryServer() *TelemetryServer { return telemetry.NewServer() }
+// NewTelemetryServer creates a session server; submit sessions over the v1
+// API (or Submit) and mount Handler on an http.Server. Options follow the
+// NewPlatform idiom:
+//
+//	sv := vpdift.NewTelemetryServer(
+//	    vpdift.WithServeWorkers(4),
+//	    vpdift.WithServeQueueDepth(1024),
+//	    vpdift.WithServeResultStore(store),
+//	)
+func NewTelemetryServer(opts ...TelemetryServerOption) *TelemetryServer {
+	return telemetry.NewServer(opts...)
+}
+
+// WithServeWorkers sets the worker-pool size (default GOMAXPROCS).
+func WithServeWorkers(n int) TelemetryServerOption { return telemetry.WithWorkers(n) }
+
+// WithServeQueueDepth caps the pending-session queue; a full queue answers
+// 429 with Retry-After.
+func WithServeQueueDepth(n int) TelemetryServerOption { return telemetry.WithQueueDepth(n) }
+
+// WithServeResultStore attaches a result store so repeated (image, policy,
+// stimulus) submissions become cache hits.
+func WithServeResultStore(st ResultStore) TelemetryServerOption {
+	return telemetry.WithResultStore(st)
+}
+
+// NewMemResultStore creates an in-memory result store.
+func NewMemResultStore() ResultStore { return telemetry.NewMemStore() }
+
+// NewFileResultStore creates a result store persisting one JSON file per
+// result under dir, surviving server restarts.
+func NewFileResultStore(dir string) (ResultStore, error) { return telemetry.NewFileStore(dir) }
 
 // WritePrometheus renders a metric snapshot (Result.Metrics, or
 // Platform.MetricsSnapshot) in the Prometheus text exposition format.
