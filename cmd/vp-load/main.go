@@ -54,6 +54,7 @@ var (
 	verifyFlag  = flag.Bool("verify", false, "run functional checks instead of a load run")
 	baseline    = flag.String("baseline", "", "compare against an archived report and fail on throughput regression")
 	regress     = flag.Float64("regress", 0.25, "allowed fractional throughput drop vs -baseline before failing")
+	serverMet   = flag.String("server-metrics", "", "after the run, scrape the target's /metrics, validate the exposition, and write it to this file")
 )
 
 // Report is the BENCH_serve.json shape.
@@ -265,6 +266,14 @@ func loadRun() error {
 	wg.Wait()
 	wall := time.Since(start)
 
+	// Scrape server-side metrics while the run's series are still hot —
+	// before drain flips the readiness gauges.
+	if *serverMet != "" {
+		if err := captureServerMetrics(c, tg.base, *serverMet); err != nil {
+			return err
+		}
+	}
+
 	leaked := 0
 	if tg.sv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -304,6 +313,43 @@ func loadRun() error {
 	if *baseline != "" {
 		return guard(rep)
 	}
+	return nil
+}
+
+// captureServerMetrics scrapes /metrics, validates the exposition (format
+// and histogram contract), checks the run actually left server-side traces
+// (request counters, queue-wait observations), and archives the text — the
+// load report's server-side half.
+func captureServerMetrics(c *http.Client, base, path string) error {
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("vp-load: scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("vp-load: read /metrics: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("vp-load: /metrics status %d", resp.StatusCode)
+	}
+	text := string(b)
+	if err := telemetry.ValidateExposition(text); err != nil {
+		return fmt.Errorf("vp-load: /metrics failed validation: %w", err)
+	}
+	for _, want := range []string{
+		"vpdift_http_requests_total",
+		"vpdift_http_request_duration_seconds_bucket",
+		"vpdift_serve_queue_wait_seconds_count",
+	} {
+		if !bytes.Contains(b, []byte(want)) {
+			return fmt.Errorf("vp-load: /metrics is missing %s after a load run", want)
+		}
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "server metrics validated (%d bytes) -> %s\n", len(b), path)
 	return nil
 }
 

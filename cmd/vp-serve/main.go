@@ -8,6 +8,7 @@
 //
 //	vp-serve [-addr host:port] [-workers N] [-queue-depth N] [-store dir]
 //	         [-sessions immo,qsort,...] [-sample-every 1ms]
+//	         [-log-level info] [-log-format text|json] [-debug-addr host:port]
 //
 // The versioned API (see api.md for the full route table):
 //
@@ -21,7 +22,8 @@
 //	POST   /api/v1/campaigns              run a policies x workloads grid
 //	GET    /api/v1/campaigns/{id}/results cell results (paginated or ?stream=sse)
 //	GET    /api/v1/results/{key}          result-store entry by content hash
-//	GET    /healthz, /metrics             liveness, Prometheus exposition
+//	GET    /api/v1/trace                  fleet lifecycle as a Chrome trace
+//	GET    /healthz, /readyz, /metrics    liveness, readiness, Prometheus exposition
 //
 // The pre-v1 routes (/api/sessions...) still work and answer with a
 // Deprecation header pointing at their successors.
@@ -43,7 +45,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -68,7 +72,28 @@ var (
 	stepFlag       = flag.Duration("step", time.Millisecond, "simulated time each session advances per locked chunk")
 	horizonFlag    = flag.Duration("horizon", 0, "stop each preloaded session at this much simulated time (0 runs until the guest exits)")
 	challengeEvery = flag.Duration("challenge-every", 5*time.Millisecond, "simulated time between immobilizer challenges")
+	logLevel       = flag.String("log-level", "info", "structured-log level: debug, info, warn or error")
+	logFormat      = flag.String("log-format", "text", "structured-log format: text or json")
+	debugAddr      = flag.String("debug-addr", "", "serve net/http/pprof on this address (off when empty)")
 )
+
+// newLogger builds the process logger from -log-level/-log-format; it is
+// shared by vp-serve's own messages and the server's request/lifecycle logs.
+func newLogger() (*slog.Logger, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return nil, fmt.Errorf("vp-serve: -log-level %q: %w", *logLevel, err)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch *logFormat {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("vp-serve: -log-format must be text or json, got %q", *logFormat)
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -79,12 +104,17 @@ func main() {
 }
 
 func run() error {
+	log, err := newLogger()
+	if err != nil {
+		return err
+	}
 	factory := &serve.Factory{
 		ChallengeEvery: kernel.Time((*challengeEvery).Nanoseconds()),
 	}
 	opts := []telemetry.ServerOption{
 		telemetry.WithFactory(factory),
 		telemetry.WithQueueDepth(*queueDepth),
+		telemetry.WithLogger(log),
 	}
 	if *workersFlag > 0 {
 		opts = append(opts, telemetry.WithWorkers(*workersFlag))
@@ -98,20 +128,38 @@ func run() error {
 			return err
 		}
 		opts = append(opts, telemetry.WithResultStore(st))
-		fmt.Fprintf(os.Stderr, "result store %s (%d results)\n", *storeDir, st.Len())
+		log.Info("result store opened", "dir", *storeDir, "results", st.Len())
 	}
 	sv := telemetry.NewServer(opts...)
 	defer sv.Close()
 
-	if err := preload(sv, factory); err != nil {
-		return err
-	}
-
+	// /readyz answers "starting" (503) until the preloaded sessions exist;
+	// the listener comes up first so probes can watch the transition.
+	sv.SetReady(false)
 	httpSrv := &http.Server{Addr: *addr, Handler: sv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serving on http://%s — %d workers, queue depth %d; try /healthz, /api/v1/sessions\n",
-		*addr, sv.Workers(), *queueDepth)
+	log.Info("serving", "addr", *addr, "workers", sv.Workers(), "queue_depth", *queueDepth)
+
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Info("pprof listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Warn("pprof listener failed", "error", err)
+			}
+		}()
+	}
+
+	if err := preload(sv, factory, log); err != nil {
+		return err
+	}
+	sv.SetReady(true)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -119,26 +167,25 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "%v: draining (up to %v)...\n", sig, *drainTimeout)
+		log.Info("signal received; draining", "signal", sig.String(), "timeout", *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := sv.Drain(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "drain incomplete (%v); canceling remaining sessions\n", err)
+			log.Warn("drain incomplete; canceling remaining sessions", "error", err)
 		}
 		sv.Close()
 		st := sv.Stats()
-		fmt.Fprintf(os.Stderr, "done: %d completed, %d canceled, %d cache hits\n",
-			st.Completed, st.Canceled, st.CacheHits)
+		log.Info("shutdown", "completed", st.Completed, "canceled", st.Canceled, "cache_hits", st.CacheHits)
 		shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel2()
 		return httpSrv.Shutdown(shutdownCtx)
 	}
 }
 
-// preload submits the -sessions list through the factory before the listener
-// starts, preserving the pre-pool behavior of a server that is already
-// simulating when the first scrape lands.
-func preload(sv *telemetry.Server, factory *serve.Factory) error {
+// preload submits the -sessions list through the factory while /readyz still
+// answers "starting", preserving the pre-pool behavior of a server that is
+// already simulating when the first scrape lands.
+func preload(sv *telemetry.Server, factory *serve.Factory, log *slog.Logger) error {
 	step := kernel.Time((*stepFlag).Nanoseconds())
 	for _, name := range strings.Split(*sessionsFlag, ",") {
 		name = strings.TrimSpace(name)
@@ -165,7 +212,7 @@ func preload(sv *telemetry.Server, factory *serve.Factory) error {
 		if err := sv.Submit(cfg); err != nil {
 			return fmt.Errorf("vp-serve: session %q: %w", name, err)
 		}
-		fmt.Fprintf(os.Stderr, "session %q queued (sample every %v)\n", name, *sampleEvery)
+		log.Info("session preloaded", "session", name, "sample_every", *sampleEvery)
 	}
 	return nil
 }

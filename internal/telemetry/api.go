@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -135,7 +136,7 @@ func (sv *Server) v1Sessions(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid session spec: "+err.Error())
 		return
 	}
-	out, status, aerr := sv.createSession(spec)
+	out, status, aerr := sv.createSession(r.Context(), spec)
 	if aerr != nil {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", strconv.Itoa(sv.pool.retryAfter()))
@@ -148,9 +149,11 @@ func (sv *Server) v1Sessions(w http.ResponseWriter, r *http.Request) {
 
 // createSession is the factory path shared by POST /api/v1/sessions and the
 // campaign expander: dedup against the result store and in-flight sessions,
-// then build and submit. Returns the payload and HTTP status, or an API
-// error with its status.
-func (sv *Server) createSession(spec SessionSpec) (*createdSession, int, *apiError) {
+// then build and submit. The request ID carried by ctx becomes the session's
+// Origin, joining its lifecycle logs and trace spans to the request that
+// created it. Returns the payload and HTTP status, or an API error with its
+// status.
+func (sv *Server) createSession(ctx context.Context, spec SessionSpec) (*createdSession, int, *apiError) {
 	f := sv.opts.factory
 	if f == nil {
 		return nil, http.StatusNotImplemented, &apiError{
@@ -167,11 +170,14 @@ func (sv *Server) createSession(spec SessionSpec) (*createdSession, int, *apiErr
 	sv.submitMu.Lock()
 	defer sv.submitMu.Unlock()
 
-	if !spec.Force {
+	if spec.Force {
+		sv.stats.forced.Add(1)
+	} else {
 		if res, ok := sv.opts.store.Get(key); ok {
 			sv.stats.cacheHits.Add(1)
 			return &createdSession{Cached: true, Result: &res, Key: key}, http.StatusOK, nil
 		}
+		sv.stats.cacheMisses.Add(1)
 		if live := sv.liveByKey(key); live != nil {
 			sv.stats.coalesced.Add(1)
 			info := live.info()
@@ -192,6 +198,7 @@ func (sv *Server) createSession(spec SessionSpec) (*createdSession, int, *apiErr
 	}
 	cfg.Key = key
 	cfg.Priority = spec.Priority
+	cfg.Origin = RequestIDFrom(ctx)
 	if spec.TimeoutMs > 0 {
 		cfg.Timeout = time.Duration(spec.TimeoutMs) * time.Millisecond
 	} else if cfg.Timeout == 0 {

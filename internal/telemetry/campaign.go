@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -174,7 +176,7 @@ func (sv *Server) v1Campaigns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid campaign spec: "+err.Error())
 		return
 	}
-	c, status, aerr := sv.createCampaign(spec)
+	c, status, aerr := sv.createCampaign(r.Context(), spec)
 	if aerr != nil {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", strconv.Itoa(sv.pool.retryAfter()))
@@ -188,8 +190,9 @@ func (sv *Server) v1Campaigns(w http.ResponseWriter, r *http.Request) {
 // createCampaign expands the grid, dedups each cell against the result
 // store and in-flight sessions, and submits the misses — atomically against
 // other submissions, so a campaign either fits the queue or is rejected
-// whole with 429.
-func (sv *Server) createCampaign(spec CampaignSpec) (*campaign, int, *apiError) {
+// whole with 429. The request ID carried by ctx becomes every spawned
+// session's Origin.
+func (sv *Server) createCampaign(ctx context.Context, spec CampaignSpec) (*campaign, int, *apiError) {
 	f := sv.opts.factory
 	if f == nil {
 		return nil, http.StatusNotImplemented, &apiError{
@@ -289,17 +292,30 @@ func (sv *Server) createCampaign(spec CampaignSpec) (*campaign, int, *apiError) 
 	sv.campOrder = append(sv.campOrder, c.id)
 	sv.mu.Unlock()
 
+	origin := RequestIDFrom(ctx)
+	if sv.log.Enabled(ctx, slog.LevelInfo) {
+		sv.log.LogAttrs(ctx, slog.LevelInfo, "campaign created",
+			slog.String("campaign", c.id),
+			slog.String("request_id", origin),
+			slog.Int("cells", len(cells)),
+			slog.Int("fresh", fresh),
+		)
+	}
+
 	// Fill cells: store hit -> done now; live session (including one just
 	// created for an earlier cell of this campaign) -> subscribe; miss ->
 	// build and submit.
 	for _, p := range pending {
 		cell := p.cell
-		if !spec.Force {
+		if spec.Force {
+			sv.stats.forced.Add(1)
+		} else {
 			if res, hit := sv.opts.store.Get(cell.key); hit {
 				sv.stats.cacheHits.Add(1)
 				cell.finish(res, true)
 				continue
 			}
+			sv.stats.cacheMisses.Add(1)
 			if live := sv.liveByKey(cell.key); live != nil {
 				sv.stats.coalesced.Add(1)
 				cell.setSession(live.cfg.ID)
@@ -314,6 +330,7 @@ func (sv *Server) createCampaign(spec CampaignSpec) (*campaign, int, *apiError) 
 		}
 		cfg.Key = cell.key
 		cfg.Priority = p.spec.Priority
+		cfg.Origin = origin
 		if p.spec.TimeoutMs > 0 {
 			cfg.Timeout = time.Duration(p.spec.TimeoutMs) * time.Millisecond
 		} else if cfg.Timeout == 0 {

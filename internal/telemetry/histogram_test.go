@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	h.Observe(500 * time.Microsecond) // <= 0.001
+	h.Observe(1 * time.Millisecond)   // boundary: still <= 0.001
+	h.Observe(5 * time.Millisecond)   // <= 0.01
+	h.Observe(2 * time.Second)        // +Inf
+	h.Observe(-time.Second)           // clamped to 0 -> first bucket
+
+	if got := h.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	wantSum := 0.0005 + 0.001 + 0.005 + 2.0
+	if got := h.Sum(); got < wantSum-1e-9 || got > wantSum+1e-9 {
+		t.Errorf("Sum = %v, want %v", got, wantSum)
+	}
+	cum, count, _ := h.snapshot()
+	if count != 5 {
+		t.Errorf("snapshot count = %d, want 5", count)
+	}
+	want := []uint64{3, 4, 4, 5} // cumulative: <=1ms, <=10ms, <=100ms, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d (all: %v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram()
+	if len(h.boundsSec) != len(DurationBuckets) {
+		t.Fatalf("default bucket count = %d, want %d", len(h.boundsSec), len(DurationBuckets))
+	}
+	for i := 1; i < len(h.boundsSec); i++ {
+		if h.boundsSec[i] <= h.boundsSec[i-1] {
+			t.Fatalf("default buckets not ascending at %d: %v", i, h.boundsSec)
+		}
+	}
+}
+
+func TestWriteHistogramFamilies(t *testing.T) {
+	lat := NewHistogram(0.001, 0.01)
+	lat.Observe(2 * time.Millisecond)
+	lat.Observe(3 * time.Second)
+	idle := NewHistogram() // no observations: series must be skipped
+	var b strings.Builder
+	err := WriteHistogramFamilies(&b, []HistogramFamily{{
+		Name: "http.request_duration_seconds",
+		Help: "Request duration.",
+		Series: []LabeledHistogram{
+			{Labels: map[string]string{"route": "/healthz"}, Hist: lat},
+			{Labels: map[string]string{"route": "/metrics"}, Hist: idle},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE vpdift_http_request_duration_seconds histogram",
+		`vpdift_http_request_duration_seconds_bucket{route="/healthz",le="0.001"} 0`,
+		`vpdift_http_request_duration_seconds_bucket{route="/healthz",le="0.01"} 1`,
+		`vpdift_http_request_duration_seconds_bucket{route="/healthz",le="+Inf"} 2`,
+		`vpdift_http_request_duration_seconds_count{route="/healthz"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "/metrics") {
+		t.Errorf("idle series rendered:\n%s", text)
+	}
+	if err := ValidateExposition(text); err != nil {
+		t.Errorf("exposition invalid: %v\n%s", err, text)
+	}
+}
+
+// TestValidateHistogramContract exercises the validator's histogram checks
+// with deliberately corrupted expositions — the guard CI relies on.
+func TestValidateHistogramContract(t *testing.T) {
+	const head = "# HELP h x\n# TYPE h histogram\n"
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"valid", head +
+			`h_bucket{le="0.1"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\n" +
+			"h_sum 0.5\nh_count 2\n", ""},
+		{"valid labeled", head +
+			`h_bucket{r="a",le="0.1"} 1` + "\n" +
+			`h_bucket{r="a",le="+Inf"} 1` + "\n" +
+			`h_sum{r="a"} 0.1` + "\n" + `h_count{r="a"} 1` + "\n", ""},
+		{"non-cumulative", head +
+			`h_bucket{le="0.1"} 5` + "\n" +
+			`h_bucket{le="+Inf"} 3` + "\n" +
+			"h_sum 1.0\nh_count 3\n", "not cumulative"},
+		{"missing inf", head +
+			`h_bucket{le="0.1"} 1` + "\n" +
+			"h_sum 0.1\nh_count 1\n", "does not end"},
+		{"inf mismatch", head +
+			`h_bucket{le="0.1"} 1` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\n" +
+			"h_sum 0.5\nh_count 3\n", "!= _count"},
+		{"descending bounds", head +
+			`h_bucket{le="0.5"} 1` + "\n" +
+			`h_bucket{le="0.1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\n" +
+			"h_sum 0.5\nh_count 2\n", "not ascending"},
+		{"no le label", head +
+			"h_bucket 1\nh_sum 0.1\nh_count 1\n", "without an le label"},
+		{"no count sample", head +
+			`h_bucket{le="+Inf"} 1` + "\n" + "h_sum 0.1\n", "no _count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateExposition(tc.text)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid exposition rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

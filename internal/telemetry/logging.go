@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// ctxKey keys context values owned by this package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// ContextWithRequestID returns ctx carrying a request ID. The server's HTTP
+// middleware attaches one to every request (minted, or taken from an
+// inbound X-Request-Id header), and the session/campaign creation paths pull
+// it back out so lifecycle logs can be joined to the request that caused
+// them.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, "" when absent.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// requestIDs mints process-unique request IDs: a boot-time epoch prefix (so
+// IDs from different server lives never collide in aggregated logs) plus a
+// sequence number.
+type requestIDs struct {
+	prefix string
+	seq    atomic.Uint64
+}
+
+func newRequestIDs() *requestIDs {
+	return &requestIDs{prefix: "r" + strconv.FormatInt(time.Now().UnixMilli(), 36) + "-"}
+}
+
+func (g *requestIDs) next() string {
+	return g.prefix + strconv.FormatUint(g.seq.Add(1), 36)
+}
+
+// discardHandler is the default slog sink: Enabled always answers false, so
+// an unconfigured server skips attribute assembly entirely — logging follows
+// the repo's disabled-is-free contract. (The stdlib grew slog.DiscardHandler
+// in a later release; this keeps the module's floor where it is.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// nopLogger returns a logger that drops everything without formatting it.
+func nopLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// WithLogger installs the server's structured logger: request logs, session
+// and campaign lifecycle transitions, drain progress. The default logger
+// discards everything at zero formatting cost; vp-serve wires one from its
+// -log-level/-log-format flags.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(o *serverOptions) {
+		if l != nil {
+			o.log = l
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vpdift/internal/kernel"
+	"vpdift/internal/obs"
+)
+
+// syncBuffer collects log output from concurrent handler goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitLogged polls until every want string appears in the buffer on a single
+// line shared with marker (the request ID), proving the log join works.
+func waitLogged(t *testing.T, buf *syncBuffer, marker string, msgs ...string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		text := buf.String()
+		missing := ""
+		for _, msg := range msgs {
+			found := false
+			for _, line := range strings.Split(text, "\n") {
+				if strings.Contains(line, msg) && strings.Contains(line, marker) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				missing = msg
+				break
+			}
+		}
+		if missing == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log never joined %q with marker %q; log:\n%s", missing, marker, text)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRequestIDPropagation checks the request-ID contract end to end: an
+// inbound X-Request-Id is echoed on the response and joins the request log,
+// the session lifecycle logs, and the session's trace span; absent a header
+// the server mints one.
+func TestRequestIDPropagation(t *testing.T) {
+	buf := &syncBuffer{}
+	logger := slog.New(slog.NewJSONHandler(buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	f := newGateFactory()
+	sv := NewServer(WithFactory(f), WithWorkers(2), WithLogger(logger))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// Minted ID: no header on the way in, one on the way out.
+	resp, err := http.Get(ts.URL + "/api/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == "" {
+		t.Error("GET /api/v1/sessions: no X-Request-Id on response")
+	}
+
+	// Upstream ID: honored, echoed, and stamped on the session it creates.
+	const reqID = "upstream-trace-42"
+	body := strings.NewReader(`{"workload":"wl-rid"}`)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/v1/sessions", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", reqID)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != reqID {
+		t.Errorf("X-Request-Id echo = %q, want %q", got, reqID)
+	}
+	var env struct {
+		Data struct {
+			Session sessionInfo `json:"session"`
+		} `json:"data"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || env.Data.Session.ID == "" {
+		t.Fatalf("POST status %d, session %+v", resp.StatusCode, env.Data.Session)
+	}
+	id := env.Data.Session.ID
+	waitState(t, ts.URL, id, StateDone)
+
+	// The ID must appear on the HTTP request log and both lifecycle logs.
+	waitLogged(t, buf, reqID, "http request", "session submitted", "session finished")
+
+	// And on the session's trace span args.
+	resp, err = http.Get(ts.URL + "/api/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.ChromeEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	foundRun := false
+	for _, ev := range events {
+		if ev.Name == "run" && ev.Ph == "X" && ev.Args["session"] == id {
+			foundRun = true
+			if ev.Args["request_id"] != reqID {
+				t.Errorf("run span request_id = %v, want %q", ev.Args["request_id"], reqID)
+			}
+		}
+	}
+	if !foundRun {
+		t.Errorf("trace has no run span for session %s: %+v", id, events)
+	}
+	if len(events) == 0 || events[0].Name != "process_name" {
+		t.Errorf("trace does not open with process metadata: %+v", events)
+	}
+}
+
+// TestReadyz checks the liveness/readiness split: /healthz stays 200 through
+// every phase while /readyz tracks the preload and drain gates.
+func TestReadyz(t *testing.T) {
+	sv := NewServer(WithWorkers(2))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	check := func(path string, wantStatus int, wantBody string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus || !strings.Contains(string(body), wantBody) {
+			t.Errorf("%s = %d %q, want %d containing %q", path, resp.StatusCode, body, wantStatus, wantBody)
+		}
+	}
+
+	check("/readyz", http.StatusOK, "ready")
+	sv.SetReady(false) // vp-serve holds this during preload
+	check("/readyz", http.StatusServiceUnavailable, "starting")
+	check("/healthz", http.StatusOK, "ok")
+	sv.SetReady(true)
+	check("/readyz", http.StatusOK, "ready")
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := sv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	check("/readyz", http.StatusServiceUnavailable, "draining")
+	check("/healthz", http.StatusOK, "ok")
+}
+
+// TestServerMetricsExposition drives traffic through every interesting
+// status class and checks the scrape: RED series per route, pool histograms,
+// store counters, build info — all passing the validator's histogram checks.
+func TestServerMetricsExposition(t *testing.T) {
+	f := newGateFactory()
+	sv := NewServer(WithFactory(f), WithWorkers(2))
+	defer sv.Close()
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// One finished session (queue-wait + service-time observations), one
+	// cache miss counter, plus a 404 for the error series.
+	r := doJSON(t, http.MethodPost, ts.URL+"/api/v1/sessions", SessionSpec{Workload: "wl-met"})
+	if r.status != http.StatusCreated {
+		t.Fatalf("POST: %d %+v", r.status, r.Error)
+	}
+	var created struct {
+		Session sessionInfo `json:"session"`
+	}
+	json.Unmarshal(r.Data, &created)
+	waitState(t, ts.URL, created.Session.ID, StateDone)
+	if resp, err := http.Get(ts.URL + "/api/v1/no-such-route"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// Scrape twice: the second exposition includes the first /metrics hit,
+	// so the route table provably covers the scrape path too.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		text := string(body)
+		if err := ValidateExposition(text); err != nil {
+			t.Fatalf("scrape %d invalid: %v\n%s", i, err, text)
+		}
+		if i == 0 {
+			continue
+		}
+		for _, want := range []string{
+			`vpdift_http_requests_total{code="2xx",route="/healthz"}`,
+			`vpdift_http_requests_total{code="2xx",route="/metrics"}`,
+			`vpdift_http_requests_total{code="2xx",route="/api/v1/sessions"}`,
+			`vpdift_http_requests_total{code="4xx",route="/api/v1/"}`,
+			`vpdift_http_errors_total{route="/api/v1/"}`,
+			`vpdift_http_request_duration_seconds_bucket{route="/healthz",le="+Inf"}`,
+			"vpdift_serve_queue_wait_seconds_count 1",
+			"vpdift_serve_service_time_seconds_count 1",
+			"vpdift_serve_cache_misses_total 1",
+			"vpdift_serve_ready 1",
+			"vpdift_serve_draining 0",
+			`vpdift_build_info{`,
+			`goversion="go`,
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("scrape missing %q:\n%s", want, text)
+			}
+		}
+	}
+}
+
+// TestSessionTimings checks the lifecycle stamps surface on the session
+// envelope once a session completes.
+func TestSessionTimings(t *testing.T) {
+	sv := NewServer(WithWorkers(2))
+	defer sv.Close()
+	if err := sv.Submit(SessionConfig{
+		ID:       "timed",
+		Platform: &stubPlatform{exitAt: 1 * kernel.MS},
+		Horizon:  2 * kernel.MS,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+	waitState(t, ts.URL, "timed", StateDone)
+
+	r := doJSON(t, http.MethodGet, ts.URL+"/api/v1/sessions/timed", nil)
+	var info sessionInfo
+	json.Unmarshal(r.Data, &info)
+	tm := info.Timings
+	if tm == nil {
+		t.Fatalf("finished session has no timings: %s", r.Data)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, tm.SubmittedAt); err != nil {
+		t.Errorf("submitted_at %q: %v", tm.SubmittedAt, err)
+	}
+	if tm.QueueWaitNs < 0 || tm.RunNs < 0 || tm.StoreNs < 0 {
+		t.Errorf("negative span: %+v", tm)
+	}
+	if tm.TotalNs < tm.RunNs || tm.TotalNs < tm.QueueWaitNs {
+		t.Errorf("total %dns shorter than its parts: %+v", tm.TotalNs, tm)
+	}
+	if tm.TotalNs == 0 {
+		t.Errorf("finished session reports zero total: %+v", tm)
+	}
+}
+
+// nopResponseWriter is an allocation-free ResponseWriter for the middleware
+// alloc guard.
+type nopResponseWriter struct{ h http.Header }
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+
+// TestMetricsMiddlewareZeroAlloc guards the disabled-is-free contract of the
+// instrumentation layer: with the logger off, the instrument middleware and
+// the record path add no steady-state heap allocations. (The threshold is
+// <1 amortized rather than exactly 0 because a GC cycle may clear the
+// statusWriter pool mid-run.)
+func TestMetricsMiddlewareZeroAlloc(t *testing.T) {
+	sv := NewServer(WithWorkers(2))
+	defer sv.Close()
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		sv.metrics.record("/api/v1/sessions/{id}", http.StatusOK, 123*time.Microsecond)
+	}); avg != 0 {
+		t.Errorf("metrics record path allocates %.2f/op, want 0", avg)
+	}
+
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.pattern = "GET /api/v1/sessions/{id}"
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	h := sv.instrument(inner)
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/sessions/steady", nil)
+	w := &nopResponseWriter{h: make(http.Header)}
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.ServeHTTP(w, req)
+	}); avg >= 1 {
+		t.Errorf("instrument middleware allocates %.2f/op on the read path, want 0", avg)
+	}
+}
+
+func BenchmarkInstrumentMiddleware(b *testing.B) {
+	sv := NewServer(WithWorkers(2))
+	defer sv.Close()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.pattern = "GET /api/v1/sessions/{id}"
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	h := sv.instrument(inner)
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/sessions/steady", nil)
+	w := &nopResponseWriter{h: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}

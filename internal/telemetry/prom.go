@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 
 	"vpdift/internal/obs"
@@ -33,6 +34,8 @@ var promHelp = []struct{ prefix, help string }{
 	{"io.", "Peripheral I/O counter."},
 	{"obs.", "Observer provenance-ring counter."},
 	{"serve.", "Session-server scheduler statistic."},
+	{"http.", "Serving-plane HTTP statistic, by route."},
+	{"build_info", "Build metadata; the value is always 1."},
 	{"lub_ops", "Security-lattice least-upper-bound operations."},
 	{"trace.", "Trace subsystem counter."},
 	{"cover.", "Coverage gauge."},
@@ -49,7 +52,7 @@ func promIsGauge(name string) bool {
 	if strings.HasPrefix(name, "dift.") || strings.HasPrefix(name, "serve.") {
 		return !strings.HasSuffix(name, "_total")
 	}
-	return strings.HasPrefix(name, "cover.")
+	return strings.HasPrefix(name, "cover.") || name == "build_info"
 }
 
 func helpFor(name string) string {
@@ -123,13 +126,105 @@ func renderLabels(labels map[string]string) string {
 	if len(labels) == 0 {
 		return ""
 	}
+	return "{" + labelPairs(labels) + "}"
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// LabeledHistogram is one labeled member of a histogram family — e.g. the
+// request-duration histogram of one route.
+type LabeledHistogram struct {
+	Labels map[string]string
+	Hist   *Histogram
+}
+
+// HistogramFamily is one exposed histogram: a platform-style name (routed
+// through the same sanitize+prefix pipeline as counters), HELP text, and any
+// number of labeled series sharing the bucket layout.
+type HistogramFamily struct {
+	Name   string
+	Help   string
+	Series []LabeledHistogram
+}
+
+// WriteHistogramFamilies renders histogram families in the text exposition
+// format: per family one HELP/TYPE histogram pair, then per series the
+// cumulative `_bucket` samples (`le` label, `+Inf` last), `_sum` (seconds,
+// plain decimal) and `_count`. Families sort by exposed name and series by
+// label set, so deterministic inputs render byte-identically. Series whose
+// histogram has recorded nothing are skipped — an idle route contributes no
+// 20-line bucket block to every scrape.
+func WriteHistogramFamilies(w io.Writer, fams []HistogramFamily) error {
+	sorted := make([]HistogramFamily, len(fams))
+	copy(sorted, fams)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, fam := range sorted {
+		exposed := namePrefix + obs.SanitizeMetricName(fam.Name)
+		type series struct {
+			labels string // rendered pairs without braces, "" when unlabeled
+			h      *Histogram
+		}
+		live := make([]series, 0, len(fam.Series))
+		for _, s := range fam.Series {
+			if s.Hist == nil || s.Hist.Count() == 0 {
+				continue
+			}
+			live = append(live, series{labelPairs(s.Labels), s.Hist})
+		}
+		if len(live) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", exposed, fam.Help, exposed); err != nil {
+			return err
+		}
+		sort.Slice(live, func(i, j int) bool { return live[i].labels < live[j].labels })
+		for _, s := range live {
+			cum, count, sum := s.h.snapshot()
+			withLE := func(le string) string {
+				if s.labels == "" {
+					return `{le="` + le + `"}`
+				}
+				return "{" + s.labels + `,le="` + le + `"}`
+			}
+			for i, bound := range s.h.boundsSec {
+				le := strconv.FormatFloat(bound, 'g', -1, 64)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", exposed, withLE(le), cum[i]); err != nil {
+					return err
+				}
+			}
+			plain := ""
+			if s.labels != "" {
+				plain = "{" + s.labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", exposed, withLE("+Inf"), cum[len(cum)-1]); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", exposed, plain, strconv.FormatFloat(sum, 'f', -1, 64)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", exposed, plain, count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelPairs renders a label map as sorted `k="v"` pairs joined by commas,
+// without the surrounding braces (so a `le` pair can be appended).
+func labelPairs(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	b.WriteByte('{')
 	for i, k := range keys {
 		if i > 0 {
 			b.WriteByte(',')
@@ -139,11 +234,5 @@ func renderLabels(labels map[string]string) string {
 		b.WriteString(escapeLabelValue(labels[k]))
 		b.WriteByte('"')
 	}
-	b.WriteByte('}')
 	return b.String()
-}
-
-func escapeLabelValue(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
 }

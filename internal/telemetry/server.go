@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -68,7 +69,17 @@ type SessionConfig struct {
 	// Close, when set, releases the platform (soc.Platform.Shutdown) once
 	// the session has finalized; the server snapshots final metrics first.
 	Close func()
+	// Origin is the request ID of the HTTP request that created the session,
+	// "" for programmatic submissions. It joins the session's lifecycle log
+	// lines and trace spans back to the request log.
+	Origin string
 }
+
+// Version is the build version stamped into the vpdift_build_info metric.
+// Overridable at link time:
+//
+//	go build -ldflags "-X vpdift/internal/telemetry.Version=v1.2.3"
+var Version = "dev"
 
 // Session lifecycle states, as reported in the API.
 const (
@@ -84,6 +95,7 @@ const (
 type session struct {
 	cfg      SessionConfig
 	seq      uint64 // FIFO stamp, assigned by the pool
+	origin   string // request ID that created the session, "" if programmatic
 	stop     chan struct{}
 	stopOnce sync.Once
 
@@ -95,6 +107,7 @@ type session struct {
 	timedOut  bool
 	err       error
 	started   time.Time
+	lc        lifecycle         // wall-clock lifecycle stamps
 	final     map[string]uint64 // metrics snapshot taken at finalize
 	simNs     uint64
 	result    SessionResult
@@ -137,6 +150,7 @@ type serverOptions struct {
 	store      ResultStore
 	factory    SessionFactory
 	timeout    time.Duration
+	log        *slog.Logger
 }
 
 // Default pool sizing: one worker per scheduler thread (floored at 2 so a
@@ -195,6 +209,8 @@ type serverStats struct {
 	canceled     atomic.Uint64
 	timedOut     atomic.Uint64
 	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	forced       atomic.Uint64
 	coalesced    atomic.Uint64
 	rejectedFull atomic.Uint64
 }
@@ -206,6 +222,8 @@ type Stats struct {
 	Canceled      uint64 `json:"canceled"`
 	TimedOut      uint64 `json:"timed_out"`
 	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	Forced        uint64 `json:"forced"`
 	Coalesced     uint64 `json:"coalesced"`
 	RejectedFull  uint64 `json:"rejected_full"`
 	Queued        int    `json:"queued"`
@@ -220,9 +238,14 @@ type Stats struct {
 // sessions with Submit (or POST /api/v1/sessions when a factory is
 // configured), expose Handler on any http.Server.
 type Server struct {
-	opts  serverOptions
-	pool  *pool
-	stats serverStats
+	opts      serverOptions
+	pool      *pool
+	stats     serverStats
+	log       *slog.Logger
+	metrics   *serverMetrics
+	reqIDs    *requestIDs
+	startedAt time.Time
+	ready     atomic.Bool // readiness gate for /readyz; true once serving
 
 	// submitMu serializes multi-session submissions (campaign expansion)
 	// against the pool's capacity check so a campaign is admitted or
@@ -256,15 +279,28 @@ func NewServer(opts ...ServerOption) *Server {
 	if o.store == nil {
 		o.store = NewMemStore()
 	}
+	if o.log == nil {
+		o.log = nopLogger()
+	}
 	sv := &Server{
 		opts:      o,
+		log:       o.log,
+		metrics:   newServerMetrics(),
+		reqIDs:    newRequestIDs(),
+		startedAt: time.Now(),
 		sessions:  make(map[string]*session),
 		byKey:     make(map[string]*session),
 		campaigns: make(map[string]*campaign),
 	}
+	sv.ready.Store(true)
 	sv.pool = newPool(o.workers, o.queueDepth, sv.runSession)
 	return sv
 }
+
+// SetReady flips the /readyz readiness gate. vp-serve holds it false while
+// preloading sessions so an orchestrator does not route traffic at a server
+// still building platforms; Drain and Close clear it permanently.
+func (sv *Server) SetReady(ready bool) { sv.ready.Store(ready) }
 
 // Workers returns the pool size.
 func (sv *Server) Workers() int { return sv.opts.workers }
@@ -281,6 +317,8 @@ func (sv *Server) Stats() Stats {
 		Canceled:      sv.stats.canceled.Load(),
 		TimedOut:      sv.stats.timedOut.Load(),
 		CacheHits:     sv.stats.cacheHits.Load(),
+		CacheMisses:   sv.stats.cacheMisses.Load(),
+		Forced:        sv.stats.forced.Load(),
 		Coalesced:     sv.stats.coalesced.Load(),
 		RejectedFull:  sv.stats.rejectedFull.Load(),
 		Queued:        queued,
@@ -300,7 +338,8 @@ func (sv *Server) Submit(cfg SessionConfig) error {
 	if cfg.Step == 0 {
 		cfg.Step = kernel.Time(1_000_000) // 1ms
 	}
-	s := &session{cfg: cfg, stop: make(chan struct{}), state: StateQueued}
+	s := &session{cfg: cfg, origin: cfg.Origin, stop: make(chan struct{}), state: StateQueued}
+	s.lc.submitted = time.Now()
 
 	sv.mu.Lock()
 	if sv.closed {
@@ -329,6 +368,14 @@ func (sv *Server) Submit(cfg SessionConfig) error {
 		return err
 	}
 	sv.stats.submitted.Add(1)
+	if sv.log.Enabled(context.Background(), slog.LevelInfo) {
+		sv.log.LogAttrs(context.Background(), slog.LevelInfo, "session submitted",
+			slog.String("session", cfg.ID),
+			slog.String("request_id", cfg.Origin),
+			slog.String("key", cfg.Key),
+			slog.Int("priority", cfg.Priority),
+		)
+	}
 	return nil
 }
 
@@ -403,13 +450,26 @@ func (sv *Server) EndSession(id string) (SessionResult, error) {
 
 // Drain stops intake and waits for queued and running sessions to finish —
 // the graceful-shutdown half of SIGTERM handling. On ctx expiry the
-// remainder keeps running; call Close to cancel it.
-func (sv *Server) Drain(ctx context.Context) error { return sv.pool.drain(ctx) }
+// remainder keeps running; call Close to cancel it. /readyz reports 503
+// from the moment drain begins.
+func (sv *Server) Drain(ctx context.Context) error {
+	sv.ready.Store(false)
+	sv.log.LogAttrs(ctx, slog.LevelInfo, "drain started")
+	err := sv.pool.drain(ctx)
+	if err != nil {
+		sv.log.LogAttrs(context.Background(), slog.LevelWarn, "drain incomplete",
+			slog.String("error", err.Error()))
+	} else {
+		sv.log.LogAttrs(context.Background(), slog.LevelInfo, "drain complete")
+	}
+	return err
+}
 
 // Close stops every session and the worker pool. Queued sessions finalize
 // as canceled; running ones stop at their next chunk boundary. Platforms
 // with a Close hook are released.
 func (sv *Server) Close() {
+	sv.ready.Store(false)
 	sv.mu.Lock()
 	sv.closed = true
 	all := make([]*session, 0, len(sv.order))
@@ -459,11 +519,23 @@ func (sv *Server) runSession(s *session) {
 	s.mu.Lock()
 	s.state = StateRunning
 	s.started = time.Now()
+	s.lc.started = s.started
+	wait := s.started.Sub(s.lc.submitted)
 	var deadline time.Time
 	if s.cfg.Timeout > 0 {
 		deadline = s.started.Add(s.cfg.Timeout)
 	}
 	s.mu.Unlock()
+	// Queue wait is booked at dequeue, not finalize, so an endless session
+	// (the immo preload) still contributes its wait to the histogram.
+	sv.metrics.queueWait.Observe(wait)
+	if sv.log.Enabled(context.Background(), slog.LevelDebug) {
+		sv.log.LogAttrs(context.Background(), slog.LevelDebug, "session started",
+			slog.String("session", s.cfg.ID),
+			slog.String("request_id", s.origin),
+			slog.Duration("queue_wait", wait),
+		)
+	}
 
 	pl := s.cfg.Platform
 	for {
@@ -513,6 +585,10 @@ func (sv *Server) finalize(s *session) {
 		return
 	}
 	s.finalized = true
+	s.lc.finished = time.Now()
+	if !s.started.IsZero() {
+		sv.metrics.serviceTime.Observe(s.lc.finished.Sub(s.started))
+	}
 	if !s.done {
 		// Stopped before completing (cancel or drain-kill).
 		s.canceled = true
@@ -566,6 +642,10 @@ func (sv *Server) finalize(s *session) {
 	if r.cacheable() {
 		sv.opts.store.Put(r.Key, r)
 	}
+	s.mu.Lock()
+	s.lc.stored = time.Now()
+	state := s.state
+	s.mu.Unlock()
 	if s.cfg.Key != "" {
 		sv.mu.Lock()
 		if sv.byKey[s.cfg.Key] == s {
@@ -580,6 +660,21 @@ func (sv *Server) finalize(s *session) {
 		sv.stats.timedOut.Add(1)
 	default:
 		sv.stats.completed.Add(1)
+	}
+	if sv.log.Enabled(context.Background(), slog.LevelInfo) {
+		attrs := []slog.Attr{
+			slog.String("session", s.cfg.ID),
+			slog.String("request_id", s.origin),
+			slog.String("state", state),
+			slog.Uint64("sim_ns", r.SimNs),
+			slog.Uint64("instret", r.Instret),
+			slog.Uint64("violations", r.Violations),
+			slog.Int64("wall_ns", r.WallNs),
+		}
+		if r.Error != "" {
+			attrs = append(attrs, slog.String("error", r.Error))
+		}
+		sv.log.LogAttrs(context.Background(), slog.LevelInfo, "session finished", attrs...)
 	}
 	for _, cb := range cbs {
 		cb(r)
@@ -603,6 +698,9 @@ type sessionInfo struct {
 	Exited   bool   `json:"exited"`
 	ExitCode uint32 `json:"exit_code,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Timings is the session's wall-clock lifecycle (queue wait, run, store
+	// publication); open spans are reported up to the request time.
+	Timings *SessionTimings `json:"timings,omitempty"`
 }
 
 func (s *session) info() sessionInfo {
@@ -614,6 +712,7 @@ func (s *session) info() sessionInfo {
 		Priority: s.cfg.Priority,
 		Key:      s.cfg.Key,
 		Done:     s.done,
+		Timings:  s.lc.timings(time.Now()),
 	}
 	if s.finalized {
 		info.SimNs = s.result.SimNs
@@ -660,6 +759,7 @@ func (s *session) metrics() map[string]uint64 {
 // responses — SSE, JSONL, CSV — are raw):
 //
 //	GET    /healthz                              liveness + scheduler counters
+//	GET    /readyz                               readiness: 503 while preloading or draining
 //	GET    /metrics                              Prometheus text format, all sessions
 //	GET    /api/v1/sessions                      session list
 //	POST   /api/v1/sessions                      create a session from a SessionSpec
@@ -674,6 +774,7 @@ func (s *session) metrics() map[string]uint64 {
 //	DELETE /api/v1/campaigns/{id}                cancel a campaign's sessions
 //	GET    /api/v1/campaigns/{id}/results        paginated cells (?offset,limit) or SSE (?stream=sse)
 //	GET    /api/v1/results/{key}                 result-store lookup by content hash
+//	GET    /api/v1/trace                         session lifecycles as a Chrome trace timeline
 //
 // Deprecated aliases of the PR 5 surface (raw shapes, Deprecation header):
 //
@@ -685,30 +786,50 @@ func (s *session) metrics() map[string]uint64 {
 // return an enveloped 405 with an Allow header.
 func (sv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", sv.handleHealthz)
-	mux.HandleFunc("GET /metrics", sv.handleMetrics)
+	// handle registers a pattern with route capture: inside the mux dispatch
+	// the cloned request carries http.Request.Pattern, which the wrapper
+	// stashes on the pooled statusWriter so the instrument middleware can
+	// book the request under its route without re-matching (a wildcard match
+	// would allocate). The type assertion on a concrete pointer is free.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if sw, ok := w.(*statusWriter); ok {
+				sw.pattern = r.Pattern
+			}
+			h(w, r)
+		})
+	}
+	handle("GET /healthz", sv.handleHealthz)
+	handle("GET /readyz", sv.handleReadyz)
+	handle("GET /metrics", sv.handleMetrics)
 
 	// Versioned surface. Patterns carry no method so the handlers can
 	// answer wrong-method requests with an enveloped 405 + Allow.
-	mux.HandleFunc("/api/v1/sessions", sv.v1Sessions)
-	mux.HandleFunc("/api/v1/sessions/{id}", sv.v1Session)
-	mux.HandleFunc("/api/v1/sessions/{id}/result", sv.v1SessionResult)
-	mux.HandleFunc("/api/v1/sessions/{id}/timeseries", sv.v1Timeseries)
-	mux.HandleFunc("/api/v1/sessions/{id}/events", sv.v1Events)
-	mux.HandleFunc("/api/v1/campaigns", sv.v1Campaigns)
-	mux.HandleFunc("/api/v1/campaigns/{id}", sv.v1Campaign)
-	mux.HandleFunc("/api/v1/campaigns/{id}/results", sv.v1CampaignResults)
-	mux.HandleFunc("/api/v1/results/{key}", sv.v1StoredResult)
-	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+	handle("/api/v1/sessions", sv.v1Sessions)
+	handle("/api/v1/sessions/{id}", sv.v1Session)
+	handle("/api/v1/sessions/{id}/result", sv.v1SessionResult)
+	handle("/api/v1/sessions/{id}/timeseries", sv.v1Timeseries)
+	handle("/api/v1/sessions/{id}/events", sv.v1Events)
+	handle("/api/v1/campaigns", sv.v1Campaigns)
+	handle("/api/v1/campaigns/{id}", sv.v1Campaign)
+	handle("/api/v1/campaigns/{id}/results", sv.v1CampaignResults)
+	handle("/api/v1/results/{key}", sv.v1StoredResult)
+	handle("/api/v1/trace", sv.handleTrace)
+	handle("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not_found", "no such v1 route: "+r.URL.Path)
 	})
 
 	// Deprecated PR 5 aliases: same raw response shapes, plus headers
 	// pointing migrators at the v1 successor.
-	mux.HandleFunc("GET /api/sessions", deprecated("/api/v1/sessions", sv.handleSessions))
-	mux.HandleFunc("GET /api/sessions/{id}/timeseries", deprecated("/api/v1/sessions/{id}/timeseries", sv.handleTimeseries))
-	mux.HandleFunc("GET /api/sessions/{id}/events", deprecated("/api/v1/sessions/{id}/events", sv.handleEvents))
-	return mux
+	handle("GET /api/sessions", deprecated("/api/v1/sessions", sv.handleSessions))
+	handle("GET /api/sessions/{id}/timeseries", deprecated("/api/v1/sessions/{id}/timeseries", sv.handleTimeseries))
+	handle("GET /api/sessions/{id}/events", deprecated("/api/v1/sessions/{id}/events", sv.handleEvents))
+
+	// Observability middleware: withRequestID (outer) mints/propagates the
+	// request ID — the only per-request allocation the server adds — and
+	// instrument (inner) does timing, status capture, RED counters and the
+	// request log without allocating.
+	return sv.withRequestID(sv.instrument(mux))
 }
 
 // deprecated wraps a legacy handler with the Deprecation header (RFC 9745
@@ -718,6 +839,24 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 		w.Header().Set("Deprecation", "@1767225600") // 2026-01-01, the PR 7 API cut
 		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
 		h(w, r)
+	}
+}
+
+// handleReadyz answers readiness probes. Liveness (/healthz) stays 200 for
+// the whole process lifetime; readiness goes 503 before vp-serve finishes
+// preloading and again once drain/shutdown begins, so load balancers stop
+// routing new submissions while in-flight work finishes.
+func (sv *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case sv.pool.stopped():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, "{\"status\":\"draining\"}\n")
+	case !sv.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, "{\"status\":\"starting\"}\n")
+	default:
+		fmt.Fprint(w, "{\"status\":\"ready\"}\n")
 	}
 }
 
@@ -740,7 +879,8 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	st := sv.Stats()
-	sets = append(sets, MetricSet{Metrics: map[string]uint64{
+	draining := sv.pool.stopped()
+	serve := map[string]uint64{
 		"serve.queued":              uint64(st.Queued),
 		"serve.running":             uint64(st.Running),
 		"serve.workers":             uint64(st.Workers),
@@ -750,11 +890,37 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"serve.canceled_total":      st.Canceled,
 		"serve.timeout_total":       st.TimedOut,
 		"serve.cache_hits_total":    st.CacheHits,
+		"serve.cache_misses_total":  st.CacheMisses,
+		"serve.forced_total":        st.Forced,
 		"serve.coalesced_total":     st.Coalesced,
 		"serve.rejected_full_total": st.RejectedFull,
-	}})
+		"serve.draining":            0,
+		"serve.ready":               0,
+	}
+	if draining {
+		serve["serve.draining"] = 1
+	}
+	if sv.ready.Load() && !draining {
+		serve["serve.ready"] = 1
+	}
+	// Stores that track load failures (FileStore) surface them here; the
+	// MemStore cannot fail a load and emits no such series.
+	if le, ok := sv.opts.store.(interface{ LoadErrors() uint64 }); ok {
+		serve["serve.store_load_errors_total"] = le.LoadErrors()
+	}
+	sets = append(sets, MetricSet{Metrics: serve})
+	sets = append(sets, sv.metrics.requestSets()...)
+	sets = append(sets, MetricSet{
+		Labels: map[string]string{
+			"version":   Version,
+			"goversion": runtime.Version(),
+			"platform":  runtime.GOOS + "/" + runtime.GOARCH,
+		},
+		Metrics: map[string]uint64{"build_info": 1},
+	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	WritePrometheusSets(w, sets)
+	WriteHistogramFamilies(w, sv.metrics.histogramFamilies())
 }
 
 func (sv *Server) handleSessions(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"vpdift/internal/obs"
+)
+
+// ChromePidServe is the Chrome-trace process id of the serving plane's
+// session spans; internal/trace puts kernel (0), taint (1) and bus (2) rows
+// under their own pids, so one merged file keeps all four views separable.
+const ChromePidServe = 3
+
+// lifecycle stamps a session's wall-clock transitions. time.Time carries a
+// monotonic reading, so the derived durations are immune to clock steps;
+// the RFC 3339 render of submitted is the one wall-clock anchor. Fields are
+// guarded by the session mutex.
+type lifecycle struct {
+	submitted time.Time // Submit accepted the session (start of queue wait)
+	started   time.Time // a worker dequeued it (start of the run span)
+	finished  time.Time // the run loop ended (cancel, error, exit or horizon)
+	stored    time.Time // result published to the store and callbacks fired
+}
+
+// SessionTimings is the lifecycle's wire form, exposed on the session
+// envelope. For live sessions the open span is reported up to "now", so a
+// dashboard can watch queue wait grow on a saturated pool.
+type SessionTimings struct {
+	// SubmittedAt anchors the spans in wall-clock time (RFC 3339, UTC).
+	SubmittedAt string `json:"submitted_at"`
+	// QueueWaitNs is submit->dequeue (so far, while queued).
+	QueueWaitNs int64 `json:"queue_wait_ns"`
+	// RunNs is dequeue->run-end (so far, while running; absent while queued).
+	RunNs int64 `json:"run_ns,omitempty"`
+	// StoreNs is run-end->result-published (absent until finalized).
+	StoreNs int64 `json:"store_ns,omitempty"`
+	// TotalNs is submit->result-published (absent until finalized).
+	TotalNs int64 `json:"total_ns,omitempty"`
+}
+
+// timings renders the lifecycle relative to now. Call with the session
+// mutex held.
+func (lc *lifecycle) timings(now time.Time) *SessionTimings {
+	if lc.submitted.IsZero() {
+		return nil
+	}
+	t := &SessionTimings{SubmittedAt: lc.submitted.UTC().Format(time.RFC3339Nano)}
+	switch {
+	case lc.started.IsZero():
+		// Still queued — or canceled before a worker picked it up, in which
+		// case the wait ended when the session did.
+		end := now
+		if !lc.finished.IsZero() {
+			end = lc.finished
+		}
+		t.QueueWaitNs = end.Sub(lc.submitted).Nanoseconds()
+		if !lc.stored.IsZero() {
+			t.TotalNs = lc.stored.Sub(lc.submitted).Nanoseconds()
+		}
+	case lc.finished.IsZero():
+		t.QueueWaitNs = lc.started.Sub(lc.submitted).Nanoseconds()
+		t.RunNs = now.Sub(lc.started).Nanoseconds()
+	default:
+		t.QueueWaitNs = lc.started.Sub(lc.submitted).Nanoseconds()
+		t.RunNs = lc.finished.Sub(lc.started).Nanoseconds()
+		if !lc.stored.IsZero() {
+			t.StoreNs = lc.stored.Sub(lc.finished).Nanoseconds()
+			t.TotalNs = lc.stored.Sub(lc.submitted).Nanoseconds()
+		}
+	}
+	return t
+}
+
+// chromeSpans renders every session's lifecycle as Chrome trace events on
+// one shared wall-clock axis (1 trace µs = 1 wall µs since server start):
+// pid ChromePidServe, one thread row per session, a complete span per
+// closed phase and an instant for the submit. Open phases extend to now, so
+// a trace exported mid-run still shows where every session currently is.
+// The output loads in the same viewer as trace.WriteChromeTrace output and
+// uses disjoint pids, so the fleet view and a simulation's internal view
+// can be concatenated into one timeline.
+func (sv *Server) chromeSpans() []obs.ChromeEvent {
+	now := time.Now()
+	us := func(t time.Time) float64 { return t.Sub(sv.startedAt).Seconds() * 1e6 }
+	out := []obs.ChromeEvent{{
+		Name: "process_name", Ph: "M", Pid: ChromePidServe,
+		Args: map[string]any{"name": "serve"},
+	}}
+	for i, s := range sv.all() {
+		tid := i + 1
+		s.mu.Lock()
+		lc := s.lc
+		state := s.state
+		origin := s.origin
+		s.mu.Unlock()
+		if lc.submitted.IsZero() {
+			continue
+		}
+		args := map[string]any{"session": s.cfg.ID, "state": state}
+		if origin != "" {
+			args["request_id"] = origin
+		}
+		out = append(out,
+			obs.ChromeEvent{Name: "thread_name", Ph: "M", Pid: ChromePidServe, Tid: tid,
+				Args: map[string]any{"name": s.cfg.ID}},
+			obs.ChromeEvent{Name: "submit", Ph: "i", Ts: us(lc.submitted),
+				Pid: ChromePidServe, Tid: tid, S: "t", Args: args},
+		)
+		span := func(name string, from, to time.Time) {
+			if to.IsZero() {
+				to = now
+			}
+			out = append(out, obs.ChromeEvent{Name: name, Ph: "X",
+				Ts: us(from), Dur: to.Sub(from).Seconds() * 1e6,
+				Pid: ChromePidServe, Tid: tid, Args: args})
+		}
+		qEnd := lc.started
+		if qEnd.IsZero() {
+			qEnd = lc.finished // canceled before dequeue
+		}
+		span("queued", lc.submitted, qEnd)
+		if !lc.started.IsZero() {
+			span("run", lc.started, lc.finished)
+		}
+		if !lc.finished.IsZero() {
+			span("store", lc.finished, lc.stored)
+		}
+	}
+	return out
+}
+
+// handleTrace serves GET /api/v1/trace: the whole fleet's lifecycle spans
+// as one Chrome trace_event JSON array (raw, not enveloped — the file is
+// the product; load it in a trace viewer).
+func (sv *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sv.chromeSpans())
+}

@@ -2,11 +2,14 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // SessionResult is the durable outcome of one finished session: the part of
@@ -106,7 +109,15 @@ func (st *MemStore) Len() int {
 type FileStore struct {
 	dir string
 	mem MemStore
+	// loadErrors counts disk reads that found a file but could not use it
+	// (I/O error or corrupt JSON) — a silent-degradation signal the server
+	// surfaces as vpdift_serve_store_load_errors_total.
+	loadErrors atomic.Uint64
 }
+
+// LoadErrors returns how many on-disk results failed to load (unreadable
+// file or corrupt JSON). A plain miss — no file — is not an error.
+func (st *FileStore) LoadErrors() uint64 { return st.loadErrors.Load() }
 
 // NewFileStore opens (creating if needed) a directory-backed result store.
 func NewFileStore(dir string) (*FileStore, error) {
@@ -137,10 +148,14 @@ func (st *FileStore) Get(key string) (SessionResult, bool) {
 	}
 	b, err := os.ReadFile(st.path(key))
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			st.loadErrors.Add(1)
+		}
 		return SessionResult{}, false
 	}
 	var r SessionResult
 	if json.Unmarshal(b, &r) != nil {
+		st.loadErrors.Add(1)
 		return SessionResult{}, false
 	}
 	st.mem.Put(key, r)

@@ -2,27 +2,42 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
 // Line shapes of the text exposition format (version 0.0.4), restricted to
-// what this package emits: integer-valued samples, optional label sets.
+// what this package emits: numeric samples, optional label sets.
 var (
 	reHelp   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
 	reType   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
-	reSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-][0-9]+)?$`)
+	reSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-][0-9]+)?)$`)
+	reLabel  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"`)
 )
 
 // ValidateExposition checks that text is a well-formed Prometheus text-format
 // exposition: every line is a HELP comment, a TYPE comment, or a sample with
 // a legal metric name; HELP/TYPE for a name appear at most once and before
-// any of its samples. It exists so tests (and CI) can assert /metrics output
-// without a real Prometheus binary.
+// any of its samples. For every name declared `TYPE ... histogram` it
+// additionally checks the histogram contract per label set: `le` bounds
+// strictly ascending and ending at `+Inf`, cumulative bucket counts
+// non-decreasing, and the `+Inf` bucket equal to the `_count` sample. It
+// exists so tests (and CI) can assert /metrics output without a real
+// Prometheus binary.
 func ValidateExposition(text string) error {
 	typed := make(map[string]bool)
+	histogram := make(map[string]bool)
 	helped := make(map[string]bool)
 	sampled := make(map[string]bool)
+	type sample struct {
+		lineNo int
+		labels string
+		value  float64
+	}
+	byName := make(map[string][]sample)
 	for i, line := range strings.Split(text, "\n") {
 		if line == "" {
 			continue
@@ -46,6 +61,9 @@ func ValidateExposition(text string) error {
 				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, m[1])
 			}
 			typed[m[1]] = true
+			if m[2] == "histogram" {
+				histogram[m[1]] = true
+			}
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -53,9 +71,97 @@ func ValidateExposition(text string) error {
 		}
 		if m := reSample.FindStringSubmatch(line); m != nil {
 			sampled[m[1]] = true
+			v, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return fmt.Errorf("line %d: bad sample value %q", lineNo, m[3])
+			}
+			byName[m[1]] = append(byName[m[1]], sample{lineNo, m[2], v})
 			continue
 		}
 		return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
 	}
+
+	// Histogram contract, checked per (base name, label set without le).
+	for base := range histogram {
+		type bucket struct {
+			lineNo int
+			le     float64
+			count  float64
+		}
+		buckets := make(map[string][]bucket) // labels-without-le -> buckets in order
+		for _, s := range byName[base+"_bucket"] {
+			le, rest, ok := splitLE(s.labels)
+			if !ok {
+				return fmt.Errorf("line %d: %s_bucket sample without an le label", s.lineNo, base)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = math.Inf(1)
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: %s_bucket has unparsable le=%q", s.lineNo, base, le)
+				}
+			}
+			buckets[rest] = append(buckets[rest], bucket{s.lineNo, bound, s.value})
+		}
+		counts := make(map[string]float64)
+		for _, s := range byName[base+"_count"] {
+			counts[s.labels] = s.value
+		}
+		keys := make([]string, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bs := buckets[k]
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					return fmt.Errorf("line %d: %s_bucket%s le bounds not ascending", bs[i].lineNo, base, k)
+				}
+				if bs[i].count < bs[i-1].count {
+					return fmt.Errorf("line %d: %s_bucket%s counts not cumulative (%g after %g)",
+						bs[i].lineNo, base, k, bs[i].count, bs[i-1].count)
+				}
+			}
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				return fmt.Errorf("line %d: %s_bucket%s does not end at le=\"+Inf\"", last.lineNo, base, k)
+			}
+			total, ok := counts[k]
+			if !ok {
+				return fmt.Errorf("%s%s has buckets but no _count sample", base, k)
+			}
+			if total != last.count {
+				return fmt.Errorf("line %d: %s_bucket%s +Inf bucket %g != _count %g",
+					last.lineNo, base, k, last.count, total)
+			}
+		}
+	}
 	return nil
+}
+
+// splitLE extracts the le label from a rendered label block and returns the
+// block with le removed (re-braced, or "" when le was the only label).
+func splitLE(labels string) (le, rest string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	var kept []string
+	for _, m := range reLabel.FindAllStringSubmatch(labels[1:len(labels)-1], -1) {
+		if m[1] == "le" {
+			le, ok = m[2], true
+			continue
+		}
+		kept = append(kept, m[0])
+	}
+	if !ok {
+		return "", "", false
+	}
+	if len(kept) == 0 {
+		return le, "", true
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", true
 }

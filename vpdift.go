@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
@@ -299,6 +300,13 @@ func WithServeQueueDepth(n int) TelemetryServerOption { return telemetry.WithQue
 // stimulus) submissions become cache hits.
 func WithServeResultStore(st ResultStore) TelemetryServerOption {
 	return telemetry.WithResultStore(st)
+}
+
+// WithServeLogger installs a structured logger on the server: request logs
+// with per-request IDs, session/campaign lifecycle transitions, and drain
+// progress. Without one the server logs nothing, at zero formatting cost.
+func WithServeLogger(l *slog.Logger) TelemetryServerOption {
+	return telemetry.WithLogger(l)
 }
 
 // NewMemResultStore creates an in-memory result store.
