@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"vpdift/internal/core"
@@ -51,6 +52,8 @@ var (
 
 	sampleEvery   = flag.Duration("sample-every", 0, "simulated-time metrics sampling period for the authentication run (e.g. 1ms; 0 disables telemetry)")
 	timeseriesOut = flag.String("timeseries", "", "write the sampled metrics timeseries of the authentication run as JSONL to this file (.csv extension selects CSV)")
+
+	forensicsDir = flag.String("forensics", "", "write each detected violation's flight-recorder bundle (JSON + report) into this directory")
 )
 
 func main() {
@@ -195,6 +198,32 @@ func writeTraceExports(e *immo.ECU, o *obs.Observer, tr *trace.Trace) {
 	})
 }
 
+// exportForensics writes the ECU platform's last forensic bundle (JSON +
+// human report) under -forensics, named after the case-study step that
+// produced the violation. No-op without the flag or without a bundle.
+func exportForensics(name string, e *immo.ECU) {
+	if *forensicsDir == "" {
+		return
+	}
+	b := e.Platform.LastForensics()
+	if b == nil {
+		return
+	}
+	if err := os.MkdirAll(*forensicsDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	path := filepath.Join(*forensicsDir, name+".forensics.json")
+	if err := os.WriteFile(path, b.JSON(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	exportTo(filepath.Join(*forensicsDir, name+".forensics.txt"), func(f *os.File) error {
+		return b.WriteReport(f)
+	})
+	fmt.Printf("    forensics: %s\n", path)
+}
+
 func step(n int, what string) {
 	fmt.Printf("\n[%d] %s\n", n, what)
 }
@@ -253,6 +282,7 @@ func run() error {
 	if err := expectViolation(dumpErr, core.KindOutputClearance); err != nil {
 		return err
 	}
+	exportForensics("immo-debug-dump", e)
 	e.Close()
 
 	step(3, "debug memory dump on the fixed firmware")
@@ -291,6 +321,7 @@ func run() error {
 		if err := expectViolation(e.Command(sc.cmd, sc.payload...), sc.kind); err != nil {
 			return err
 		}
+		exportForensics("immo-scenario-"+string(sc.cmd), e)
 		e.Close()
 	}
 
@@ -322,6 +353,7 @@ func run() error {
 	if err := expectViolation(e.Command('e'), core.KindStoreClearance); err != nil {
 		return err
 	}
+	exportForensics("immo-entropy-perbyte", e)
 	e.Close()
 
 	fmt.Println("\ncase study complete: all paper findings reproduced")

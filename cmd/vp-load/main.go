@@ -32,12 +32,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"vpdift/internal/flight"
 	"vpdift/internal/serve"
 	"vpdift/internal/telemetry"
 )
@@ -55,6 +57,7 @@ var (
 	baseline    = flag.String("baseline", "", "compare against an archived report and fail on throughput regression")
 	regress     = flag.Float64("regress", 0.25, "allowed fractional throughput drop vs -baseline before failing")
 	serverMet   = flag.String("server-metrics", "", "after the run, scrape the target's /metrics, validate the exposition, and write it to this file")
+	forDir      = flag.String("forensics-dir", "", "after the await phase, download the forensic bundle of every failed/violating session into this directory")
 )
 
 // Report is the BENCH_serve.json shape.
@@ -247,16 +250,24 @@ func loadRun() error {
 	wg.Wait()
 	close(queue)
 
-	// Phase 2: await every result.
+	// Phase 2: await every result, noting which sessions kept forensics.
+	var failed []string
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for p := range queue {
-				if awaitResult(c, tg.base, p.id, &errs) {
+				if data, ok := awaitResultData(c, tg.base, p.id, &errs); ok {
 					completed.Add(1)
+					var res struct {
+						Forensics bool `json:"forensics"`
+					}
+					json.Unmarshal(data, &res)
 					mu.Lock()
 					latencies = append(latencies, time.Since(p.t0))
+					if res.Forensics {
+						failed = append(failed, p.id)
+					}
 					mu.Unlock()
 				}
 				inFlight.Add(-1)
@@ -265,6 +276,13 @@ func loadRun() error {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+
+	// Pull forensic bundles before drain/close releases anything.
+	if *forDir != "" {
+		if err := downloadForensics(c, tg.base, failed); err != nil {
+			return err
+		}
+	}
 
 	// Scrape server-side metrics while the run's series are still hot —
 	// before drain flips the readiness gauges.
@@ -411,17 +429,23 @@ func submitOne(c *http.Client, base string, i int, submitted, cacheHits, rejecte
 
 // awaitResult polls the result endpoint (409 until the session finishes).
 func awaitResult(c *http.Client, base, id string, errs *atomic.Int64) bool {
+	_, ok := awaitResultData(c, base, id, errs)
+	return ok
+}
+
+// awaitResultData is awaitResult returning the result's "data" payload.
+func awaitResultData(c *http.Client, base, id string, errs *atomic.Int64) (json.RawMessage, bool) {
 	backoff := time.Millisecond
 	deadline := time.Now().Add(5 * time.Minute)
 	for time.Now().Before(deadline) {
-		status, _, err := getJSON(c, base+"/api/v1/sessions/"+id+"/result")
+		status, env, err := getJSON(c, base+"/api/v1/sessions/"+id+"/result")
 		if err != nil {
 			errs.Add(1)
-			return false
+			return nil, false
 		}
 		switch status {
 		case http.StatusOK:
-			return true
+			return env.Data, true
 		case http.StatusConflict:
 			time.Sleep(backoff)
 			if backoff < 50*time.Millisecond {
@@ -429,11 +453,45 @@ func awaitResult(c *http.Client, base, id string, errs *atomic.Int64) bool {
 			}
 		default:
 			errs.Add(1)
-			return false
+			return nil, false
 		}
 	}
 	errs.Add(1)
-	return false
+	return nil, false
+}
+
+// downloadForensics fetches each failed session's bundle, validates it, and
+// writes it as <id>.forensics.json under -forensics-dir.
+func downloadForensics(c *http.Client, base string, ids []string) error {
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "forensics: no failed sessions, nothing to download")
+		return nil
+	}
+	if err := os.MkdirAll(*forDir, 0o755); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		resp, err := c.Get(base + "/api/v1/sessions/" + id + "/forensics")
+		if err != nil {
+			return fmt.Errorf("vp-load: forensics %s: %w", id, err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("vp-load: forensics %s: %w", id, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("vp-load: forensics %s: status %d", id, resp.StatusCode)
+		}
+		if _, err := flight.ValidateBundle(b); err != nil {
+			return fmt.Errorf("vp-load: forensics %s: %w", id, err)
+		}
+		if err := os.WriteFile(filepath.Join(*forDir, id+".forensics.json"), b, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "forensics: %d validated bundles -> %s\n", len(ids), *forDir)
+	return nil
 }
 
 // settleGoroutines waits briefly for worker goroutines to unwind and returns
@@ -535,7 +593,70 @@ func verify() error {
 	if err := verifyDrain(); err != nil {
 		return fmt.Errorf("vp-load verify (drain): %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "vp-load verify: dedup, backpressure and drain checks passed")
+	if err := verifyForensics(); err != nil {
+		return fmt.Errorf("vp-load verify (forensics): %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "vp-load verify: dedup, backpressure, drain and forensics checks passed")
+	return nil
+}
+
+// verifyForensics runs a known-violating Wilander–Kamkar attack session and
+// requires the forensics endpoint to serve a bundle that parses and
+// validates, with the trace window ending at the violation.
+func verifyForensics() error {
+	tg, err := startSelf(2, 64)
+	if err != nil {
+		return err
+	}
+	defer tg.close()
+	c := client()
+
+	status, _, env, err := postJSON(c, tg.base+"/api/v1/sessions",
+		telemetry.SessionSpec{Workload: "wk-3", Stimulus: "verify-forensics"})
+	if err != nil || status != http.StatusCreated {
+		return fmt.Errorf("POST wk-3: status %d, err %v", status, err)
+	}
+	var created struct {
+		Session struct {
+			ID string `json:"id"`
+		} `json:"session"`
+	}
+	json.Unmarshal(env.Data, &created)
+	var e atomic.Int64
+	data, ok := awaitResultData(c, tg.base, created.Session.ID, &e)
+	if !ok {
+		return fmt.Errorf("wk-3 session never finished")
+	}
+	var res struct {
+		Detected  bool `json:"detected"`
+		Forensics bool `json:"forensics"`
+	}
+	json.Unmarshal(data, &res)
+	if !res.Detected {
+		return fmt.Errorf("wk-3 not detected: %s", data)
+	}
+	if !res.Forensics {
+		return fmt.Errorf("wk-3 result reports no forensic bundle: %s", data)
+	}
+	resp, err := c.Get(tg.base + "/api/v1/sessions/" + created.Session.ID + "/forensics")
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("forensics endpoint: status %d: %s", resp.StatusCode, raw)
+	}
+	b, err := flight.ValidateBundle(raw)
+	if err != nil {
+		return err
+	}
+	if b.Reason != "violation" || len(b.Trace) == 0 || b.Trace[len(b.Trace)-1].Kind != "violation" {
+		return fmt.Errorf("bundle reason %q; trace window does not end at the violation", b.Reason)
+	}
 	return nil
 }
 

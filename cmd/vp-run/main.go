@@ -25,11 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
 	"vpdift/internal/cover"
+	"vpdift/internal/flight"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
@@ -64,6 +66,8 @@ func main() {
 	decoupled := flag.Bool("decoupled", false, "run the taint monitor decoupled on a parallel goroutine (requires a policy)")
 	sampleEvery := flag.Duration("sample-every", 0, "simulated-time metrics sampling period (e.g. 1ms; 0 disables telemetry)")
 	timeseriesOut := flag.String("timeseries", "", "write the sampled metrics timeseries as JSONL to this file (.csv extension selects CSV)")
+	forensicsDir := flag.String("forensics", "", "write the flight-recorder forensic bundle (JSON + report) into this directory on violation, fault, or horizon expiry")
+	noFlight := flag.Bool("no-flight", false, "disable the always-on flight recorder")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -170,7 +174,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-decoupled needs a policy (see -policy)")
 		os.Exit(2)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, DecoupledTaint: *decoupled, Obs: observer, Trace: tr, Cover: cov, Telemetry: smp})
+	pl, err := soc.New(soc.Config{Policy: pol, DecoupledTaint: *decoupled, Obs: observer, Trace: tr, Cover: cov, Telemetry: smp, FlightOff: *noFlight})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -261,6 +265,18 @@ func main() {
 			return smp.WriteJSONL(f)
 		})
 	}
+	if *forensicsDir != "" {
+		b := pl.LastForensics()
+		if b == nil {
+			// No terminal violation or fault: a run that never exited ended
+			// on the horizon, worth a snapshot of where the guest got stuck.
+			if exited, _ := pl.Exited(); !exited {
+				b = pl.Snapshot("horizon")
+			}
+		}
+		name := strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".s")
+		writeForensics(*forensicsDir, name, b)
+	}
 
 	var v *core.Violation
 	switch {
@@ -291,6 +307,28 @@ func main() {
 	if exited {
 		os.Exit(int(code) & 0x7f)
 	}
+}
+
+// writeForensics exports a forensic bundle as <dir>/<name>.forensics.json
+// plus the human-readable report alongside. A nil bundle (clean exit, or the
+// recorder disabled) writes nothing.
+func writeForensics(dir, name string, b *flight.Bundle) {
+	if b == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	jsonPath := filepath.Join(dir, name+".forensics.json")
+	if err := os.WriteFile(jsonPath, b.JSON(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	exportTo(filepath.Join(dir, name+".forensics.txt"), func(f *os.File) error {
+		return b.WriteReport(f)
+	})
+	fmt.Fprintf(os.Stderr, "forensics: %s (%s)\n", jsonPath, b.Reason)
 }
 
 // openOut opens an export destination; "-" means stderr.

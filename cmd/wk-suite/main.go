@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"vpdift/internal/flight"
 	"vpdift/internal/obs"
 	"vpdift/internal/wk"
 )
@@ -26,7 +28,16 @@ func main() {
 	why := flag.Bool("why", false, "print each detected attack's taint-provenance chain")
 	matrix := flag.Bool("matrix", false, "emit the attack x clearance-point detection matrix instead of Table I")
 	matrixJSON := flag.String("matrix-json", "", "also write the detection matrix as JSON to this file (implies -matrix)")
+	forensicsDir := flag.String("forensics", "", "write each detected attack's flight-recorder bundle (JSON + report) into this directory, validating every bundle")
 	flag.Parse()
+
+	if *forensicsDir != "" {
+		if err := exportForensics(*forensicsDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *matrix || *matrixJSON != "" {
 		m, err := wk.RunMatrix()
@@ -107,4 +118,64 @@ func main() {
 	}
 	fmt.Println("Table I: buffer-overflow test-suite results (code-injection policy)")
 	fmt.Print(table)
+}
+
+// exportForensics reruns every applicable attack under the policy and writes
+// each detected attack's forensic bundle as wk-<n>.forensics.json plus the
+// human report. Every bundle is round-tripped through the schema validator,
+// and each trace window is checked to end at the violating instruction — so
+// a CI job needs nothing beyond this command's exit status.
+func exportForensics(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	wrote := 0
+	for _, a := range wk.Suite() {
+		a := a
+		if !a.Applicable() {
+			continue
+		}
+		res, v, bundle, err := wk.RunForensic(&a, true, wk.RunMode{})
+		if err != nil {
+			return fmt.Errorf("attack %d: %w", a.Num, err)
+		}
+		if res != wk.Detected || v == nil {
+			continue
+		}
+		if bundle == nil {
+			return fmt.Errorf("attack %d: detected but produced no forensic bundle", a.Num)
+		}
+		raw := bundle.JSON()
+		parsed, err := flight.ValidateBundle(raw)
+		if err != nil {
+			return fmt.Errorf("attack %d: bundle failed validation: %w", a.Num, err)
+		}
+		if len(parsed.Trace) == 0 {
+			return fmt.Errorf("attack %d: bundle has an empty trace window", a.Num)
+		}
+		last := parsed.Trace[len(parsed.Trace)-1]
+		if last.Kind != "violation" || last.PC != flight.Hex32(v.PC) {
+			return fmt.Errorf("attack %d: trace window ends at %s/%s, want violation at %s",
+				a.Num, last.Kind, last.PC, flight.Hex32(v.PC))
+		}
+		name := fmt.Sprintf("wk-%d", a.Num)
+		if err := os.WriteFile(filepath.Join(dir, name+".forensics.json"), raw, 0o644); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".forensics.txt"))
+		if err != nil {
+			return err
+		}
+		if err := bundle.WriteReport(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			return err
+		}
+		wrote++
+	}
+	fmt.Fprintf(os.Stderr, "forensics: %d validated bundles in %s\n", wrote, dir)
+	return nil
 }

@@ -1,0 +1,85 @@
+package immo
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vpdift/internal/core"
+)
+
+// TestForensicParityCaseStudy runs the paper's immobilizer attack scenarios
+// and holds the flight recorder to the same contract the WK suite enforces:
+// every violating scenario freezes a bundle whose trace window ends at the
+// violation, bit-identical between the inline and decoupled monitor, and
+// disabling the recorder changes nothing about the verdict.
+func TestForensicParityCaseStudy(t *testing.T) {
+	scenarios := []struct {
+		name    string
+		cmd     byte
+		payload []byte
+		kind    core.ViolationKind
+	}{
+		{"direct-leak", 'a', nil, core.KindOutputClearance},
+		{"branch-on-pin", 'c', nil, core.KindBranchClearance},
+		{"overwrite-pin", 'o', []byte{0x42}, core.KindStoreClearance},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			ei := mustECU(t, VariantFixed, PolicyBase)
+			errI := ei.Command(sc.cmd, sc.payload...)
+			ed := mustDecoupledECU(t, VariantFixed, PolicyBase)
+			errD := ed.Command(sc.cmd, sc.payload...)
+
+			var vi, vd *core.Violation
+			if !errors.As(errI, &vi) || !errors.As(errD, &vd) {
+				t.Fatalf("want violations in both modes: inline=%v decoupled=%v", errI, errD)
+			}
+			bI := ei.Platform.LastForensics()
+			bD := ed.Platform.LastForensics()
+			if bI == nil || bD == nil {
+				t.Fatalf("missing bundle: inline=%v decoupled=%v", bI != nil, bD != nil)
+			}
+			if bI.Reason != "violation" {
+				t.Fatalf("bundle reason %q, want violation", bI.Reason)
+			}
+			for _, b := range []struct {
+				mode string
+				got  string
+			}{{"inline", bI.Trace[len(bI.Trace)-1].Kind}, {"decoupled", bD.Trace[len(bD.Trace)-1].Kind}} {
+				if b.got != "violation" {
+					t.Fatalf("%s trace window ends at %q, want violation", b.mode, b.got)
+				}
+			}
+			if !reflect.DeepEqual(bI.Regs, bD.Regs) {
+				t.Errorf("register/tag files diverge")
+			}
+			if !reflect.DeepEqual(bI.Trace, bD.Trace) {
+				t.Errorf("trace windows diverge (inline %d records, decoupled %d)",
+					len(bI.Trace), len(bD.Trace))
+			}
+			if !reflect.DeepEqual(bI.Violation, bD.Violation) {
+				t.Errorf("violation headlines diverge:\ninline:    %+v\ndecoupled: %+v",
+					bI.Violation, bD.Violation)
+			}
+
+			// Recorder off: same verdict, no bundle.
+			eo, err := NewECUWithConfig(VariantFixed, PolicyBase, ECUConfig{FlightOff: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(eo.Close)
+			errO := eo.Command(sc.cmd, sc.payload...)
+			var vo *core.Violation
+			if !errors.As(errO, &vo) {
+				t.Fatalf("recorder-off run did not violate: %v", errO)
+			}
+			if vo.Kind != vi.Kind || vo.PC != vi.PC || vo.Addr != vi.Addr {
+				t.Fatalf("recorder-off violation diverges: on=%v off=%v", vi, vo)
+			}
+			if eo.Platform.LastForensics() != nil {
+				t.Fatal("recorder-off platform produced a bundle")
+			}
+		})
+	}
+}

@@ -175,6 +175,9 @@ type ECUConfig struct {
 	// Decoupled runs the taint monitor on a parallel goroutine; the case
 	// study's verdicts must be identical either way.
 	Decoupled bool
+	// FlightOff disables the always-on flight recorder (the forensic parity
+	// suite proves the verdicts are identical with it on or off).
+	FlightOff bool
 }
 
 // NewECUWithConfig builds the immobilizer with the chosen firmware variant,
@@ -198,6 +201,7 @@ func NewECUWithConfig(v Variant, kind PolicyKind, cfg ECUConfig) (*ECU, error) {
 	pl, err := soc.New(soc.Config{
 		Policy: pol, Obs: cfg.Obs, Trace: cfg.Trace, Cover: cfg.Cover,
 		Telemetry: cfg.Telemetry, DecoupledTaint: cfg.Decoupled,
+		FlightOff: cfg.FlightOff,
 	})
 	if err != nil {
 		return nil, err

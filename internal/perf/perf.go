@@ -200,6 +200,10 @@ type Options struct {
 	// nil measures the undisturbed fast path. Used by the -telemetry smoke
 	// run of the CI perf guard.
 	Telemetry *telemetry.Sampler
+	// FlightOff disables the always-on flight recorder for this
+	// measurement. The default measures the platform as shipped (recorder
+	// on); the -flight guard uses this to price the recorder.
+	FlightOff bool
 }
 
 // RunOnce executes the workload on one platform flavour (dift selects VP+)
@@ -225,7 +229,7 @@ func RunOnceOpts(w Workload, o Options) (Measurement, error) {
 			pol = codeInjectionPolicy(img)
 		}
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, DecoupledTaint: o.Decoupled, NoDecodeCache: o.NoDecodeCache, Trace: o.Trace, Cover: o.Cover, Telemetry: o.Telemetry})
+	pl, err := soc.New(soc.Config{Policy: pol, TaintMemViaTLM: o.TLMMem, DecoupledTaint: o.Decoupled, NoDecodeCache: o.NoDecodeCache, Trace: o.Trace, Cover: o.Cover, Telemetry: o.Telemetry, FlightOff: o.FlightOff})
 	if err != nil {
 		return Measurement{}, err
 	}
@@ -345,6 +349,22 @@ func RunRowBest(w Workload, tlmMem bool, reps int) (Row, error) {
 // a parallel propagation core (Row.VPPlusDec), so one report carries the
 // inline-vs-decoupled overhead pair per workload.
 func RunRowBestOpts(w Workload, tlmMem bool, reps int, decoupled bool) (Row, error) {
+	return RunRowConfig(w, RowConfig{TLMMem: tlmMem, Reps: reps, Decoupled: decoupled})
+}
+
+// RowConfig selects the flavours and conditions RunRowConfig measures.
+type RowConfig struct {
+	TLMMem    bool
+	Reps      int
+	Decoupled bool
+	// FlightOff measures every flavour with the flight recorder disabled.
+	// The default prices the platform as shipped (recorder on).
+	FlightOff bool
+}
+
+// RunRowConfig measures one workload's flavours under the given config.
+func RunRowConfig(w Workload, cfg RowConfig) (Row, error) {
+	tlmMem, reps, decoupled := cfg.TLMMem, cfg.Reps, cfg.Decoupled
 	if reps < 1 {
 		reps = 1
 	}
@@ -368,11 +388,11 @@ func RunRowBestOpts(w Workload, tlmMem bool, reps int, decoupled bool) (Row, err
 		}
 		return m, nil
 	}
-	vp, err := best(Options{})
+	vp, err := best(Options{FlightOff: cfg.FlightOff})
 	if err != nil {
 		return Row{}, err
 	}
-	vpp, err := best(Options{DIFT: true, TLMMem: tlmMem})
+	vpp, err := best(Options{DIFT: true, TLMMem: tlmMem, FlightOff: cfg.FlightOff})
 	if err != nil {
 		return Row{}, err
 	}
@@ -384,7 +404,7 @@ func RunRowBestOpts(w Workload, tlmMem bool, reps int, decoupled bool) (Row, err
 		VPPlus: vpp,
 	}
 	if decoupled {
-		vppd, err := best(Options{DIFT: true, TLMMem: tlmMem, Decoupled: true})
+		vppd, err := best(Options{DIFT: true, TLMMem: tlmMem, Decoupled: true, FlightOff: cfg.FlightOff})
 		if err != nil {
 			return Row{}, err
 		}

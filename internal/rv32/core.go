@@ -3,6 +3,7 @@ package rv32
 import (
 	"vpdift/internal/core"
 	"vpdift/internal/cover"
+	"vpdift/internal/flight"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
 	"vpdift/internal/obs"
@@ -87,6 +88,13 @@ type Core struct {
 	// (internal/cover). Only the guest view applies on the baseline core —
 	// there are no tags to heatmap and no policy to audit.
 	Cov *cover.Cover
+
+	// FR, when non-nil, is the always-on flight recorder: one compressed
+	// record per retire, captured post-switch (see flightcap.go). frAddr is
+	// the last load/store effective address, stashed by load/store because
+	// the post-switch capture cannot recompute it once rd aliased rs1.
+	FR     *flight.Recorder
+	frAddr uint32
 }
 
 // NewCore builds a baseline core over plain RAM and a bus for MMIO. The
@@ -180,6 +188,9 @@ func (c *Core) trap(cause, tval, epc uint32) error {
 	if c.mtvec == 0 {
 		return &TrapError{Cause: cause, Tval: tval, PC: epc}
 	}
+	if c.FR != nil {
+		c.FR.MarkTrap(c.Instret, epc, tval, cause)
+	}
 	c.mepc = epc
 	c.mcause = cause
 	c.mtval = tval
@@ -213,21 +224,23 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 	pc := c.PC
 	off := pc - c.ramBase
 	var i Inst
+	var w uint32
 	if idx := int(off >> 2); off&3 == 0 && idx < len(c.ic.ents) {
 		e := &c.ic.ents[idx]
 		if e.state != 0 {
 			i = e.inst
+			w = e.word
 			if c.Tracer != nil {
-				c.Tracer(pc, c.fetchWord(off))
+				c.Tracer(pc, w)
 			}
 			if c.Retire != nil {
-				c.Retire(pc, c.fetchWord(off))
+				c.Retire(pc, w)
 			}
 			if c.Obs != nil {
-				c.Obs.BeginInsn(pc, c.fetchWord(off))
+				c.Obs.BeginInsn(pc, w)
 			}
 		} else {
-			w := c.fetchWord(off)
+			w = c.fetchWord(off)
 			if c.Tracer != nil {
 				c.Tracer(pc, w)
 			}
@@ -239,6 +252,7 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 			}
 			i = Decode(w)
 			e.inst = i
+			e.word = w
 			e.state = icValid
 			c.ic.noteFill(off)
 		}
@@ -248,7 +262,7 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 			return RunOK, &BusError{What: "instruction fetch outside RAM", Addr: pc, PC: pc}
 		}
 		c.uncachedFetch++
-		w := c.fetchWord(off)
+		w = c.fetchWord(off)
 		if c.Tracer != nil {
 			c.Tracer(pc, w)
 		}
@@ -434,6 +448,25 @@ func (c *Core) step(delay *kernel.Time) (RunStatus, error) {
 	if c.Cov != nil {
 		c.coverStep(pc, off, next)
 	}
+	if c.FR != nil {
+		// Flight capture, hand-inlined (see flightcap.go).
+		fl := flightFlags[i.Op]
+		if next != pc+4 {
+			fl |= flight.FlagTaken
+		}
+		var faddr uint32
+		if fl&(flight.FlagLoad|flight.FlagStore) != 0 {
+			faddr = c.frAddr
+		}
+		rec := c.FR.Slot()
+		rec.Time = c.Instret
+		rec.PC = pc
+		rec.Insn = w
+		rec.Addr = faddr
+		rec.Aux = 0
+		rec.Kind = flight.KindRetire
+		rec.Flags = fl
+	}
 	if c.PC == pc { // not redirected by a trap inside the switch
 		c.PC = next
 	}
@@ -504,6 +537,7 @@ func remU(a, b uint32) uint32 {
 
 // load reads size bytes (1, 2 or 4) little-endian, zero-extended.
 func (c *Core) load(addr uint32, size uint32, delay *kernel.Time, pc uint32) (uint32, error) {
+	c.frAddr = addr
 	off := addr - c.ramBase
 	if off < c.ramSize && off+size <= c.ramSize {
 		switch size {
@@ -530,6 +564,7 @@ func (c *Core) load(addr uint32, size uint32, delay *kernel.Time, pc uint32) (ui
 
 // store writes size bytes (1, 2 or 4) little-endian.
 func (c *Core) store(addr, val uint32, size uint32, delay *kernel.Time, pc uint32) error {
+	c.frAddr = addr
 	off := addr - c.ramBase
 	if off < c.ramSize && off+size <= c.ramSize {
 		for j := uint32(0); j < size; j++ {

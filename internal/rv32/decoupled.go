@@ -67,6 +67,7 @@ import (
 
 	"vpdift/internal/core"
 	"vpdift/internal/dift"
+	"vpdift/internal/flight"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 	"vpdift/internal/tlm"
@@ -537,6 +538,7 @@ func (c *TaintCore) decLoadOp(i Inst, delay *kernel.Time, pc uint32) error {
 		size = 2
 	}
 	addr := c.Regs[i.Rs1].V + uint32(i.Imm)
+	c.frAddr = addr
 	if c.checkMemAddr && (!d.defMemOK || d.mask>>i.Rs1&1 != 0) {
 		if bt := c.Regs[i.Rs1].T; !c.addrTagOK(bt) {
 			return c.addrViolation(bt, addr, pc, i.Rs1)
@@ -651,6 +653,7 @@ func (c *TaintCore) decStoreTags(off, size uint32, val uint32, t core.Tag) {
 func (c *TaintCore) decStore(i Inst, size uint32, delay *kernel.Time, pc uint32) error {
 	d := c.dec
 	addr := c.Regs[i.Rs1].V + uint32(i.Imm)
+	c.frAddr = addr
 	if c.checkMemAddr && (!d.defMemOK || d.mask>>i.Rs1&1 != 0) {
 		if bt := c.Regs[i.Rs1].T; !c.addrTagOK(bt) {
 			return c.addrViolation(bt, addr, pc, i.Rs1)
@@ -737,22 +740,24 @@ func (c *TaintCore) stepDec(delay *kernel.Time) (RunStatus, error) {
 	pc := c.PC
 	off := pc - c.ramBase
 	var i Inst
+	var w uint32
 	if idx := int(off >> 2); off&3 == 0 && idx < len(c.ic.ents) {
 		e := &c.ic.ents[idx]
 		if e.state != 0 {
 			i = e.inst
+			w = e.word
 			if c.Tracer != nil {
-				c.Tracer(pc, c.fetchWord(off))
+				c.Tracer(pc, w)
 			}
 			if c.Retire != nil {
-				c.Retire(pc, c.fetchWord(off))
+				c.Retire(pc, w)
 			}
 			if !e.allowed {
-				return RunOK, c.fetchViolation(pc, c.fetchWord(off), e.tag)
+				return RunOK, c.fetchViolation(pc, w, e.tag)
 			}
 		} else {
 			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
-			w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
+			w = uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
 			if c.Tracer != nil {
 				c.Tracer(pc, w)
 			}
@@ -766,6 +771,7 @@ func (c *TaintCore) stepDec(delay *kernel.Time) (RunStatus, error) {
 			}
 			i = Decode(w)
 			e.inst = i
+			e.word = w
 			e.state = icValid
 			c.ic.noteFill(off)
 			if !e.allowed {
@@ -778,7 +784,7 @@ func (c *TaintCore) stepDec(delay *kernel.Time) (RunStatus, error) {
 		}
 		c.uncachedFetch++
 		b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
-		w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
+		w = uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
 		if c.Tracer != nil {
 			c.Tracer(pc, w)
 		}
@@ -999,6 +1005,28 @@ func (c *TaintCore) stepDec(delay *kernel.Time) (RunStatus, error) {
 		c.decSyncReg(i.Rd)
 	default:
 		return RunOK, c.trap(CauseIllegalInstr, c.fetchWord(off), pc)
+	}
+	if c.FR != nil {
+		// Flight capture, hand-inlined (see flightcap.go).
+		fl := flightFlags[i.Op]
+		if next != pc+4 {
+			fl |= flight.FlagTaken
+		}
+		if i.Rd != 0 && c.Regs[i.Rd].T != c.def {
+			fl |= flight.FlagTaintRd
+		}
+		var faddr uint32
+		if fl&(flight.FlagLoad|flight.FlagStore) != 0 {
+			faddr = c.frAddr
+		}
+		rec := c.FR.Slot()
+		rec.Time = c.Instret
+		rec.PC = pc
+		rec.Insn = w
+		rec.Addr = faddr
+		rec.Aux = 0
+		rec.Kind = flight.KindRetire
+		rec.Flags = fl
 	}
 	if c.PC == pc {
 		c.PC = next

@@ -35,6 +35,10 @@ import "vpdift/internal/core"
 // and state; the taint core also fills the fetch-tag summary.
 type icEntry struct {
 	inst Inst
+	// word is the raw little-endian instruction word inst was decoded from,
+	// kept so hit-path consumers (flight recorder, tracer) need not
+	// reassemble it from RAM bytes.
+	word uint32
 	// state is 0 when the entry is invalid, icValid when inst (and, on the
 	// taint core, tag/allowed) describe the current RAM word.
 	state uint8

@@ -3,6 +3,7 @@ package rv32
 import (
 	"vpdift/internal/core"
 	"vpdift/internal/cover"
+	"vpdift/internal/flight"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
 	"vpdift/internal/obs"
@@ -113,6 +114,14 @@ type TaintCore struct {
 	// monitor goroutine (see decoupled.go). Nil in inline mode: the classic
 	// hot loop pays only predictable not-taken branches, like Tracer/Obs.
 	dec *decState
+
+	// FR, when non-nil, is the always-on flight recorder: one compressed
+	// record per retire, captured post-switch on both the inline step and
+	// the decoupled front end (see flightcap.go) — never from the monitor
+	// goroutine, so the ring stays single-threaded. frAddr is the last
+	// load/store effective address, stashed by the memory helpers.
+	FR     *flight.Recorder
+	frAddr uint32
 }
 
 // NewTaintCore builds a DIFT core over tainted RAM, enforcing the policy.
@@ -263,6 +272,9 @@ func (c *TaintCore) trap(cause, tval, epc uint32) error {
 			return v
 		}
 	}
+	if c.FR != nil {
+		c.FR.MarkTrap(c.Instret, epc, tval, cause)
+	}
 	c.mepc = core.W(epc, c.def)
 	c.mcause = core.W(cause, c.def)
 	c.mtval = core.W(tval, c.def)
@@ -367,24 +379,26 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 	pc := c.PC
 	off := pc - c.ramBase
 	var i Inst
+	var w uint32
 	if idx := int(off >> 2); off&3 == 0 && idx < len(c.ic.ents) {
 		e := &c.ic.ents[idx]
 		if e.state != 0 {
 			i = e.inst
+			w = e.word
 			if c.Tracer != nil {
-				c.Tracer(pc, c.fetchWord(off))
+				c.Tracer(pc, w)
 			}
 			if c.Retire != nil {
-				c.Retire(pc, c.fetchWord(off))
+				c.Retire(pc, w)
 			}
 			if !e.allowed {
 				// Cached fetch-clearance verdict: the word's tag summary
 				// may not flow to the execution unit.
-				return RunOK, c.fetchViolation(pc, c.fetchWord(off), e.tag)
+				return RunOK, c.fetchViolation(pc, w, e.tag)
 			}
 		} else {
 			b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
-			w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
+			w = uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
 			if c.Tracer != nil {
 				c.Tracer(pc, w)
 			}
@@ -401,6 +415,7 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			}
 			i = Decode(w)
 			e.inst = i
+			e.word = w
 			e.state = icValid
 			c.ic.noteFill(off)
 			if !e.allowed {
@@ -414,7 +429,7 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 		}
 		c.uncachedFetch++
 		b0, b1, b2, b3 := c.ram[off], c.ram[off+1], c.ram[off+2], c.ram[off+3]
-		w := uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
+		w = uint32(b0.V) | uint32(b1.V)<<8 | uint32(b2.V)<<16 | uint32(b3.V)<<24
 		if c.Tracer != nil {
 			c.Tracer(pc, w)
 		}
@@ -630,6 +645,28 @@ func (c *TaintCore) step(delay *kernel.Time) (RunStatus, error) {
 			c.coverStep(i, pc, off, next)
 		}
 	}
+	if c.FR != nil {
+		// Flight capture, hand-inlined (see flightcap.go).
+		fl := flightFlags[i.Op]
+		if next != pc+4 {
+			fl |= flight.FlagTaken
+		}
+		if i.Rd != 0 && c.Regs[i.Rd].T != c.def {
+			fl |= flight.FlagTaintRd
+		}
+		var faddr uint32
+		if fl&(flight.FlagLoad|flight.FlagStore) != 0 {
+			faddr = c.frAddr
+		}
+		rec := c.FR.Slot()
+		rec.Time = c.Instret
+		rec.PC = pc
+		rec.Insn = w
+		rec.Addr = faddr
+		rec.Aux = 0
+		rec.Kind = flight.KindRetire
+		rec.Flags = fl
+	}
 	if c.PC == pc {
 		c.PC = next
 	}
@@ -782,6 +819,7 @@ func (c *TaintCore) fetchViolation(pc, w uint32, t core.Tag) *core.Violation {
 func (c *TaintCore) load(i Inst, size uint32, delay *kernel.Time, pc uint32) (core.Word, error) {
 	base := c.Regs[i.Rs1]
 	addr := base.V + uint32(i.Imm)
+	c.frAddr = addr
 	if !c.addrTagOK(base.T) {
 		return core.Word{}, c.addrViolation(base.T, addr, pc, i.Rs1)
 	}
@@ -832,6 +870,7 @@ func (c *TaintCore) load(i Inst, size uint32, delay *kernel.Time, pc uint32) (co
 func (c *TaintCore) store(i Inst, size uint32, delay *kernel.Time, pc uint32) error {
 	base, val := c.Regs[i.Rs1], c.Regs[i.Rs2]
 	addr := base.V + uint32(i.Imm)
+	c.frAddr = addr
 	if !c.addrTagOK(base.T) {
 		return c.addrViolation(base.T, addr, pc, i.Rs1)
 	}

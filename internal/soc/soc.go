@@ -20,6 +20,7 @@ import (
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
 	"vpdift/internal/cover"
+	"vpdift/internal/flight"
 	"vpdift/internal/kernel"
 	"vpdift/internal/mem"
 	"vpdift/internal/obs"
@@ -112,6 +113,14 @@ type Config struct {
 	// never keep an unbounded Run alive, so enabling telemetry does not
 	// change when a simulation ends. Nil (the default) spawns nothing.
 	Telemetry *telemetry.Sampler
+	// Flight is the always-on flight recorder (internal/flight): a small
+	// overwrite-oldest ring of per-retire records plus IRQ/trap/bus marks,
+	// frozen into a forensic bundle when the run stops on a violation or
+	// guest fault (see forensics.go). Nil selects a default-sized recorder;
+	// FlightOff disables capture entirely (the recorder-off flavour of the
+	// perf guard).
+	Flight    *flight.Recorder
+	FlightOff bool
 }
 
 // Platform is a constructed virtual prototype.
@@ -146,6 +155,11 @@ type Platform struct {
 	// when an observer is attached, kept so MetricsSnapshot can report how
 	// many transactions each one dropped past its log limit.
 	monitors []namedMonitor
+
+	// lastBundle is the forensic bundle stashed by the first terminal
+	// violation or fault (see forensics.go); later Run calls on the stopped
+	// platform keep the original evidence.
+	lastBundle *flight.Bundle
 }
 
 type namedMonitor struct {
@@ -164,6 +178,13 @@ func New(cfg Config) (*Platform, error) {
 	}
 	if cfg.InstrTime == 0 {
 		cfg.InstrTime = DefaultInstrTime
+	}
+	// The flight recorder is on by default: a fixed ~96 KiB ring is the
+	// price of having forensics for every verdict anywhere in a fleet.
+	if cfg.FlightOff {
+		cfg.Flight = nil
+	} else if cfg.Flight == nil {
+		cfg.Flight = flight.New(0)
 	}
 	pl := &Platform{
 		Sim: kernel.New(),
@@ -204,6 +225,9 @@ func New(cfg Config) (*Platform, error) {
 		setIRQ = func(line uint32, level bool) {
 			pl.Core.SetIRQ(line, level)
 			if level {
+				if fr := pl.cfg.Flight; fr != nil {
+					fr.MarkIRQ(pl.Core.Instret, line)
+				}
 				pl.irqEvent.Notify(0)
 			}
 		}
@@ -225,7 +249,30 @@ func New(cfg Config) (*Platform, error) {
 		setIRQ = func(line uint32, level bool) {
 			pl.TaintCore.SetIRQ(line, level)
 			if level {
+				if fr := pl.cfg.Flight; fr != nil {
+					fr.MarkIRQ(pl.TaintCore.Instret, line)
+				}
 				pl.irqEvent.Notify(0)
+			}
+		}
+	}
+	// Flight recorder: wire the retire path into whichever core was built
+	// and chain an MMIO mark onto the TLM trace hook. RAM-range traffic is
+	// filtered out — under TaintMemViaTLM every data access is a bus
+	// transaction and would evict the instruction window the bundle is for.
+	if fr := pl.cfg.Flight; fr != nil {
+		if pl.Core != nil {
+			pl.Core.FR = fr
+		} else {
+			pl.TaintCore.FR = fr
+		}
+		prev := pl.Bus.Trace
+		pl.Bus.Trace = func(name string, p *tlm.Payload) {
+			if prev != nil {
+				prev(name, p)
+			}
+			if name != "ram" {
+				fr.MarkBus(pl.Instret(), name, p.Addr, p.Cmd == tlm.Write, len(p.Data))
 			}
 		}
 	}
@@ -483,6 +530,9 @@ func (pl *Platform) spawnCPU() {
 			case rv32.RunHalt:
 				p.Stop()
 			case rv32.RunWFI:
+				if fr := pl.cfg.Flight; fr != nil {
+					fr.MarkEvent(pl.Instret(), "wfi-sleep")
+				}
 				if advance > 0 {
 					p.Wait(advance)
 				}
@@ -597,6 +647,12 @@ func (pl *Platform) Run(horizon kernel.Time) error {
 			cv.Audit.NoteViolation(v)
 		}
 	}
+	// Freeze the forensic evidence at the first terminal error: append the
+	// violating/faulting instruction as the window's last record and stash
+	// the bundle (see forensics.go).
+	if err != nil {
+		pl.noteForensics(err)
+	}
 	return err
 }
 
@@ -686,6 +742,18 @@ func (pl *Platform) MetricsSnapshotInto(m map[string]uint64) {
 			m["dift.live_regs"] = uint64(s.LiveRegs)
 			m["dift.dirty_blocks"] = uint64(s.DirtyBlocks)
 		}
+	}
+
+	// Flight-recorder statistics. The capture cost is calibrated once per
+	// process (a timed loop over a throwaway ring), not measured in the hot
+	// path — measuring would cost more than the capture.
+	if fr := pl.cfg.Flight; fr != nil {
+		m["flight.ring_occupancy"] = uint64(fr.Len())
+		m["flight.ring_size"] = uint64(fr.Size())
+		m["flight.captured_total"] = fr.Captured()
+		m["flight.dropped_total"] = fr.Dropped()
+		m["flight.bundles_total"] = fr.Bundles()
+		m["flight.capture_cost_ns"] = flight.CaptureCostNs()
 	}
 
 	// Bus-monitor drop counts (observer-attached platforms only).

@@ -65,6 +65,10 @@ type SessionFactory interface {
 type apiError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Fault carries guest-fault detail when the error concerns a session
+	// that died on one (e.g. the no_forensics 404 of a faulted session
+	// whose recorder was disabled).
+	Fault *FaultDetail `json:"fault,omitempty"`
 }
 
 // envelope is the one JSON shape every v1 response uses: exactly one of

@@ -87,6 +87,9 @@ type CellInfo struct {
 	// Cached marks cells served from the result store without simulating.
 	Cached bool           `json:"cached,omitempty"`
 	Result *SessionResult `json:"result,omitempty"`
+	// Forensics links to the cell session's flight-recorder bundle when the
+	// cell failed (violation, fault, or error) and one was kept.
+	Forensics string `json:"forensics,omitempty"`
 }
 
 // campaign tracks one grid run.
@@ -123,6 +126,9 @@ func (c *campaign) cellInfo(cell *campaignCell) CellInfo {
 		info.Cached = cell.cached
 		r := cell.result
 		info.Result = &r
+		if r.Forensics && cell.session != "" {
+			info.Forensics = "/api/v1/sessions/" + cell.session + "/forensics"
+		}
 	default:
 	}
 	return info

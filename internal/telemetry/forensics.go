@@ -1,0 +1,131 @@
+package telemetry
+
+// Forensics plumbing: when a session ends badly — run error, policy
+// violation, or wall-clock timeout — the server freezes the platform's
+// flight-recorder bundle before releasing it, and serves it afterwards on
+// GET /api/v1/sessions/{id}/forensics. The bundle is captured at finalize
+// time because the Close hook shuts the platform down; there is no second
+// chance.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"vpdift/internal/flight"
+	"vpdift/internal/rv32"
+)
+
+// ForensicsProvider is the optional platform slice the server probes for at
+// finalize: soc.Platform implements it, test stubs need not.
+type ForensicsProvider interface {
+	// LastForensics returns the bundle stashed by the first terminal
+	// violation or fault, nil on clean runs.
+	LastForensics() *flight.Bundle
+	// Snapshot builds an on-demand bundle of the current state.
+	Snapshot(reason string) *flight.Bundle
+}
+
+// FaultDetail is the guest-fault headline surfaced in session JSON and in
+// error envelopes: where the guest died and why.
+type FaultDetail struct {
+	// PC is the faulting program counter, "0x%08x".
+	PC string `json:"pc"`
+	// Cause is the human-readable fault cause.
+	Cause string `json:"cause"`
+	// Addr is the faulting access address (bus errors) or trap value,
+	// omitted when unknown.
+	Addr string `json:"addr,omitempty"`
+}
+
+// faultDetail extracts the guest-fault headline from a session's stopping
+// error; nil for clean ends, violations, and host-side errors (timeouts).
+func faultDetail(err error) *FaultDetail {
+	if err == nil {
+		return nil
+	}
+	var be *rv32.BusError
+	if errors.As(err, &be) {
+		return &FaultDetail{
+			PC:    flight.Hex32(be.PC),
+			Cause: "bus error: " + be.What,
+			Addr:  flight.Hex32(be.Addr),
+		}
+	}
+	var te *rv32.TrapError
+	if errors.As(err, &te) {
+		return &FaultDetail{
+			PC:    flight.Hex32(te.PC),
+			Cause: fmt.Sprintf("unhandled trap: cause=%d (mtvec not set)", te.Cause),
+			Addr:  flight.Hex32(te.Tval),
+		}
+	}
+	return nil
+}
+
+// captureForensics freezes the session's forensic bundle while the platform
+// is still alive. Called under the session lock, before the Close hook runs.
+// Sessions that ended cleanly keep no bundle — forensics are for failures.
+func (s *session) captureForensics(violations uint64) *flight.Bundle {
+	failed := s.err != nil || violations > 0 || s.timedOut
+	if !failed {
+		return nil
+	}
+	fp, ok := s.cfg.Platform.(ForensicsProvider)
+	if !ok {
+		return nil
+	}
+	b := fp.LastForensics()
+	if b == nil {
+		reason := "snapshot"
+		if s.timedOut {
+			reason = "timeout"
+		}
+		b = fp.Snapshot(reason)
+	}
+	return b
+}
+
+// v1Forensics serves a finished session's forensic bundle: the raw
+// self-contained JSON by default, the human-readable report with
+// ?format=report. 409 while the session still runs; an enveloped 404
+// carrying any guest-fault detail when no bundle was kept.
+func (sv *Server) v1Forensics(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id := r.PathValue("id")
+	s := sv.get(id)
+	if s == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no session "+strconv.Quote(id))
+		return
+	}
+	s.mu.Lock()
+	fin := s.finalized
+	b := s.forensics
+	fault := s.result.Fault
+	s.mu.Unlock()
+	if !fin {
+		writeError(w, http.StatusConflict, "conflict", "session "+id+" has not finished")
+		return
+	}
+	if b == nil {
+		writeJSON(w, http.StatusNotFound, envelope{Error: &apiError{
+			Code:    "no_forensics",
+			Message: "session " + id + " kept no forensic bundle (clean run or recorder disabled)",
+			Fault:   fault,
+		}})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "report":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		b.WriteReport(w)
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b.JSON())
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request", "format must be json or report")
+	}
+}

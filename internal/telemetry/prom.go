@@ -31,6 +31,7 @@ var promHelp = []struct{ prefix, help string }{
 	{"bus.monitor", "TLM bus-monitor transaction accounting."},
 	{"bus.", "TLM bus traffic counter."},
 	{"dift.", "Decoupled taint-monitor statistic."},
+	{"flight.", "Flight-recorder statistic."},
 	{"io.", "Peripheral I/O counter."},
 	{"obs.", "Observer provenance-ring counter."},
 	{"serve.", "Session-server scheduler statistic."},
@@ -49,7 +50,8 @@ var promHelp = []struct{ prefix, help string }{
 // blocks) rise and fall with live taint; its *_total siblings are monotone.
 // Everything else the platform emits is a monotone counter.
 func promIsGauge(name string) bool {
-	if strings.HasPrefix(name, "dift.") || strings.HasPrefix(name, "serve.") {
+	if strings.HasPrefix(name, "dift.") || strings.HasPrefix(name, "serve.") ||
+		strings.HasPrefix(name, "flight.") {
 		return !strings.HasSuffix(name, "_total")
 	}
 	return strings.HasPrefix(name, "cover.") || name == "build_info"

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vpdift/internal/core"
+	"vpdift/internal/flight"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
 )
@@ -111,6 +112,7 @@ type session struct {
 	final     map[string]uint64 // metrics snapshot taken at finalize
 	simNs     uint64
 	result    SessionResult
+	forensics *flight.Bundle // frozen at finalize for failed sessions
 	callbacks []func(SessionResult)
 }
 
@@ -628,11 +630,16 @@ func (sv *Server) finalize(s *session) {
 	}
 	if s.err != nil {
 		r.Error = s.err.Error()
+		r.Fault = faultDetail(s.err)
 		var v *core.Violation
 		if errors.As(s.err, &v) {
 			r.Detected = true
 		}
 	}
+	// Freeze the flight-recorder bundle now, while the platform is still
+	// alive — the Close hook below releases it.
+	s.forensics = s.captureForensics(violations)
+	r.Forensics = s.forensics != nil
 	s.result = r
 	cbs := s.callbacks
 	s.callbacks = nil
@@ -698,6 +705,12 @@ type sessionInfo struct {
 	Exited   bool   `json:"exited"`
 	ExitCode uint32 `json:"exit_code,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Fault is the guest-fault headline when the session died on a bus
+	// error or unhandled trap.
+	Fault *FaultDetail `json:"fault,omitempty"`
+	// Forensics reports that a flight-recorder bundle was kept; fetch it on
+	// GET /api/v1/sessions/{id}/forensics.
+	Forensics bool `json:"forensics,omitempty"`
 	// Timings is the session's wall-clock lifecycle (queue wait, run, store
 	// publication); open spans are reported up to the request time.
 	Timings *SessionTimings `json:"timings,omitempty"`
@@ -719,6 +732,8 @@ func (s *session) info() sessionInfo {
 		info.Instret = s.result.Instret
 		info.Exited = s.result.Exited
 		info.ExitCode = s.result.ExitCode
+		info.Fault = s.result.Fault
+		info.Forensics = s.result.Forensics
 	} else {
 		m := make(map[string]uint64, 64)
 		s.cfg.Platform.MetricsSnapshotInto(m)
@@ -766,6 +781,7 @@ func (s *session) metrics() map[string]uint64 {
 //	GET    /api/v1/sessions/{id}                 one session's state
 //	DELETE /api/v1/sessions/{id}                 cancel and remove a session
 //	GET    /api/v1/sessions/{id}/result          final result (409 until done)
+//	GET    /api/v1/sessions/{id}/forensics       flight-recorder bundle (?format=report for text)
 //	GET    /api/v1/sessions/{id}/timeseries      sampler ring (?format=jsonl|csv streams raw)
 //	GET    /api/v1/sessions/{id}/events          SSE tail of the observer event ring
 //	GET    /api/v1/campaigns                     campaign list
@@ -808,6 +824,7 @@ func (sv *Server) Handler() http.Handler {
 	handle("/api/v1/sessions", sv.v1Sessions)
 	handle("/api/v1/sessions/{id}", sv.v1Session)
 	handle("/api/v1/sessions/{id}/result", sv.v1SessionResult)
+	handle("/api/v1/sessions/{id}/forensics", sv.v1Forensics)
 	handle("/api/v1/sessions/{id}/timeseries", sv.v1Timeseries)
 	handle("/api/v1/sessions/{id}/events", sv.v1Events)
 	handle("/api/v1/campaigns", sv.v1Campaigns)

@@ -37,6 +37,13 @@ type SessionResult struct {
 	Detected bool `json:"detected"`
 	// Error is the run error that ended the session, "" for a clean end.
 	Error string `json:"error,omitempty"`
+	// Fault carries the guest-fault headline (faulting PC, cause, access
+	// address) when the session ended on a bus error or unhandled trap.
+	Fault *FaultDetail `json:"fault,omitempty"`
+	// Forensics reports that the session kept a flight-recorder bundle,
+	// served on GET /api/v1/sessions/{id}/forensics while the session is
+	// registered. Results replayed from the store have no live bundle.
+	Forensics bool `json:"forensics,omitempty"`
 	// Canceled marks results of sessions ended by DELETE or server drain;
 	// they are never cached.
 	Canceled bool `json:"canceled,omitempty"`

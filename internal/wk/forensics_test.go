@@ -1,0 +1,210 @@
+package wk
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vpdift/internal/flight"
+)
+
+// TestForensicBundleEndsAtViolation runs every applicable attack with the
+// default (recorder-on) platform and checks the acceptance invariant: each
+// detected attack yields a validating bundle whose trace window ends at the
+// violating instruction.
+func TestForensicBundleEndsAtViolation(t *testing.T) {
+	for _, a := range Suite() {
+		a := a
+		if !a.Applicable() {
+			continue
+		}
+		t.Run(fmt.Sprintf("attack-%d", a.Num), func(t *testing.T) {
+			res, v, b, err := RunForensic(&a, true, RunMode{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res != Detected || v == nil {
+				t.Fatalf("attack %d not detected (res=%v)", a.Num, res)
+			}
+			if b == nil {
+				t.Fatalf("attack %d detected but produced no forensic bundle", a.Num)
+			}
+			parsed, err := flight.ValidateBundle(b.JSON())
+			if err != nil {
+				t.Fatalf("bundle failed validation: %v", err)
+			}
+			if len(parsed.Trace) == 0 {
+				t.Fatal("bundle has an empty trace window")
+			}
+			last := parsed.Trace[len(parsed.Trace)-1]
+			if last.Kind != "violation" || last.PC != flight.Hex32(v.PC) {
+				t.Fatalf("trace window ends at %s/%s, want violation at %s",
+					last.Kind, last.PC, flight.Hex32(v.PC))
+			}
+			if parsed.Violation == nil || parsed.Violation.PC != flight.Hex32(v.PC) {
+				t.Fatalf("bundle violation headline = %+v, want pc %s",
+					parsed.Violation, flight.Hex32(v.PC))
+			}
+		})
+	}
+}
+
+// TestForensicParityInlineDecoupled holds the inline and decoupled-monitor
+// platforms to bit-identical forensics: the same attack must freeze the same
+// trace window, the same register/tag file, the same memory hexdumps and the
+// same violation headline, regardless of which core organization ran it.
+// (Host-volatile metrics are the one excluded field.)
+func TestForensicParityInlineDecoupled(t *testing.T) {
+	for _, a := range Suite() {
+		a := a
+		if !a.Applicable() {
+			continue
+		}
+		t.Run(fmt.Sprintf("attack-%d", a.Num), func(t *testing.T) {
+			resI, vI, bI, err := RunForensic(&a, true, RunMode{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resD, vD, bD, err := RunForensic(&a, true, RunMode{Decoupled: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resI != Detected || resD != Detected {
+				t.Fatalf("verdicts diverge: inline=%v decoupled=%v", resI, resD)
+			}
+			if vI.PC != vD.PC || vI.Kind != vD.Kind {
+				t.Fatalf("violations diverge: inline=%v decoupled=%v", vI, vD)
+			}
+			if bI == nil || bD == nil {
+				t.Fatalf("missing bundle: inline=%v decoupled=%v", bI != nil, bD != nil)
+			}
+			if bI.Reason != bD.Reason || bI.PC != bD.PC ||
+				bI.Instret != bD.Instret || bI.SimNs != bD.SimNs ||
+				bI.Captured != bD.Captured || bI.Dropped != bD.Dropped {
+				t.Errorf("bundle headers diverge:\ninline:    reason=%s pc=%s instret=%d sim=%d cap=%d drop=%d\ndecoupled: reason=%s pc=%s instret=%d sim=%d cap=%d drop=%d",
+					bI.Reason, bI.PC, bI.Instret, bI.SimNs, bI.Captured, bI.Dropped,
+					bD.Reason, bD.PC, bD.Instret, bD.SimNs, bD.Captured, bD.Dropped)
+			}
+			if !reflect.DeepEqual(bI.Regs, bD.Regs) {
+				t.Errorf("register/tag files diverge:\ninline:    %+v\ndecoupled: %+v", bI.Regs, bD.Regs)
+			}
+			if !reflect.DeepEqual(bI.Trace, bD.Trace) {
+				for k := range bI.Trace {
+					if k < len(bD.Trace) && !reflect.DeepEqual(bI.Trace[k], bD.Trace[k]) {
+						t.Errorf("trace record %d diverges:\ninline:    %+v\ndecoupled: %+v",
+							k, bI.Trace[k], bD.Trace[k])
+						break
+					}
+				}
+				t.Fatalf("trace windows diverge (inline %d records, decoupled %d)",
+					len(bI.Trace), len(bD.Trace))
+			}
+			if !reflect.DeepEqual(bI.Mem, bD.Mem) {
+				t.Errorf("memory windows diverge")
+			}
+			if !reflect.DeepEqual(bI.Violation, bD.Violation) {
+				t.Errorf("violation headlines diverge:\ninline:    %+v\ndecoupled: %+v",
+					bI.Violation, bD.Violation)
+			}
+		})
+	}
+}
+
+// TestForensicRecorderInvariance proves the always-on recorder is a pure
+// observer: with the recorder disabled, every attack must reach the exact
+// same verdict, violating PC and violation kind in both core organizations.
+func TestForensicRecorderInvariance(t *testing.T) {
+	for _, a := range Suite() {
+		a := a
+		if !a.Applicable() {
+			continue
+		}
+		t.Run(fmt.Sprintf("attack-%d", a.Num), func(t *testing.T) {
+			for _, decoupled := range []bool{false, true} {
+				resOn, vOn, bOn, err := RunForensic(&a, true, RunMode{Decoupled: decoupled})
+				if err != nil {
+					t.Fatal(err)
+				}
+				resOff, vOff, bOff, err := RunForensic(&a, true, RunMode{Decoupled: decoupled, FlightOff: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resOn != resOff {
+					t.Fatalf("decoupled=%v: verdict diverges: on=%v off=%v", decoupled, resOn, resOff)
+				}
+				if vOn.PC != vOff.PC || vOn.Kind != vOff.Kind || vOn.Addr != vOff.Addr {
+					t.Fatalf("decoupled=%v: violation diverges: on=%v off=%v", decoupled, vOn, vOff)
+				}
+				if bOn == nil {
+					t.Fatalf("decoupled=%v: recorder on produced no bundle", decoupled)
+				}
+				if bOff != nil {
+					t.Fatalf("decoupled=%v: recorder off produced a bundle", decoupled)
+				}
+			}
+		})
+	}
+}
+
+// TestForensicReportGolden locks the human-readable report for a fixed
+// attack against a golden file. The report is deterministic by construction
+// (volatile fields are excluded from WriteReport); run with -update to
+// regenerate after an intentional format change.
+func TestForensicReportGolden(t *testing.T) {
+	var attack *Attack
+	for _, a := range Suite() {
+		a := a
+		if a.Num == 3 && a.Applicable() {
+			attack = &a
+			break
+		}
+	}
+	if attack == nil {
+		t.Fatal("attack 3 not applicable")
+	}
+	res, _, b, err := RunForensic(attack, true, RunMode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Detected || b == nil {
+		t.Fatalf("attack 3 not detected with a bundle (res=%v)", res)
+	}
+	// The version string depends on how the binary was built; pin it so the
+	// golden holds under both `go test` and any future tagged build.
+	b.Version = "test"
+	var got bytes.Buffer
+	if err := b.WriteReport(&got); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "wk3.forensics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, got.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/wk -run ForensicReportGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		gotLines := bytes.Split(got.Bytes(), []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for k := 0; k < n; k++ {
+			if !bytes.Equal(gotLines[k], wantLines[k]) {
+				t.Fatalf("report deviates from golden at line %d:\ngot:  %s\nwant: %s",
+					k+1, gotLines[k], wantLines[k])
+			}
+		}
+		t.Fatalf("report length deviates from golden: got %d lines, want %d",
+			len(gotLines), len(wantLines))
+	}
+}

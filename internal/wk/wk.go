@@ -27,6 +27,7 @@ import (
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/flight"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
@@ -619,59 +620,70 @@ func RunObserved(a *Attack, dift bool, o *obs.Observer) (Result, *core.Violation
 }
 
 // RunMode configures how an attack's platform executes: an optional
-// observer, and the inline (default) or decoupled taint-monitor
-// organization. Either way the verdict and violation must be identical — the
-// decoupled parity suite holds RunWithMode to that.
+// observer, the inline (default) or decoupled taint-monitor organization,
+// and whether the always-on flight recorder is disabled. Either way the
+// verdict and violation must be identical — the decoupled and recorder
+// parity suites hold RunWithMode to that.
 type RunMode struct {
 	Obs       *obs.Observer
 	Decoupled bool
+	FlightOff bool
 }
 
 // RunWithMode is RunObserved with the execution mode made explicit.
 func RunWithMode(a *Attack, dift bool, mode RunMode) (Result, *core.Violation, error) {
+	res, v, _, err := RunForensic(a, dift, mode)
+	return res, v, err
+}
+
+// RunForensic is RunWithMode additionally returning the platform's forensic
+// bundle — non-nil exactly when the run stopped on a violation or fault and
+// the flight recorder was enabled.
+func RunForensic(a *Attack, dift bool, mode RunMode) (Result, *core.Violation, *flight.Bundle, error) {
 	if !a.Applicable() {
-		return NA, nil, nil
+		return NA, nil, nil, nil
 	}
 	img, err := a.Build()
 	if err != nil {
-		return NA, nil, err
+		return NA, nil, nil, err
 	}
 	var pol *core.Policy
 	if dift {
 		pol = Policy(img)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: mode.Obs, DecoupledTaint: mode.Decoupled})
+	pl, err := soc.New(soc.Config{Policy: pol, Obs: mode.Obs, DecoupledTaint: mode.Decoupled, FlightOff: mode.FlightOff})
 	if err != nil {
-		return NA, nil, err
+		return NA, nil, nil, err
 	}
 	defer pl.Shutdown()
 	if err := pl.Load(img); err != nil {
-		return NA, nil, err
+		return NA, nil, nil, err
 	}
 	pl.UART.Inject(a.Payload(img))
 	runErr := pl.Run(kernel.S)
+	bundle := pl.LastForensics()
 
 	var v *core.Violation
 	if errors.As(runErr, &v) {
 		if v.Kind != core.KindFetchClearance {
-			return Detected, v, fmt.Errorf("wk: attack %d raised %v, expected fetch clearance", a.Num, v)
+			return Detected, v, bundle, fmt.Errorf("wk: attack %d raised %v, expected fetch clearance", a.Num, v)
 		}
 		if v.PC != img.MustSymbol("attack_code") {
-			return Detected, v, fmt.Errorf("wk: attack %d violated at pc=0x%x, expected payload entry", a.Num, v.PC)
+			return Detected, v, bundle, fmt.Errorf("wk: attack %d violated at pc=0x%x, expected payload entry", a.Num, v.PC)
 		}
-		return Detected, v, nil
+		return Detected, v, bundle, nil
 	}
 	if runErr != nil {
-		return Missed, nil, runErr
+		return Missed, nil, bundle, runErr
 	}
 	exited, code := pl.Exited()
 	if !exited {
-		return Missed, nil, fmt.Errorf("wk: attack %d did not terminate", a.Num)
+		return Missed, nil, nil, fmt.Errorf("wk: attack %d did not terminate", a.Num)
 	}
 	if code == ExitAttackSucceeded {
-		return Missed, nil, nil
+		return Missed, nil, nil, nil
 	}
-	return Missed, nil, fmt.Errorf("wk: attack %d exited with %d; the overflow did not hijack control", a.Num, code)
+	return Missed, nil, nil, fmt.Errorf("wk: attack %d exited with %d; the overflow did not hijack control", a.Num, code)
 }
 
 // Table runs the whole suite under the policy and renders Table I.

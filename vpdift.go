@@ -48,6 +48,7 @@ import (
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
 	"vpdift/internal/cover"
+	"vpdift/internal/flight"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
@@ -243,6 +244,37 @@ type (
 // the baseline VP only the guest view records). The platform sizes the
 // views at construction time.
 func NewCoverage() *Cover { return cover.New() }
+
+// Flight-recorder types (package internal/flight). The recorder is the
+// always-on black box: a fixed-size overwrite-oldest ring of compressed
+// per-retire records that costs the same whether or not anything ever goes
+// wrong. When something does — a policy violation, a guest fault, or an
+// explicit Snapshot — the window freezes into a ForensicBundle: one
+// self-contained JSON document with the disassembled last-N trace, the full
+// register and tag file, the violation's provenance chain, and memory/taint
+// hexdumps around every address the window touched.
+type (
+	// FlightRecorder is the always-on last-N capture ring.
+	FlightRecorder = flight.Recorder
+	// ForensicBundle is a frozen post-mortem: trace window, registers,
+	// tags, memory windows, policy identity and build metadata.
+	ForensicBundle = flight.Bundle
+	// FlightRec is one compressed flight-recorder entry.
+	FlightRec = flight.Rec
+)
+
+// NewFlightRecorder creates a flight recorder with an n-entry ring (rounded
+// up to a power of two; n <= 0 means the 4096-entry default). Platforms
+// attach one by default — construct explicitly only to pick a different
+// window size via WithFlightRecorder.
+func NewFlightRecorder(n int) *FlightRecorder { return flight.New(n) }
+
+// ValidateForensicBundle parses raw JSON as a v1 forensic bundle and checks
+// its structural invariants (schema identity, register-file completeness,
+// trace-record consistency).
+func ValidateForensicBundle(raw []byte) (*ForensicBundle, error) {
+	return flight.ValidateBundle(raw)
+}
 
 // Live-telemetry types (package internal/telemetry). Where the other
 // observability layers record what happened, these watch it happen: a
@@ -461,6 +493,26 @@ func WithDecoupledTaint() Option {
 	return optionFunc(func(c *soc.Config) { c.DecoupledTaint = true })
 }
 
+// WithFlightRecorder attaches a specific flight recorder — typically to
+// pick a non-default window size:
+//
+//	pl, err := vpdift.NewPlatform(
+//	    vpdift.WithPolicy(pol),
+//	    vpdift.WithFlightRecorder(vpdift.NewFlightRecorder(1<<16)),
+//	)
+//
+// Every platform carries a default 4096-entry recorder even without this
+// option; use WithoutFlightRecorder to opt out entirely.
+func WithFlightRecorder(r *FlightRecorder) Option {
+	return optionFunc(func(c *soc.Config) { c.Flight, c.FlightOff = r, false })
+}
+
+// WithoutFlightRecorder disables the always-on flight recorder. The hot
+// loops then skip capture entirely; LastForensics and Snapshot return nil.
+func WithoutFlightRecorder() Option {
+	return optionFunc(func(c *soc.Config) { c.Flight, c.FlightOff = nil, true })
+}
+
 // WithTelemetry attaches a live-metrics sampler: every Every of simulated
 // time it snapshots the platform's merged metrics into its ring. The sampler
 // rides a kernel daemon thread, so it never extends a run. A typical setup:
@@ -551,6 +603,10 @@ type Result struct {
 	Metrics map[string]uint64
 	// Violation is non-nil when the run stopped on a policy violation.
 	Violation *Violation
+	// Forensics is the flight recorder's post-mortem bundle, non-nil when
+	// the run stopped on a violation or fault and the recorder is enabled
+	// (it is by default). On clean runs call Platform.Snapshot instead.
+	Forensics *ForensicBundle
 }
 
 // Run advances the simulation until the guest exits, a violation or error
@@ -569,6 +625,7 @@ func (pl *Platform) Run(horizon Time) (*Result, error) {
 	}
 	res.Exited, res.ExitCode = pl.Exited()
 	if err != nil {
+		res.Forensics = pl.LastForensics()
 		var v *Violation
 		if errors.As(err, &v) {
 			res.Violation = v
