@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vpdift/internal/cover"
 	"vpdift/internal/flight"
 	"vpdift/internal/serve"
 	"vpdift/internal/telemetry"
@@ -58,6 +59,7 @@ var (
 	regress     = flag.Float64("regress", 0.25, "allowed fractional throughput drop vs -baseline before failing")
 	serverMet   = flag.String("server-metrics", "", "after the run, scrape the target's /metrics, validate the exposition, and write it to this file")
 	forDir      = flag.String("forensics-dir", "", "after the await phase, download the forensic bundle of every failed/violating session into this directory")
+	coverDir    = flag.String("cover-dir", "", "run sessions with the coverage layer attached and archive each session's snapshot as <id>.cover.json in this directory")
 )
 
 // Report is the BENCH_serve.json shape.
@@ -250,8 +252,10 @@ func loadRun() error {
 	wg.Wait()
 	close(queue)
 
-	// Phase 2: await every result, noting which sessions kept forensics.
+	// Phase 2: await every result, noting which sessions kept forensics and
+	// archiving coverage snapshots when -cover-dir asked for them.
 	var failed []string
+	var covered []coverEntry
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
 		go func() {
@@ -260,13 +264,17 @@ func loadRun() error {
 				if data, ok := awaitResultData(c, tg.base, p.id, &errs); ok {
 					completed.Add(1)
 					var res struct {
-						Forensics bool `json:"forensics"`
+						Forensics bool            `json:"forensics"`
+						Cover     json.RawMessage `json:"cover"`
 					}
 					json.Unmarshal(data, &res)
 					mu.Lock()
 					latencies = append(latencies, time.Since(p.t0))
 					if res.Forensics {
 						failed = append(failed, p.id)
+					}
+					if *coverDir != "" && len(res.Cover) > 0 {
+						covered = append(covered, coverEntry{p.id, res.Cover})
 					}
 					mu.Unlock()
 				}
@@ -276,6 +284,12 @@ func loadRun() error {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+
+	if *coverDir != "" {
+		if err := archiveCover(covered); err != nil {
+			return err
+		}
+	}
 
 	// Pull forensic bundles before drain/close releases anything.
 	if *forDir != "" {
@@ -385,6 +399,7 @@ func submitOne(c *http.Client, base string, i int, submitted, cacheHits, rejecte
 		Workload: *workload,
 		Stimulus: fmt.Sprintf("load-%d", i),
 		SampleUs: *sampleUs,
+		Cover:    *coverDir != "",
 	}
 	backoff := 2 * time.Millisecond
 	for attempt := 0; ; attempt++ {
@@ -458,6 +473,46 @@ func awaitResultData(c *http.Client, base, id string, errs *atomic.Int64) (json.
 	}
 	errs.Add(1)
 	return nil, false
+}
+
+// coverEntry is one completed session's coverage snapshot as served in its
+// result payload.
+type coverEntry struct {
+	id  string
+	raw json.RawMessage
+}
+
+// archiveCover validates and writes each covered session's snapshot as
+// <id>.cover.json under -cover-dir, in canonical bytes. Every snapshot is
+// round-tripped through the parser and held to merge idempotence
+// (merge(S,S) == S) — a snapshot that double-counts under self-merge would
+// poison every downstream campaign rollup.
+func archiveCover(entries []coverEntry) error {
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "cover: no session carried a snapshot, nothing to archive")
+		return nil
+	}
+	if err := os.MkdirAll(*coverDir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		snap, err := cover.ParseSnapshot(e.raw)
+		if err != nil {
+			return fmt.Errorf("vp-load: cover %s: %w", e.id, err)
+		}
+		self, err := cover.Merge(snap, snap)
+		if err != nil {
+			return fmt.Errorf("vp-load: cover %s: self-merge: %w", e.id, err)
+		}
+		if !bytes.Equal(self.JSON(), snap.JSON()) {
+			return fmt.Errorf("vp-load: cover %s: merge(S,S) != S", e.id)
+		}
+		if err := os.WriteFile(filepath.Join(*coverDir, e.id+".cover.json"), snap.JSON(), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cover: %d validated snapshots -> %s\n", len(entries), *coverDir)
+	return nil
 }
 
 // downloadForensics fetches each failed session's bundle, validates it, and
@@ -596,7 +651,64 @@ func verify() error {
 	if err := verifyForensics(); err != nil {
 		return fmt.Errorf("vp-load verify (forensics): %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "vp-load verify: dedup, backpressure, drain and forensics checks passed")
+	if err := verifyCover(); err != nil {
+		return fmt.Errorf("vp-load verify (cover): %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "vp-load verify: dedup, backpressure, drain, forensics and cover checks passed")
+	return nil
+}
+
+// verifyCover runs one covered session end to end and holds its snapshot to
+// the cross-run algebra: it parses canonically, merge(S,S) == S, and the
+// self-diff is empty.
+func verifyCover() error {
+	tg, err := startSelf(2, 64)
+	if err != nil {
+		return err
+	}
+	defer tg.close()
+	c := client()
+
+	status, _, env, err := postJSON(c, tg.base+"/api/v1/sessions",
+		telemetry.SessionSpec{Workload: "wk-3", Stimulus: "verify-cover", Cover: true})
+	if err != nil || status != http.StatusCreated {
+		return fmt.Errorf("POST covered wk-3: status %d, err %v", status, err)
+	}
+	var created struct {
+		Session struct {
+			ID string `json:"id"`
+		} `json:"session"`
+	}
+	json.Unmarshal(env.Data, &created)
+	var e atomic.Int64
+	data, ok := awaitResultData(c, tg.base, created.Session.ID, &e)
+	if !ok {
+		return fmt.Errorf("covered wk-3 session never finished")
+	}
+	var res struct {
+		Cover json.RawMessage `json:"cover"`
+	}
+	json.Unmarshal(data, &res)
+	if len(res.Cover) == 0 {
+		return fmt.Errorf("covered session's result carries no snapshot: %s", data)
+	}
+	snap, err := cover.ParseSnapshot(res.Cover)
+	if err != nil {
+		return err
+	}
+	if snap.EdgeCount() == 0 {
+		return fmt.Errorf("covered wk-3 snapshot has no edges")
+	}
+	self, err := cover.Merge(snap, snap)
+	if err != nil {
+		return fmt.Errorf("self-merge: %w", err)
+	}
+	if !bytes.Equal(self.JSON(), snap.JSON()) {
+		return fmt.Errorf("merge(S,S) != S")
+	}
+	if d := cover.Diff(snap, snap); !d.Empty() {
+		return fmt.Errorf("self-diff not empty: %s", d.JSON())
+	}
 	return nil
 }
 

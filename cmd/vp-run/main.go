@@ -59,6 +59,7 @@ func main() {
 	foldedOut := flag.String("folded", "", "write folded call stacks (flamegraph input) to this file")
 	ktOut := flag.String("kernel-trace", "", "write kernel scheduler and bus events as JSONL to this file")
 	coverOut := flag.String("cover", "", "write the guest coverage report (blocks/edges, annotated disassembly) to this file ('-' for stderr)")
+	snapOut := flag.String("cover-snapshot", "", "write the run's serializable coverage snapshot (vp-diff input) to this file")
 	lcovOut := flag.String("lcov", "", "write guest line coverage in lcov .info format to this file")
 	heatOut := flag.String("heatmap", "", "write the taint heatmap report (requires a policy) to this file ('-' for stderr)")
 	auditOut := flag.String("policy-audit", "", "write the policy-audit report (requires a policy) to this file ('-' for stderr)")
@@ -162,6 +163,24 @@ func main() {
 			cov.Audit = cover.NewAudit()
 		}
 	}
+	// The snapshot wants every view the platform supports: the guest edges
+	// always, the taint heatmap and policy audit when a policy is loaded.
+	if *snapOut != "" {
+		if cov == nil {
+			cov = &cover.Cover{}
+		}
+		if cov.Guest == nil {
+			cov.Guest = cover.NewGuest()
+		}
+		if pol != nil {
+			if cov.Taint == nil {
+				cov.Taint = cover.NewTaint()
+			}
+			if cov.Audit == nil {
+				cov.Audit = cover.NewAudit()
+			}
+		}
+	}
 	// Live telemetry: -timeseries without an explicit cadence samples at the
 	// 1 ms default.
 	var smp *telemetry.Sampler
@@ -257,6 +276,14 @@ func main() {
 	writeExports(pl, observer, *metricsOut, *eventsOut, *chromeOut)
 	writeTraceExports(pl, tr, *vcdOut, *profileOut, *foldedOut, *ktOut)
 	writeCoverExports(cov, img, flag.Arg(0), *coverOut, *lcovOut, *heatOut, *auditOut, *auditJSONOut)
+	if *snapOut != "" {
+		name := strings.TrimSuffix(filepath.Base(flag.Arg(0)), ".s")
+		snap := pl.CoverSnapshot(name, *policyName)
+		exportTo(*snapOut, func(f *os.File) error {
+			_, err := f.Write(snap.JSON())
+			return err
+		})
+	}
 	if smp != nil {
 		exportTo(*timeseriesOut, func(f *os.File) error {
 			if strings.HasSuffix(*timeseriesOut, ".csv") {

@@ -9,7 +9,12 @@
 // With -matrix, the suite instead emits the detection matrix: every attack
 // crossed with every clearance point the engine implements, marking which
 // check fired. -matrix-json additionally writes the matrix as JSON for
-// machine checking (CI compares it against the Table I golden).
+// machine checking (CI compares it against the Table I golden); the JSON rows
+// then also carry each attack's dynamic edge count.
+//
+// With -cover-out, every applicable attack runs with the coverage layer
+// attached and exports its snapshot as wk-<n>.cover.json, plus the merged
+// suite snapshot as suite.cover.json — the baseline input for vp-diff.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"vpdift/internal/cover"
 	"vpdift/internal/flight"
 	"vpdift/internal/obs"
 	"vpdift/internal/wk"
@@ -29,6 +35,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "emit the attack x clearance-point detection matrix instead of Table I")
 	matrixJSON := flag.String("matrix-json", "", "also write the detection matrix as JSON to this file (implies -matrix)")
 	forensicsDir := flag.String("forensics", "", "write each detected attack's flight-recorder bundle (JSON + report) into this directory, validating every bundle")
+	coverDir := flag.String("cover-out", "", "run with coverage attached and write per-attack snapshots plus the merged suite.cover.json into this directory (implies -matrix)")
 	flag.Parse()
 
 	if *forensicsDir != "" {
@@ -39,8 +46,21 @@ func main() {
 		return
 	}
 
-	if *matrix || *matrixJSON != "" {
-		m, err := wk.RunMatrix()
+	if *matrix || *matrixJSON != "" || *coverDir != "" {
+		var m *wk.Matrix
+		var err error
+		// The JSON and snapshot consumers want the coverage-instrumented
+		// matrix (per-row edge counts); the text rendering never shows edges,
+		// so the Table I golden is untouched either way.
+		if *matrixJSON != "" || *coverDir != "" {
+			var snaps []*cover.Snapshot
+			m, snaps, err = wk.RunMatrixCover()
+			if err == nil && *coverDir != "" {
+				err = exportCover(*coverDir, m, snaps)
+			}
+		} else {
+			m, err = wk.RunMatrix()
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -118,6 +138,38 @@ func main() {
 	}
 	fmt.Println("Table I: buffer-overflow test-suite results (code-injection policy)")
 	fmt.Print(table)
+}
+
+// exportCover writes each applicable attack's coverage snapshot as
+// wk-<n>.cover.json plus the fold of all of them as suite.cover.json. The
+// merged file is what CI's coverage-diff guard pins: vp-diff compares a fresh
+// suite.cover.json against the checked-in baseline and fails on lost edges,
+// newly-dead rules, or verdict flips.
+func exportCover(dir string, m *wk.Matrix, snaps []*cover.Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	wrote := 0
+	for i, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		name := fmt.Sprintf("wk-%d.cover.json", m.Rows[i].Num)
+		if err := os.WriteFile(filepath.Join(dir, name), snap.JSON(), 0o644); err != nil {
+			return err
+		}
+		wrote++
+	}
+	merged, err := cover.MergeAll(snaps...)
+	if err != nil {
+		return fmt.Errorf("cover-out: merging suite snapshots: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "suite.cover.json"), merged.JSON(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cover: %d attack snapshots + merged suite.cover.json in %s (%d edges, %d blocks)\n",
+		wrote, dir, merged.EdgeCount(), merged.BlockCount())
+	return nil
 }
 
 // exportForensics reruns every applicable attack under the policy and writes

@@ -193,6 +193,10 @@ func (a *PolicyAudit) DeadRules() []string {
 			dead = append(dead, fmt.Sprintf("output clearance on %q never checked", port))
 		}
 	}
+	// Globally sorted so every consumer — report, JSON export, snapshot
+	// merge intersection — sees one canonical order regardless of how the
+	// policy was assembled.
+	sort.Strings(dead)
 	return dead
 }
 

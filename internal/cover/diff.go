@@ -1,0 +1,293 @@
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DiffSchema versions the serialized diff report emitted by vp-diff -json
+// and the campaign coverage-diff endpoint.
+const DiffSchema = "vpdift.cover-diff/v1"
+
+// VerdictFlip records a workload/policy pair whose detection outcome changed
+// between the two compared snapshots.
+type VerdictFlip struct {
+	Workload string `json:"workload,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+	Base     string `json:"base"`
+	Other    string `json:"other"`
+}
+
+// DiffReport is the structured comparison of two snapshots ("base" is the
+// reference — typically the older run or the CI baseline — and "other" the
+// candidate). Lost edges, newly-dead rules, and verdict flips constitute a
+// regression.
+type DiffReport struct {
+	Schema    string `json:"schema"`
+	BaseRuns  int    `json:"base_runs"`
+	OtherRuns int    `json:"other_runs"`
+
+	NewEdges   []string `json:"new_edges,omitempty"`
+	LostEdges  []string `json:"lost_edges,omitempty"`
+	NewBlocks  []string `json:"new_blocks,omitempty"`
+	LostBlocks []string `json:"lost_blocks,omitempty"`
+
+	TaintGained      []string `json:"taint_gained,omitempty"`
+	TaintLost        []string `json:"taint_lost,omitempty"`
+	TaintGainedBytes uint64   `json:"taint_gained_bytes,omitempty"`
+	TaintLostBytes   uint64   `json:"taint_lost_bytes,omitempty"`
+
+	RevivedRules   []string `json:"revived_rules,omitempty"`
+	NewlyDeadRules []string `json:"newly_dead_rules,omitempty"`
+
+	VerdictFlips []VerdictFlip `json:"verdict_flips,omitempty"`
+}
+
+// Diff compares other against base. Nil snapshots are treated as empty, so
+// Diff(nil, s) reports everything in s as new.
+func Diff(base, other *Snapshot) *DiffReport {
+	d := &DiffReport{Schema: DiffSchema}
+	if base != nil {
+		d.BaseRuns = len(base.Runs)
+	}
+	if other != nil {
+		d.OtherRuns = len(other.Runs)
+	}
+
+	bg, og := guestOf(base), guestOf(other)
+	d.NewEdges = keysOnlyIn(og.Edges, bg.Edges)
+	d.LostEdges = keysOnlyIn(bg.Edges, og.Edges)
+	d.NewBlocks = keysOnlyIn(og.Hits, bg.Hits)
+	d.LostBlocks = keysOnlyIn(bg.Hits, og.Hits)
+
+	bt, ot := taintOf(base), taintOf(other)
+	bs, os := parseSpans(bt.Ever), parseSpans(ot.Ever)
+	gained, lost := subtractSpans(os, bs), subtractSpans(bs, os)
+	d.TaintGained, d.TaintGainedBytes = formatSpans(gained), spanBytes(gained)
+	d.TaintLost, d.TaintLostBytes = formatSpans(lost), spanBytes(lost)
+
+	// Rule-exercise delta: only meaningful when both sides carry an audit.
+	if ba, oa := auditOf(base), auditOf(other); ba != nil && oa != nil {
+		d.RevivedRules = stringsOnlyIn(ba.DeadRules, oa.DeadRules)
+		d.NewlyDeadRules = stringsOnlyIn(oa.DeadRules, ba.DeadRules)
+	}
+
+	d.VerdictFlips = verdictFlips(base, other)
+	return d
+}
+
+func guestOf(s *Snapshot) *GuestSnap {
+	if s == nil || s.Guest == nil {
+		return &GuestSnap{}
+	}
+	return s.Guest
+}
+
+func taintOf(s *Snapshot) *TaintSnap {
+	if s == nil || s.Taint == nil {
+		return &TaintSnap{}
+	}
+	return s.Taint
+}
+
+func auditOf(s *Snapshot) *AuditSnap {
+	if s == nil {
+		return nil
+	}
+	return s.Audit
+}
+
+// keysOnlyIn returns the sorted keys of a that are absent from b.
+func keysOnlyIn(a, b map[string]uint64) []string {
+	var out []string
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stringsOnlyIn returns the sorted elements of a absent from b.
+func stringsOnlyIn(a, b []string) []string {
+	in := make(map[string]bool, len(b))
+	for _, s := range b {
+		in[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !in[s] {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// verdictFlips pairs verdicts by (workload, policy) and reports every pair
+// present on both sides whose outcome set differs.
+func verdictFlips(base, other *Snapshot) []VerdictFlip {
+	type key struct{ w, p string }
+	outcomes := func(s *Snapshot) map[key]string {
+		if s == nil {
+			return nil
+		}
+		sets := map[key]map[string]bool{}
+		for _, v := range s.Verdicts {
+			k := key{v.Workload, v.Policy}
+			if sets[k] == nil {
+				sets[k] = map[string]bool{}
+			}
+			sets[k][v.outcome()] = true
+		}
+		out := make(map[key]string, len(sets))
+		for k, set := range sets {
+			var list []string
+			for o := range set {
+				list = append(list, o)
+			}
+			sort.Strings(list)
+			joined := list[0]
+			for _, o := range list[1:] {
+				joined += " | " + o
+			}
+			out[k] = joined
+		}
+		return out
+	}
+	bo, oo := outcomes(base), outcomes(other)
+	var flips []VerdictFlip
+	for k, b := range bo {
+		if o, ok := oo[k]; ok && o != b {
+			flips = append(flips, VerdictFlip{Workload: k.w, Policy: k.p, Base: b, Other: o})
+		}
+	}
+	sort.Slice(flips, func(i, j int) bool {
+		if flips[i].Workload != flips[j].Workload {
+			return flips[i].Workload < flips[j].Workload
+		}
+		return flips[i].Policy < flips[j].Policy
+	})
+	return flips
+}
+
+// Empty reports whether the two snapshots' coverage is identical in every
+// dimension the diff tracks.
+func (d *DiffReport) Empty() bool {
+	return len(d.NewEdges) == 0 && len(d.LostEdges) == 0 &&
+		len(d.NewBlocks) == 0 && len(d.LostBlocks) == 0 &&
+		len(d.TaintGained) == 0 && len(d.TaintLost) == 0 &&
+		len(d.RevivedRules) == 0 && len(d.NewlyDeadRules) == 0 &&
+		len(d.VerdictFlips) == 0
+}
+
+// Regression reports whether the candidate lost ground against the base:
+// edges no longer reached, rules that went dead, or detection verdicts that
+// flipped. New coverage is progress, not a regression.
+func (d *DiffReport) Regression() bool {
+	return len(d.LostEdges) > 0 || len(d.NewlyDeadRules) > 0 || len(d.VerdictFlips) > 0
+}
+
+// JSON renders the deterministic machine-readable report.
+func (d *DiffReport) JSON() []byte {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		panic("cover: diff marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// WriteReport renders the human-readable comparison.
+func (d *DiffReport) WriteReport(w io.Writer) error {
+	fmt.Fprintf(w, "coverage diff: base %d run(s) vs candidate %d run(s)\n", d.BaseRuns, d.OtherRuns)
+	if d.Empty() {
+		_, err := fmt.Fprintln(w, "  identical coverage: no edge, taint, rule, or verdict differences")
+		return err
+	}
+	section := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "  %s (%d):\n", title, len(items))
+		for _, it := range items {
+			fmt.Fprintf(w, "    %s\n", it)
+		}
+	}
+	section("new edges", d.NewEdges)
+	section("LOST edges", d.LostEdges)
+	section("new blocks", d.NewBlocks)
+	section("LOST blocks", d.LostBlocks)
+	if len(d.TaintGained) > 0 {
+		fmt.Fprintf(w, "  taint gained: %d byte(s)\n", d.TaintGainedBytes)
+		for _, r := range d.TaintGained {
+			fmt.Fprintf(w, "    %s\n", r)
+		}
+	}
+	if len(d.TaintLost) > 0 {
+		fmt.Fprintf(w, "  taint lost: %d byte(s)\n", d.TaintLostBytes)
+		for _, r := range d.TaintLost {
+			fmt.Fprintf(w, "    %s\n", r)
+		}
+	}
+	section("revived rules (dead in base, exercised now)", d.RevivedRules)
+	section("NEWLY DEAD rules", d.NewlyDeadRules)
+	if len(d.VerdictFlips) > 0 {
+		fmt.Fprintf(w, "  VERDICT FLIPS (%d):\n", len(d.VerdictFlips))
+		for _, f := range d.VerdictFlips {
+			fmt.Fprintf(w, "    %s/%s: %s -> %s\n", f.Workload, f.Policy, f.Base, f.Other)
+		}
+	}
+	if d.Regression() {
+		_, err := fmt.Fprintln(w, "  REGRESSION: lost edges, newly-dead rules, or verdict flips present")
+		return err
+	}
+	_, err := fmt.Fprintln(w, "  no regression: candidate only adds coverage")
+	return err
+}
+
+// Frontier names what a contribution adds beyond an accumulated base: the
+// keep/discard signal for a coverage-guided fuzzer and the per-cell
+// contribution record in campaign rollups.
+type Frontier struct {
+	NewEdges      int      `json:"new_edges"`
+	NewBlocks     int      `json:"new_blocks"`
+	NewTaintBytes uint64   `json:"new_taint_bytes"`
+	RevivedRules  []string `json:"revived_rules,omitempty"`
+	NewVerdicts   int      `json:"new_verdicts"`
+	Edges         []string `json:"edges,omitempty"`
+}
+
+// Frontier reports what s contributes beyond base. A nil base means
+// everything in s is frontier.
+func (s *Snapshot) Frontier(base *Snapshot) *Frontier {
+	d := Diff(base, s)
+	f := &Frontier{
+		NewEdges:      len(d.NewEdges),
+		NewBlocks:     len(d.NewBlocks),
+		NewTaintBytes: d.TaintGainedBytes,
+		RevivedRules:  d.RevivedRules,
+		Edges:         d.NewEdges,
+	}
+	seen := make(map[Verdict]bool)
+	if base != nil {
+		for _, v := range base.Verdicts {
+			seen[v] = true
+		}
+	}
+	for _, v := range s.Verdicts {
+		if !seen[v] {
+			f.NewVerdicts++
+		}
+	}
+	return f
+}
+
+// Contributes reports whether the frontier is non-empty — whether the run
+// reached anything the accumulated base had not.
+func (f *Frontier) Contributes() bool {
+	return f.NewEdges > 0 || f.NewBlocks > 0 || f.NewTaintBytes > 0 ||
+		len(f.RevivedRules) > 0 || f.NewVerdicts > 0
+}

@@ -1,0 +1,225 @@
+package cover
+
+import (
+	"fmt"
+	"math"
+)
+
+// Merge combines two coverage snapshots into the fleet view: hit and edge
+// counts add (saturating), taint bitmaps union, audit counters add, verdicts
+// union, and dead rules *intersect* — a rule is truly dead only if it was
+// dead in every merged run.
+//
+// Runs are deduplicated by content digest, which makes Merge idempotent:
+// when every run in b is already present in a (merge(S, S) being the
+// degenerate case) the result is just a. A *partial* overlap would
+// double-count the shared runs' counters, so it is rejected as an error —
+// it only arises from merging two already-merged snapshots with shared
+// ancestry, and the caller should merge the underlying per-run snapshots
+// instead. Merge is commutative and associative up to canonical ordering.
+func Merge(a, b *Snapshot) (*Snapshot, error) {
+	if a == nil && b == nil {
+		return nil, fmt.Errorf("cover: merge of two nil snapshots")
+	}
+	if a == nil {
+		return b.Clone(), nil
+	}
+	if b == nil {
+		return a.Clone(), nil
+	}
+	if a.Schema != SnapshotSchema || b.Schema != SnapshotSchema {
+		return nil, fmt.Errorf("cover: merge schema mismatch (%q vs %q)", a.Schema, b.Schema)
+	}
+	switch shared := sharedRuns(a, b); {
+	case shared == len(b.Runs) && len(b.Runs) > 0:
+		return a.Clone(), nil
+	case shared == len(a.Runs) && len(a.Runs) > 0:
+		return b.Clone(), nil
+	case shared > 0:
+		return nil, fmt.Errorf("cover: merge would double-count %d shared run(s); merge per-run snapshots instead", shared)
+	}
+
+	out := &Snapshot{Schema: SnapshotSchema}
+	out.Runs = append(append([]RunID(nil), a.Runs...), b.Runs...)
+
+	var err error
+	if out.Guest, err = mergeGuest(a.Guest, b.Guest); err != nil {
+		return nil, err
+	}
+	out.Taint = mergeTaint(a.Taint, b.Taint)
+	out.Audit = mergeAudit(a.Audit, b.Audit)
+	out.Verdicts = mergeVerdicts(a.Verdicts, b.Verdicts)
+	out.normalize()
+	return out, nil
+}
+
+// sharedRuns counts b's runs whose digest already appears in a. Runs without
+// a digest are never considered shared.
+func sharedRuns(a, b *Snapshot) int {
+	seen := make(map[string]bool, len(a.Runs))
+	for _, r := range a.Runs {
+		if r.Digest != "" {
+			seen[r.Digest] = true
+		}
+	}
+	n := 0
+	for _, r := range b.Runs {
+		if r.Digest != "" && seen[r.Digest] {
+			n++
+		}
+	}
+	return n
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+// addCounts merges count maps with saturating addition.
+func addCounts(a, b map[string]uint64) map[string]uint64 {
+	out := cloneCounts(a)
+	for k, v := range b {
+		out[k] = satAdd(out[k], v)
+	}
+	return out
+}
+
+func mergeGuest(a, b *GuestSnap) (*GuestSnap, error) {
+	if a == nil && b == nil {
+		return nil, nil
+	}
+	if a == nil {
+		return &GuestSnap{Base: b.Base, Hits: cloneCounts(b.Hits), Edges: cloneCounts(b.Edges)}, nil
+	}
+	if b == nil {
+		return &GuestSnap{Base: a.Base, Hits: cloneCounts(a.Hits), Edges: cloneCounts(a.Edges)}, nil
+	}
+	if a.Base != b.Base {
+		return nil, fmt.Errorf("cover: merge guest base mismatch (%s vs %s)", a.Base, b.Base)
+	}
+	return &GuestSnap{Base: a.Base, Hits: addCounts(a.Hits, b.Hits), Edges: addCounts(a.Edges, b.Edges)}, nil
+}
+
+func mergeTaint(a, b *TaintSnap) *TaintSnap {
+	if a == nil && b == nil {
+		return nil
+	}
+	if a == nil {
+		a = &TaintSnap{}
+	}
+	if b == nil {
+		b = &TaintSnap{}
+	}
+	out := &TaintSnap{
+		Ever:        formatSpans(normalizeSpans(append(parseSpans(a.Ever), parseSpans(b.Ever)...))),
+		ClassWrites: addCounts(a.ClassWrites, b.ClassWrites),
+		Retires:     satAdd(a.Retires, b.Retires),
+		Churn:       satAdd(a.Churn, b.Churn),
+	}
+	n := len(a.RegOcc)
+	if len(b.RegOcc) > n {
+		n = len(b.RegOcc)
+	}
+	out.RegOcc = make([]uint64, n)
+	for i := range out.RegOcc {
+		var av, bv uint64
+		if i < len(a.RegOcc) {
+			av = a.RegOcc[i]
+		}
+		if i < len(b.RegOcc) {
+			bv = b.RegOcc[i]
+		}
+		out.RegOcc[i] = satAdd(av, bv)
+	}
+	return out
+}
+
+func mergeAudit(a, b *AuditSnap) *AuditSnap {
+	if a == nil && b == nil {
+		return nil
+	}
+	// Runs without the audit view (a baseline VP cell) do not weaken the
+	// dead-rule intersection: only audited runs vote.
+	if a == nil {
+		return (&Snapshot{Audit: b}).Clone().Audit
+	}
+	if b == nil {
+		return (&Snapshot{Audit: a}).Clone().Audit
+	}
+	out := &AuditSnap{
+		Classes:   unionStrings(a.Classes, b.Classes),
+		LUB:       addCounts(a.LUB, b.LUB),
+		Flow:      addCounts(a.Flow, b.Flow),
+		Points:    map[string]PointStat{},
+		DeadRules: intersectStrings(a.DeadRules, b.DeadRules),
+	}
+	for k, v := range a.Points {
+		out.Points[k] = v
+	}
+	for k, v := range b.Points {
+		p := out.Points[k]
+		p.Checks = satAdd(p.Checks, v.Checks)
+		p.Violations = satAdd(p.Violations, v.Violations)
+		out.Points[k] = p
+	}
+	return out
+}
+
+func unionStrings(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func intersectStrings(a, b []string) []string {
+	in := make(map[string]bool, len(b))
+	for _, s := range b {
+		in[s] = true
+	}
+	out := []string{}
+	for _, s := range a {
+		if in[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func mergeVerdicts(a, b []Verdict) []Verdict {
+	seen := make(map[Verdict]bool, len(a)+len(b))
+	var out []Verdict
+	for _, v := range append(append([]Verdict{}, a...), b...) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MergeAll folds a sequence of snapshots left to right, skipping nils.
+func MergeAll(snaps ...*Snapshot) (*Snapshot, error) {
+	var acc *Snapshot
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		var err error
+		if acc, err = Merge(acc, s); err != nil {
+			return nil, err
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("cover: nothing to merge")
+	}
+	return acc, nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/guest"
 	"vpdift/internal/immo"
 	"vpdift/internal/kernel"
@@ -308,6 +309,12 @@ func (f *Factory) Key(spec telemetry.SessionSpec) (string, error) {
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(spec.SampleUs))
 	h.Write(hdr[:])
 	fmt.Fprintf(h, "|%s|%s|%v", r.polName, spec.Stimulus, spec.Observe)
+	// Coverage capture changes the stored result's shape (it grows a
+	// snapshot), so covered and uncovered runs must not share a dedup key.
+	// Appended conditionally to keep every pre-existing key stable.
+	if spec.Cover {
+		fmt.Fprintf(h, "|cover")
+	}
 	return hex.EncodeToString(h.Sum(nil))[:32], nil
 }
 
@@ -322,6 +329,9 @@ func (f *Factory) Build(spec telemetry.SessionSpec) (telemetry.SessionConfig, er
 	cfg := soc.Config{Policy: r.policy, RAMSize: ramFor(r.img)}
 	if spec.Observe {
 		cfg.Obs = obs.New()
+	}
+	if spec.Cover {
+		cfg.Cover = cover.New()
 	}
 	var smp *telemetry.Sampler
 	if spec.SampleUs > 0 {
@@ -341,6 +351,12 @@ func (f *Factory) Build(spec telemetry.SessionSpec) (telemetry.SessionConfig, er
 		Sampler:  smp,
 		Horizon:  r.horizon,
 		Close:    pl.Shutdown,
+	}
+	if spec.Cover {
+		workload, polName := spec.Workload, r.polName
+		sc.CoverSnapshot = func() *cover.Snapshot {
+			return pl.CoverSnapshot(workload, polName)
+		}
 	}
 	if r.drive != nil {
 		sc.Drive = r.drive(pl)

@@ -1,0 +1,92 @@
+package soc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+
+	"vpdift/internal/asm"
+	"vpdift/internal/core"
+	"vpdift/internal/cover"
+)
+
+// CoverSnapshot freezes the platform's coverage state into a serializable
+// cross-run snapshot, stamped with the loaded image's content hash, the
+// policy fingerprint, and the run's detection verdict (derived from the
+// first terminal Run error). Returns nil when no cover views are attached.
+// workload and policy are caller-chosen labels identifying what ran; they
+// become the snapshot's run and verdict identity.
+func (pl *Platform) CoverSnapshot(workload, policy string) *cover.Snapshot {
+	cv := pl.cfg.Cover
+	if !cv.Active() {
+		return nil
+	}
+	run := cover.RunID{
+		Workload: workload,
+		Policy:   policy,
+		Image:    pl.imgDigest,
+		PolicyID: policyDigest(pl.policy),
+	}
+	v := cover.Verdict{Workload: workload, Policy: policy}
+	v.Exited, v.ExitCode = pl.Exited()
+	if pl.lastErr != nil {
+		var vio *core.Violation
+		if errors.As(pl.lastErr, &vio) {
+			v.Detected = true
+			v.Kind = vio.Kind.String()
+			v.PC = fmt.Sprintf("0x%08x", vio.PC)
+		} else {
+			v.Error = pl.lastErr.Error()
+		}
+	}
+	return cover.Capture(cv, run, &v)
+}
+
+// imageDigest hashes the image's flattened bytes together with its layout so
+// two images with identical contents at different addresses get distinct
+// identities.
+func imageDigest(img *asm.Image, flat []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "base=0x%08x entry=0x%08x len=%d\n", img.Base, img.Entry, len(flat))
+	h.Write(flat)
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// policyDigest fingerprints a policy's observable content — lattice, default
+// class, clearance points, output/input assignments, region rules — in a
+// deterministic rendering, so snapshots from the same policy compare equal
+// and a changed policy is visible in the diff. Nil (the baseline VP) hashes
+// to "".
+func policyDigest(pol *core.Policy) string {
+	if pol == nil {
+		return ""
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "lattice=%s\ndefault=%s\n", pol.L.String(), pol.L.Name(pol.Default))
+	e := pol.Exec
+	fmt.Fprintf(h, "exec=fetch:%v/%s branch:%v/%s memaddr:%v/%s\n",
+		e.CheckFetch, pol.L.Name(e.Fetch), e.CheckBranch, pol.L.Name(e.Branch),
+		e.CheckMemAddr, pol.L.Name(e.MemAddr))
+	writeTagMap(h, "output", pol.Outputs, pol.L)
+	writeTagMap(h, "input", pol.Inputs, pol.L)
+	for i := range pol.Regions {
+		r := &pol.Regions[i]
+		fmt.Fprintf(h, "region=%q [0x%08x,0x%08x) classify:%v/%s store:%v/%s\n",
+			r.Name, r.Start, r.End, r.Classify, pol.L.Name(r.Class),
+			r.CheckStore, pol.L.Name(r.Clearance))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+func writeTagMap(h interface{ Write([]byte) (int, error) }, kind string, m map[string]core.Tag, l *core.Lattice) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%q %s\n", kind, k, l.Name(m[k]))
+	}
+}

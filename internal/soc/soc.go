@@ -160,6 +160,12 @@ type Platform struct {
 	// violation or fault (see forensics.go); later Run calls on the stopped
 	// platform keep the original evidence.
 	lastBundle *flight.Bundle
+
+	// imgDigest and lastErr feed the coverage snapshot's run identity and
+	// verdict (see coversnap.go): the loaded image's content hash and the
+	// first terminal Run error.
+	imgDigest string
+	lastErr   error
 }
 
 type namedMonitor struct {
@@ -566,6 +572,7 @@ func (pl *Platform) Load(img *asm.Image) error {
 	if img.Base < RAMBase {
 		return fmt.Errorf("soc: image base 0x%x below RAM base 0x%x", img.Base, RAMBase)
 	}
+	pl.imgDigest = imageDigest(img, flat)
 	offset := img.Base - RAMBase
 	// The profiler and the coverage reports symbolize against the loaded
 	// image.
@@ -651,6 +658,9 @@ func (pl *Platform) Run(horizon kernel.Time) error {
 	// violating/faulting instruction as the window's last record and stash
 	// the bundle (see forensics.go).
 	if err != nil {
+		if pl.lastErr == nil {
+			pl.lastErr = err
+		}
 		pl.noteForensics(err)
 	}
 	return err

@@ -45,6 +45,9 @@ type SessionSpec struct {
 	SampleUs int64 `json:"sample_us,omitempty"`
 	// Observe attaches a taint observer so /events streams provenance.
 	Observe bool `json:"observe,omitempty"`
+	// Cover attaches the coverage views and captures a cross-run snapshot
+	// into the session result when it finishes (SessionResult.Cover).
+	Cover bool `json:"cover,omitempty"`
 	// Force bypasses the result store: simulate even on a dedup hit.
 	Force bool `json:"force,omitempty"`
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"vpdift/internal/cover"
 	"vpdift/internal/kernel"
 )
 
@@ -54,7 +55,11 @@ func (f *gateFactory) Key(spec SessionSpec) (string, error) {
 	if spec.Workload == "badkey" {
 		return "", errors.New("no such workload")
 	}
-	return "k|" + spec.Workload + "|" + spec.Policy + "|" + spec.Stimulus, nil
+	key := "k|" + spec.Workload + "|" + spec.Policy + "|" + spec.Stimulus
+	if spec.Cover {
+		key += "|cover"
+	}
+	return key, nil
 }
 
 func (f *gateFactory) Build(spec SessionSpec) (SessionConfig, error) {
@@ -67,6 +72,10 @@ func (f *gateFactory) Build(spec SessionSpec) (SessionConfig, error) {
 	f.mu.Unlock()
 	p := &gatedPlatform{stubPlatform: stubPlatform{exitAt: 1 * kernel.MS}, gate: g}
 	cfg := SessionConfig{Platform: p, Horizon: 2 * kernel.MS}
+	if spec.Cover {
+		snap := syntheticSnapshot(spec.Workload, spec.Policy)
+		cfg.CoverSnapshot = func() *cover.Snapshot { return snap }
+	}
 	if spec.SampleUs > 0 {
 		smp := NewSampler(Options{})
 		var fc fakeCounters

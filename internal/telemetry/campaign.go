@@ -30,6 +30,10 @@ type CampaignSpec struct {
 	TimeoutMs int64  `json:"timeout_ms,omitempty"`
 	SampleUs  int64  `json:"sample_us,omitempty"`
 	Observe   bool   `json:"observe,omitempty"`
+	// Cover captures a coverage snapshot per cell, enabling the campaign's
+	// /coverage rollup (merged snapshot, dead-rule intersection, per-cell
+	// frontier) and the campaign.* gauges on /metrics.
+	Cover bool `json:"cover,omitempty"`
 	// Force re-simulates every cell even on result-store hits.
 	Force bool `json:"force,omitempty"`
 }
@@ -98,6 +102,13 @@ type campaign struct {
 	spec  CampaignSpec
 	cells []*campaignCell
 	start time.Time
+
+	// Coverage rollup cache (see coverage.go): recomputed only when more
+	// cells have finished since the cached fold. covMu serializes the fold
+	// itself so concurrent scrapes don't merge the same grid twice.
+	covMu   sync.Mutex
+	covDone int
+	covRoll *campaignCoverage
 }
 
 func (c *campaign) cellDone(cell *campaignCell) bool {
@@ -239,6 +250,7 @@ func (sv *Server) createCampaign(ctx context.Context, spec CampaignSpec) (*campa
 				TimeoutMs: spec.TimeoutMs,
 				SampleUs:  spec.SampleUs,
 				Observe:   spec.Observe,
+				Cover:     spec.Cover,
 				Force:     spec.Force,
 			}
 			key, err := f.Key(cellSpec)

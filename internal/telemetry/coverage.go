@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"vpdift/internal/cover"
+)
+
+// cellFrontier is one cell's contribution record in the campaign coverage
+// rollup: what this cell reached that no earlier (by index) covered cell
+// had. The fold order is cell index order — the same deterministic order
+// /results streams in — so the frontier assignment is stable across scrapes.
+type cellFrontier struct {
+	Index    int             `json:"index"`
+	Policy   string          `json:"policy"`
+	Workload string          `json:"workload"`
+	Session  string          `json:"session,omitempty"`
+	Cached   bool            `json:"cached,omitempty"`
+	Frontier *cover.Frontier `json:"frontier"`
+}
+
+// campaignCoverage is the "data" payload of GET /api/v1/campaigns/{id}/coverage.
+type campaignCoverage struct {
+	Campaign CampaignInfo `json:"campaign"`
+	// CoveredCells counts finished cells that carried a snapshot.
+	CoveredCells int `json:"covered_cells"`
+	// Merged is the fold of every covered cell's snapshot in index order —
+	// bit-identical to an offline cover.Merge over the per-cell snapshots.
+	Merged *cover.Snapshot `json:"merged,omitempty"`
+	// DeadRules is the merged dead-rule intersection: rules dead in every
+	// audited cell of the campaign.
+	DeadRules []string `json:"dead_rules,omitempty"`
+	// DeadRulesByPolicy intersects dead rules across each policy row's
+	// covered cells, answering "which rules does policy P never exercise,
+	// whatever the workload".
+	DeadRulesByPolicy map[string][]string `json:"dead_rules_by_policy,omitempty"`
+	// Frontier lists each covered cell's contribution beyond the cells
+	// before it.
+	Frontier []cellFrontier `json:"frontier,omitempty"`
+	// MergeErrors records cells whose snapshot could not be folded (base
+	// mismatch, shared-run overlap); their coverage is excluded.
+	MergeErrors []string `json:"merge_errors,omitempty"`
+}
+
+// frontierCells counts cells that contributed new coverage.
+func (cc *campaignCoverage) frontierCells() int {
+	n := 0
+	for _, f := range cc.Frontier {
+		if f.Frontier.Contributes() {
+			n++
+		}
+	}
+	return n
+}
+
+// coverage folds the campaign's per-cell snapshots into the rollup, cached
+// until more cells finish. Safe to call concurrently.
+func (c *campaign) coverage() *campaignCoverage {
+	info := c.info()
+	c.covMu.Lock()
+	defer c.covMu.Unlock()
+	if c.covRoll != nil && c.covDone == info.Done {
+		out := *c.covRoll
+		out.Campaign = info
+		return &out
+	}
+
+	cc := &campaignCoverage{Campaign: info}
+	var acc *cover.Snapshot
+	perPolicy := map[string][]string{}
+	polSeen := map[string]bool{}
+	for _, cell := range c.cells {
+		if !c.cellDone(cell) {
+			continue
+		}
+		cell.mu.Lock()
+		snap := cell.result.Cover
+		session := cell.session
+		cached := cell.cached
+		cell.mu.Unlock()
+		if snap == nil {
+			continue
+		}
+		cc.CoveredCells++
+		fr := snap.Frontier(acc)
+		merged, err := cover.Merge(acc, snap)
+		if err != nil {
+			cc.MergeErrors = append(cc.MergeErrors,
+				"cell "+strconv.Itoa(cell.index)+": "+err.Error())
+			continue
+		}
+		acc = merged
+		cc.Frontier = append(cc.Frontier, cellFrontier{
+			Index: cell.index, Policy: cell.policy, Workload: cell.workload,
+			Session: session, Cached: cached, Frontier: fr,
+		})
+		if snap.Audit != nil {
+			if !polSeen[cell.policy] {
+				polSeen[cell.policy] = true
+				perPolicy[cell.policy] = append([]string{}, snap.Audit.DeadRules...)
+			} else {
+				perPolicy[cell.policy] = intersectSorted(perPolicy[cell.policy], snap.Audit.DeadRules)
+			}
+		}
+	}
+	cc.Merged = acc
+	if acc != nil && acc.Audit != nil {
+		cc.DeadRules = acc.Audit.DeadRules
+	}
+	if len(perPolicy) > 0 {
+		cc.DeadRulesByPolicy = perPolicy
+	}
+	c.covDone = info.Done
+	c.covRoll = cc
+	return cc
+}
+
+// intersectSorted keeps a's elements also present in b, preserving a's
+// (sorted) order.
+func intersectSorted(a, b []string) []string {
+	in := make(map[string]bool, len(b))
+	for _, s := range b {
+		in[s] = true
+	}
+	out := a[:0]
+	for _, s := range a {
+		if in[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// v1CampaignCoverage serves the campaign coverage rollup. The enveloped
+// default carries the full rollup; ?format=snapshot streams the merged
+// snapshot's canonical bytes (the exact input vp-diff takes).
+func (sv *Server) v1CampaignCoverage(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id := r.PathValue("id")
+	c := sv.getCampaign(id)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no campaign "+strconv.Quote(id))
+		return
+	}
+	cc := c.coverage()
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeData(w, http.StatusOK, cc)
+	case "snapshot":
+		if cc.Merged == nil {
+			writeError(w, http.StatusNotFound, "no_coverage",
+				"campaign "+id+" has no covered cells yet (create it with \"cover\": true)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(cc.Merged.JSON())
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request", "format must be json or snapshot")
+	}
+}
+
+// campaignCoverageDiff is the "data" payload of
+// GET /api/v1/campaigns/{id}/coverage/diff?against=<campaign>: the A/B
+// comparison of two campaigns' merged coverage. `against` is the base,
+// {id} the candidate, so "new_*" is what {id} adds.
+type campaignCoverageDiff struct {
+	Campaign   string            `json:"campaign"`
+	Against    string            `json:"against"`
+	Regression bool              `json:"regression"`
+	Diff       *cover.DiffReport `json:"diff"`
+}
+
+func (sv *Server) v1CampaignCoverageDiff(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	id := r.PathValue("id")
+	c := sv.getCampaign(id)
+	if c == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no campaign "+strconv.Quote(id))
+		return
+	}
+	againstID := r.URL.Query().Get("against")
+	if againstID == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", "diff needs ?against=<campaign id>")
+		return
+	}
+	against := sv.getCampaign(againstID)
+	if against == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no campaign "+strconv.Quote(againstID))
+		return
+	}
+	base, other := against.coverage(), c.coverage()
+	if base.Merged == nil || other.Merged == nil {
+		writeError(w, http.StatusConflict, "no_coverage",
+			"both campaigns need at least one covered cell to diff")
+		return
+	}
+	d := cover.Diff(base.Merged, other.Merged)
+	writeData(w, http.StatusOK, campaignCoverageDiff{
+		Campaign: id, Against: againstID, Regression: d.Regression(), Diff: d,
+	})
+}
+
+// campaignRollupSets renders each covered campaign's rollup gauges for
+// /metrics: total distinct edges, cells that contributed frontier coverage,
+// and the surviving dead-rule intersection.
+func (sv *Server) campaignRollupSets() []MetricSet {
+	sv.mu.Lock()
+	ids := append([]string(nil), sv.campOrder...)
+	camps := make([]*campaign, 0, len(ids))
+	for _, id := range ids {
+		camps = append(camps, sv.campaigns[id])
+	}
+	sv.mu.Unlock()
+
+	var sets []MetricSet
+	for i, c := range camps {
+		if c == nil || !c.spec.Cover {
+			continue
+		}
+		cc := c.coverage()
+		m := map[string]uint64{
+			"campaign.cells":          uint64(cc.Campaign.Cells),
+			"campaign.cells_done":     uint64(cc.Campaign.Done),
+			"campaign.covered_cells":  uint64(cc.CoveredCells),
+			"campaign.edges_total":    uint64(cc.Merged.EdgeCount()),
+			"campaign.blocks_total":   uint64(cc.Merged.BlockCount()),
+			"campaign.frontier_cells": uint64(cc.frontierCells()),
+			"campaign.dead_rules":     uint64(len(cc.DeadRules)),
+		}
+		sets = append(sets, MetricSet{
+			Labels:  map[string]string{"campaign": ids[i]},
+			Metrics: m,
+		})
+	}
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Labels["campaign"] < sets[j].Labels["campaign"] })
+	return sets
+}

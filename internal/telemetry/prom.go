@@ -40,21 +40,25 @@ var promHelp = []struct{ prefix, help string }{
 	{"lub_ops", "Security-lattice least-upper-bound operations."},
 	{"trace.", "Trace subsystem counter."},
 	{"cover.", "Coverage gauge."},
+	{"campaign.", "Campaign coverage rollup gauge."},
 }
 
 // promIsGauge reports whether a metric is exposed as a gauge rather than a
 // counter. Coverage metrics describe a current level (covered blocks can
 // only grow here, but conceptually they measure state, not a flow), and the
-// audit dead-rule count genuinely shrinks as rules fire. The decoupled
-// monitor's instantaneous statistics (ring occupancy, live registers, dirty
-// blocks) rise and fall with live taint; its *_total siblings are monotone.
-// Everything else the platform emits is a monotone counter.
+// audit dead-rule count genuinely shrinks as rules fire — the campaign
+// rollups share both traits (dead_rules shrinks as cells land, edges_total
+// measures merged state). The decoupled monitor's instantaneous statistics
+// (ring occupancy, live registers, dirty blocks) rise and fall with live
+// taint; its *_total siblings are monotone. Everything else the platform
+// emits is a monotone counter.
 func promIsGauge(name string) bool {
 	if strings.HasPrefix(name, "dift.") || strings.HasPrefix(name, "serve.") ||
 		strings.HasPrefix(name, "flight.") {
 		return !strings.HasSuffix(name, "_total")
 	}
-	return strings.HasPrefix(name, "cover.") || name == "build_info"
+	return strings.HasPrefix(name, "cover.") || strings.HasPrefix(name, "campaign.") ||
+		name == "build_info"
 }
 
 func helpFor(name string) string {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/flight"
 	"vpdift/internal/kernel"
 	"vpdift/internal/obs"
@@ -70,6 +71,11 @@ type SessionConfig struct {
 	// Close, when set, releases the platform (soc.Platform.Shutdown) once
 	// the session has finalized; the server snapshots final metrics first.
 	Close func()
+	// CoverSnapshot, when set, freezes the platform's coverage into a
+	// cross-run snapshot at finalize time (before Close releases the
+	// platform); the result lands in SessionResult.Cover. Factories set it
+	// when the spec asked for coverage.
+	CoverSnapshot func() *cover.Snapshot
 	// Origin is the request ID of the HTTP request that created the session,
 	// "" for programmatic submissions. It joins the session's lifecycle log
 	// lines and trace spans back to the request log.
@@ -640,6 +646,10 @@ func (sv *Server) finalize(s *session) {
 	// alive — the Close hook below releases it.
 	s.forensics = s.captureForensics(violations)
 	r.Forensics = s.forensics != nil
+	// Likewise the coverage snapshot: capture before Close.
+	if s.cfg.CoverSnapshot != nil {
+		r.Cover = s.cfg.CoverSnapshot()
+	}
 	s.result = r
 	cbs := s.callbacks
 	s.callbacks = nil
@@ -830,6 +840,8 @@ func (sv *Server) Handler() http.Handler {
 	handle("/api/v1/campaigns", sv.v1Campaigns)
 	handle("/api/v1/campaigns/{id}", sv.v1Campaign)
 	handle("/api/v1/campaigns/{id}/results", sv.v1CampaignResults)
+	handle("/api/v1/campaigns/{id}/coverage", sv.v1CampaignCoverage)
+	handle("/api/v1/campaigns/{id}/coverage/diff", sv.v1CampaignCoverageDiff)
 	handle("/api/v1/results/{key}", sv.v1StoredResult)
 	handle("/api/v1/trace", sv.handleTrace)
 	handle("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
@@ -926,6 +938,7 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		serve["serve.store_load_errors_total"] = le.LoadErrors()
 	}
 	sets = append(sets, MetricSet{Metrics: serve})
+	sets = append(sets, sv.campaignRollupSets()...)
 	sets = append(sets, sv.metrics.requestSets()...)
 	sets = append(sets, MetricSet{
 		Labels: map[string]string{

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"vpdift/internal/cover"
 )
 
 // SessionResult is the durable outcome of one finished session: the part of
@@ -55,6 +57,10 @@ type SessionResult struct {
 	WallNs int64 `json:"wall_ns,omitempty"`
 	// Samples is the sampler's total at session end, when one was attached.
 	Samples uint64 `json:"samples,omitempty"`
+	// Cover is the coverage snapshot captured at session end when the spec
+	// asked for one ("cover": true). Being part of the stored result, cells
+	// replayed from the result store keep their coverage identity.
+	Cover *cover.Snapshot `json:"cover,omitempty"`
 }
 
 // cacheable reports whether the result may be served for future submissions

@@ -1,0 +1,118 @@
+package wk
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vpdift/internal/cover"
+)
+
+// TestSuiteCoverBaseline pins the merged suite snapshot byte-for-byte against
+// the checked-in baseline — the same file CI's coverage-diff guard feeds to
+// vp-diff. Regenerate after intentional coverage changes with
+//
+//	go test ./internal/wk -run TestSuiteCoverBaseline -update
+func TestSuiteCoverBaseline(t *testing.T) {
+	_, snaps, err := RunMatrixCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := cover.MergeAll(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "suite.cover.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, merged.JSON(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/wk -run TestSuiteCoverBaseline -update)", err)
+	}
+	if !bytes.Equal(merged.JSON(), want) {
+		t.Errorf("suite coverage deviates from the checked-in baseline; if intentional, regenerate with -update")
+	}
+}
+
+// TestMatrixCoverParity holds RunMatrixCover to the plain matrix: attaching
+// the coverage layer may not change a single Table I verdict, and every
+// applicable attack must report dynamic edges plus a well-formed snapshot.
+func TestMatrixCoverParity(t *testing.T) {
+	plain, err := RunMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, snaps, err := RunMatrixCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered.Detected != plain.Detected || covered.NA != plain.NA || covered.Missed != plain.Missed {
+		t.Fatalf("cover matrix totals %d/%d/%d, plain %d/%d/%d",
+			covered.Detected, covered.NA, covered.Missed,
+			plain.Detected, plain.NA, plain.Missed)
+	}
+	if len(snaps) != len(covered.Rows) {
+		t.Fatalf("%d snapshots for %d rows", len(snaps), len(covered.Rows))
+	}
+	for i, r := range covered.Rows {
+		p := plain.Rows[i]
+		if r.Result != p.Result || r.ClearancePoint != p.ClearancePoint || r.PC != p.PC {
+			t.Errorf("attack %d: cover row (%s, %s, 0x%x) != plain row (%s, %s, 0x%x)",
+				r.Num, r.Result, r.ClearancePoint, r.PC, p.Result, p.ClearancePoint, p.PC)
+		}
+		if p.Result == NA.String() {
+			if r.Edges != 0 || snaps[i] != nil {
+				t.Errorf("attack %d: N/A row has coverage (edges=%d)", r.Num, r.Edges)
+			}
+			continue
+		}
+		snap := snaps[i]
+		if snap == nil {
+			t.Fatalf("attack %d: applicable row without snapshot", r.Num)
+		}
+		if r.Edges == 0 || r.Edges != snap.EdgeCount() {
+			t.Errorf("attack %d: row edges %d, snapshot %d", r.Num, r.Edges, snap.EdgeCount())
+		}
+		if len(snap.Runs) != 1 || snap.Runs[0].Policy != "wk" {
+			t.Errorf("attack %d: run identity %+v", r.Num, snap.Runs)
+		}
+		if len(snap.Verdicts) != 1 || snap.Verdicts[0].Detected != (p.Result == Detected.String()) {
+			t.Errorf("attack %d: verdict %+v, matrix result %s", r.Num, snap.Verdicts, p.Result)
+		}
+	}
+
+	// The suite's snapshots describe disjoint runs of the same-geometry
+	// platform, so they must fold cleanly into one suite snapshot.
+	live := make([]*cover.Snapshot, 0, len(snaps))
+	for _, s := range snaps {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	merged, err := cover.MergeAll(live...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Runs) != len(live) {
+		t.Errorf("merged %d runs from %d snapshots", len(merged.Runs), len(live))
+	}
+	if merged.EdgeCount() == 0 || len(merged.Verdicts) != len(live) {
+		t.Errorf("merged suite snapshot edges=%d verdicts=%d", merged.EdgeCount(), len(merged.Verdicts))
+	}
+	// Diffing the merge against itself is empty; dropping one attack's
+	// snapshot is a regression naming its lost edges.
+	if d := cover.Diff(merged, merged); !d.Empty() {
+		t.Errorf("self-diff not empty: %s", d.JSON())
+	}
+	partial, err := cover.MergeAll(live[1:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := cover.Diff(merged, partial); !d.Regression() || len(d.LostEdges) == 0 {
+		t.Errorf("dropping attack %d's snapshot is not a regression: %s", covered.Rows[0].Num, d.JSON())
+	}
+}

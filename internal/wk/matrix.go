@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 )
 
 // ClearancePoints are the matrix columns: every clearance check the DIFT
@@ -35,6 +36,9 @@ type MatrixRow struct {
 	// Table I detections); zero when nothing fired.
 	PC       uint32 `json:"pc,omitempty"`
 	NAReason string `json:"na_reason,omitempty"`
+	// Edges is the attack's dynamic control-flow edge count, filled only by
+	// RunMatrixCover (the plain matrix runs without the coverage layer).
+	Edges int `json:"edges,omitempty"`
 }
 
 // Matrix is the machine-checked Table I detection matrix.
@@ -54,6 +58,52 @@ func RunMatrix() (*Matrix, error) { return runMatrix(RunMode{}) }
 // Its result must be identical to RunMatrix — the Table I verdicts may not
 // depend on the monitor organization.
 func RunMatrixDecoupled() (*Matrix, error) { return runMatrix(RunMode{Decoupled: true}) }
+
+// RunMatrixCover is RunMatrix with the coverage layer attached: every
+// applicable attack additionally yields its coverage snapshot, and each
+// matrix row carries the attack's dynamic edge count. Snapshots parallel
+// the rows (nil for non-applicable attacks). The Table I verdicts must match
+// RunMatrix exactly — coverage observation may not perturb detection.
+func RunMatrixCover() (*Matrix, []*cover.Snapshot, error) {
+	m := &Matrix{}
+	var snaps []*cover.Snapshot
+	suite := Suite()
+	for i := range suite {
+		a := &suite[i]
+		row := MatrixRow{
+			Num: a.Num, Location: a.Location, Target: a.Target,
+			Technique: a.Technique, NAReason: a.NAReason,
+		}
+		if !a.Applicable() {
+			row.Result = NA.String()
+			m.NA++
+			m.Rows = append(m.Rows, row)
+			snaps = append(snaps, nil)
+			continue
+		}
+		res, v, snap, err := RunCover(a, true, RunMode{})
+		if err != nil && v == nil {
+			return nil, nil, err
+		}
+		row.Result = res.String()
+		if v != nil {
+			row.ClearancePoint = v.Kind.String()
+			row.PC = v.PC
+		}
+		row.Edges = snap.EdgeCount()
+		switch res {
+		case Detected:
+			m.Detected++
+		case Missed:
+			m.Missed++
+		default:
+			m.NA++
+		}
+		m.Rows = append(m.Rows, row)
+		snaps = append(snaps, snap)
+	}
+	return m, snaps, nil
+}
 
 func runMatrix(mode RunMode) (*Matrix, error) {
 	m := &Matrix{}

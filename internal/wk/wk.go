@@ -27,6 +27,7 @@ import (
 
 	"vpdift/internal/asm"
 	"vpdift/internal/core"
+	"vpdift/internal/cover"
 	"vpdift/internal/flight"
 	"vpdift/internal/guest"
 	"vpdift/internal/kernel"
@@ -621,13 +622,15 @@ func RunObserved(a *Attack, dift bool, o *obs.Observer) (Result, *core.Violation
 
 // RunMode configures how an attack's platform executes: an optional
 // observer, the inline (default) or decoupled taint-monitor organization,
-// and whether the always-on flight recorder is disabled. Either way the
-// verdict and violation must be identical — the decoupled and recorder
-// parity suites hold RunWithMode to that.
+// whether the always-on flight recorder is disabled, and whether the
+// coverage-observability layer is attached. Either way the verdict and
+// violation must be identical — the decoupled and recorder parity suites
+// hold RunWithMode to that.
 type RunMode struct {
 	Obs       *obs.Observer
 	Decoupled bool
 	FlightOff bool
+	Cover     bool
 }
 
 // RunWithMode is RunObserved with the execution mode made explicit.
@@ -640,50 +643,77 @@ func RunWithMode(a *Attack, dift bool, mode RunMode) (Result, *core.Violation, e
 // bundle — non-nil exactly when the run stopped on a violation or fault and
 // the flight recorder was enabled.
 func RunForensic(a *Attack, dift bool, mode RunMode) (Result, *core.Violation, *flight.Bundle, error) {
+	res, v, bundle, _, err := runFull(a, dift, mode)
+	return res, v, bundle, err
+}
+
+// RunCover runs one attack with the coverage layer attached and returns the
+// run's serializable snapshot alongside the verdict. The snapshot's workload
+// identity is "wk-<num>" and its policy "wk" (or "none" on the baseline VP),
+// so snapshots from different attacks merge as disjoint runs.
+func RunCover(a *Attack, dift bool, mode RunMode) (Result, *core.Violation, *cover.Snapshot, error) {
+	mode.Cover = true
+	res, v, _, snap, err := runFull(a, dift, mode)
+	return res, v, snap, err
+}
+
+func runFull(a *Attack, dift bool, mode RunMode) (Result, *core.Violation, *flight.Bundle, *cover.Snapshot, error) {
 	if !a.Applicable() {
-		return NA, nil, nil, nil
+		return NA, nil, nil, nil, nil
 	}
 	img, err := a.Build()
 	if err != nil {
-		return NA, nil, nil, err
+		return NA, nil, nil, nil, err
 	}
 	var pol *core.Policy
 	if dift {
 		pol = Policy(img)
 	}
-	pl, err := soc.New(soc.Config{Policy: pol, Obs: mode.Obs, DecoupledTaint: mode.Decoupled, FlightOff: mode.FlightOff})
+	cfg := soc.Config{Policy: pol, Obs: mode.Obs, DecoupledTaint: mode.Decoupled, FlightOff: mode.FlightOff}
+	if mode.Cover {
+		cfg.Cover = cover.New()
+	}
+	pl, err := soc.New(cfg)
 	if err != nil {
-		return NA, nil, nil, err
+		return NA, nil, nil, nil, err
 	}
 	defer pl.Shutdown()
 	if err := pl.Load(img); err != nil {
-		return NA, nil, nil, err
+		return NA, nil, nil, nil, err
 	}
 	pl.UART.Inject(a.Payload(img))
 	runErr := pl.Run(kernel.S)
 	bundle := pl.LastForensics()
+	var snap *cover.Snapshot
+	if mode.Cover {
+		polName := "none"
+		if dift {
+			polName = "wk"
+		}
+		snap = pl.CoverSnapshot(fmt.Sprintf("wk-%d", a.Num), polName)
+	}
 
 	var v *core.Violation
 	if errors.As(runErr, &v) {
 		if v.Kind != core.KindFetchClearance {
-			return Detected, v, bundle, fmt.Errorf("wk: attack %d raised %v, expected fetch clearance", a.Num, v)
+			return Detected, v, bundle, snap, fmt.Errorf("wk: attack %d raised %v, expected fetch clearance", a.Num, v)
 		}
 		if v.PC != img.MustSymbol("attack_code") {
-			return Detected, v, bundle, fmt.Errorf("wk: attack %d violated at pc=0x%x, expected payload entry", a.Num, v.PC)
+			return Detected, v, bundle, snap, fmt.Errorf("wk: attack %d violated at pc=0x%x, expected payload entry", a.Num, v.PC)
 		}
-		return Detected, v, bundle, nil
+		return Detected, v, bundle, snap, nil
 	}
 	if runErr != nil {
-		return Missed, nil, bundle, runErr
+		return Missed, nil, bundle, snap, runErr
 	}
 	exited, code := pl.Exited()
 	if !exited {
-		return Missed, nil, nil, fmt.Errorf("wk: attack %d did not terminate", a.Num)
+		return Missed, nil, nil, snap, fmt.Errorf("wk: attack %d did not terminate", a.Num)
 	}
 	if code == ExitAttackSucceeded {
-		return Missed, nil, nil, nil
+		return Missed, nil, nil, snap, nil
 	}
-	return Missed, nil, nil, fmt.Errorf("wk: attack %d exited with %d; the overflow did not hijack control", a.Num, code)
+	return Missed, nil, nil, snap, fmt.Errorf("wk: attack %d exited with %d; the overflow did not hijack control", a.Num, code)
 }
 
 // Table runs the whole suite under the policy and renders Table I.
